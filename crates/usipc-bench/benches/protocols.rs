@@ -1,0 +1,52 @@
+//! Native-backend protocol benchmarks: real threads, real parking.
+//!
+//! On the uniprocessor CI box this measures exactly the paper's hardest
+//! case — synchronous IPC on one CPU — where `busy_wait` degenerates to
+//! `sched_yield` and the blocking protocols lean on futex-backed
+//! semaphores. Absolute numbers are host-specific; the interesting output
+//! is the *ordering* of the strategies and the SysV-style baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use usipc::harness::{run_native_experiment, Mechanism};
+use usipc::WaitStrategy;
+
+const MSGS: u64 = 2_000;
+
+fn roundtrips(c: &mut Criterion) {
+    let mut g = c.benchmark_group("native_echo_1client");
+    g.throughput(Throughput::Elements(MSGS));
+    g.sample_size(10);
+    let cases: Vec<(&str, Mechanism)> = vec![
+        ("BSS", Mechanism::UserLevel(WaitStrategy::Bss)),
+        ("BSW", Mechanism::UserLevel(WaitStrategy::Bsw)),
+        ("BSWY", Mechanism::UserLevel(WaitStrategy::Bswy)),
+        ("BSLS-10", Mechanism::UserLevel(WaitStrategy::Bsls { max_spin: 10 })),
+        ("HANDOFF", Mechanism::UserLevel(WaitStrategy::HandoffBswy)),
+        ("SysV", Mechanism::SysV),
+    ];
+    for (name, mech) in cases {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| run_native_experiment(mech, 1, MSGS));
+        });
+    }
+    g.finish();
+}
+
+fn multi_client(c: &mut Criterion) {
+    let mut g = c.benchmark_group("native_echo_4clients");
+    g.throughput(Throughput::Elements(4 * MSGS / 4));
+    g.sample_size(10);
+    for (name, mech) in [
+        ("BSW", Mechanism::UserLevel(WaitStrategy::Bsw)),
+        ("BSLS-10", Mechanism::UserLevel(WaitStrategy::Bsls { max_spin: 10 })),
+        ("SysV", Mechanism::SysV),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| run_native_experiment(mech, 4, MSGS / 4));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, roundtrips, multi_client);
+criterion_main!(benches);

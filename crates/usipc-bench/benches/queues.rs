@@ -1,0 +1,91 @@
+//! Queue ablation: the two-lock Michael & Scott queue the paper uses vs
+//! the nonblocking M&S queue, the SPSC ring, and the bounded MPMC ring —
+//! all in their shared-memory (arena/offset) forms, plus the generic heap
+//! two-lock queue as a reference.
+//!
+//! Uniprocessor note: on this box the contended numbers show lock-convoy
+//! and retry behaviour under *preemption*, which is exactly the regime the
+//! paper's uniprocessor analysis cares about.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use usipc_queue::{MpmcRing, MsQueue, ShmFifo, ShmQueue, SpscRing, TwoLockQueue};
+use usipc_shm::ShmArena;
+
+const OPS: u64 = 10_000;
+
+fn bench_uncontended<Q: ShmFifo>(c: &mut Criterion, name: &str) {
+    let arena = ShmArena::new(1 << 20).unwrap();
+    let q = Q::create(&arena, 1024).unwrap();
+    let mut g = c.benchmark_group("queue_pingpong_uncontended");
+    g.throughput(Throughput::Elements(OPS));
+    g.bench_function(BenchmarkId::from_parameter(name), |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                assert!(q.enqueue(&arena, i));
+                assert_eq!(q.dequeue(&arena), Some(i));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_spsc_threads<Q: ShmFifo>(c: &mut Criterion, name: &str) {
+    let mut g = c.benchmark_group("queue_spsc_cross_thread");
+    g.throughput(Throughput::Elements(OPS));
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::from_parameter(name), |b| {
+        b.iter(|| {
+            let arena = Arc::new(ShmArena::new(1 << 21).unwrap());
+            let q = Q::create(&arena, 256).unwrap();
+            let ap = Arc::clone(&arena);
+            let producer = std::thread::spawn(move || {
+                for i in 0..OPS {
+                    while !q.enqueue(&ap, i) {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+            let mut expect = 0;
+            while expect < OPS {
+                if let Some(v) = q.dequeue(&arena) {
+                    assert_eq!(v, expect);
+                    expect += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            producer.join().unwrap();
+        })
+    });
+    g.finish();
+}
+
+fn bench_heap_two_lock(c: &mut Criterion) {
+    let q = TwoLockQueue::new();
+    let mut g = c.benchmark_group("queue_pingpong_uncontended");
+    g.throughput(Throughput::Elements(OPS));
+    g.bench_function(BenchmarkId::from_parameter("heap-two-lock"), |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                q.enqueue(i);
+                assert_eq!(q.dequeue(), Some(i));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn queues(c: &mut Criterion) {
+    bench_uncontended::<ShmQueue>(c, "shm-two-lock");
+    bench_uncontended::<MsQueue>(c, "shm-ms-lockfree");
+    bench_uncontended::<SpscRing>(c, "shm-spsc-ring");
+    bench_uncontended::<MpmcRing>(c, "shm-mpmc-ring");
+    bench_heap_two_lock(c);
+    bench_spsc_threads::<ShmQueue>(c, "shm-two-lock");
+    bench_spsc_threads::<MsQueue>(c, "shm-ms-lockfree");
+    bench_spsc_threads::<SpscRing>(c, "shm-spsc-ring");
+}
+
+criterion_group!(benches, queues);
+criterion_main!(benches);

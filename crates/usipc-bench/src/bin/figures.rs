@@ -1,0 +1,91 @@
+//! CLI driver: regenerate the paper's tables and figures.
+//!
+//! ```text
+//! figures [all | table1 fig2 fig3 fig6 fig8 fig10 fig11 fig12 stats]...
+//!         [--msgs N] [--clients N] [--out DIR]
+//! ```
+
+use std::path::PathBuf;
+use usipc_bench::{all_ids, run_experiment, RunOpts};
+
+fn main() {
+    let mut ids: Vec<String> = Vec::new();
+    let mut opts = RunOpts::default();
+    let mut out_dir = PathBuf::from("results");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--msgs" => {
+                opts.msgs_per_client = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--msgs needs a number");
+            }
+            "--clients" => {
+                opts.max_clients = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--clients needs a number");
+            }
+            "--mp-clients" => {
+                opts.mp_max_clients = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--mp-clients needs a number");
+            }
+            "list" => {
+                for id in all_ids() {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--out" => {
+                out_dir = args.next().map(PathBuf::from).expect("--out needs a path");
+            }
+            "all" => ids.extend(all_ids().iter().map(|s| s.to_string())),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: figures [list | all | {}]... [--msgs N] [--clients N] [--mp-clients N] [--out DIR]",
+                    all_ids().join(" | ")
+                );
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!(
+            "no experiment named; try `figures all` (available: {})",
+            all_ids().join(", ")
+        );
+        std::process::exit(2);
+    }
+
+    for id in &ids {
+        let start = std::time::Instant::now();
+        let Some(output) = run_experiment(id, opts) else {
+            eprintln!("unknown experiment `{id}` (available: {})", all_ids().join(", "));
+            std::process::exit(2);
+        };
+        println!("==============================================================");
+        println!("experiment {id}  ({:.1}s)", start.elapsed().as_secs_f64());
+        println!("==============================================================");
+        for (i, t) in output.tables.iter().enumerate() {
+            println!("{}", t.render());
+            let stem = if output.tables.len() == 1 {
+                id.clone()
+            } else {
+                format!("{id}_{}", (b'a' + i as u8) as char)
+            };
+            match t.write_csv(&out_dir, &stem) {
+                Ok(p) => println!("  → {}", p.display()),
+                Err(e) => eprintln!("  ! csv write failed: {e}"),
+            }
+            println!();
+        }
+        for n in &output.notes {
+            println!("  note: {n}");
+        }
+        println!();
+    }
+}

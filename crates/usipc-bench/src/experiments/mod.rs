@@ -1,0 +1,134 @@
+//! One module per paper artifact; see DESIGN.md §5 for the index.
+
+mod fig10;
+mod fig11;
+mod fig12;
+mod fig2;
+mod fig3;
+mod fig6;
+mod asynch;
+mod fig8;
+mod mixed;
+mod mlfq;
+mod stats;
+mod table1;
+mod threaded;
+mod throttle;
+
+use crate::table::Table;
+use usipc::harness::{run_sim_experiment, Mechanism, SimExperiment};
+use usipc_sim::{MachineModel, PolicyKind};
+
+/// Output of one experiment: tables plus free-form observations.
+#[derive(Debug)]
+pub struct ExperimentOutput {
+    /// Experiment id (`fig2`, `table1`, ...).
+    pub id: &'static str,
+    /// Result tables (one per sub-plot).
+    pub tables: Vec<Table>,
+    /// Notes comparing against the paper's reported values.
+    pub notes: Vec<String>,
+}
+
+/// Tuning knobs shared by all experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOpts {
+    /// Round trips per client (the paper uses "many thousands").
+    pub msgs_per_client: u64,
+    /// Largest uniprocessor client count (the paper sweeps 1–6).
+    pub max_clients: usize,
+    /// Largest multiprocessor client count (Fig. 11 and the MP ablations).
+    pub mp_max_clients: usize,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            msgs_per_client: 2_000,
+            max_clients: 6,
+            mp_max_clients: 12,
+        }
+    }
+}
+
+/// All experiment ids, in paper order.
+pub fn all_ids() -> &'static [&'static str] {
+    &[
+        "table1", "fig2", "fig3", "fig6", "fig8", "fig10", "fig11", "fig12", "stats",
+        "throttle", "threaded", "mlfq", "async", "mixed",
+    ]
+}
+
+/// Runs one experiment by id.
+pub fn run_experiment(id: &str, opts: RunOpts) -> Option<ExperimentOutput> {
+    Some(match id {
+        "table1" => table1::run(opts),
+        "fig2" => fig2::run(opts),
+        "fig3" => fig3::run(opts),
+        "fig6" => fig6::run(opts),
+        "fig8" => fig8::run(opts),
+        "fig10" => fig10::run(opts),
+        "fig11" => fig11::run(opts),
+        "fig12" => fig12::run(opts),
+        "stats" => stats::run(opts),
+        "throttle" => throttle::run(opts),
+        "threaded" => threaded::run(opts),
+        "mlfq" => mlfq::run(opts),
+        "async" => asynch::run(opts),
+        "mixed" => mixed::run(opts),
+        _ => return None,
+    })
+}
+
+/// One column of a throughput table: a (policy, mechanism) pair swept over
+/// client counts.
+pub(crate) struct Column {
+    pub name: String,
+    pub policy: PolicyKind,
+    pub mechanism: Mechanism,
+}
+
+impl Column {
+    pub(crate) fn new(name: &str, policy: PolicyKind, mechanism: Mechanism) -> Self {
+        Column {
+            name: name.into(),
+            policy,
+            mechanism,
+        }
+    }
+}
+
+/// Sweeps every column over `clients`, measuring server throughput in
+/// messages per millisecond — the y-axis of every figure.
+pub(crate) fn throughput_table(
+    title: &str,
+    machine: &MachineModel,
+    cols: &[Column],
+    clients: &[usize],
+    msgs: u64,
+) -> Table {
+    let mut t = Table::new(
+        title,
+        "clients",
+        "messages/ms",
+        cols.iter().map(|c| c.name.clone()).collect(),
+    );
+    for &n in clients {
+        let cells = cols
+            .iter()
+            .map(|c| {
+                let exp = SimExperiment::new(machine.clone(), c.policy, c.mechanism)
+                    .clients(n)
+                    .messages(msgs);
+                run_sim_experiment(&exp).throughput
+            })
+            .collect();
+        t.push_row(n as f64, cells);
+    }
+    t
+}
+
+/// Client counts 1..=max.
+pub(crate) fn client_range(max: usize) -> Vec<usize> {
+    (1..=max).collect()
+}

@@ -1,0 +1,22 @@
+//! # usipc-bench — the experiment harness
+//!
+//! Regenerates every table and figure of Unrau & Krieger (ICPP 1998) on the
+//! scheduler simulator, and benchmarks the native backend with Criterion.
+//!
+//! ```text
+//! cargo run -p usipc-bench --release --bin figures -- all
+//! cargo run -p usipc-bench --release --bin figures -- fig2 fig11 --msgs 5000
+//! cargo bench -p usipc-bench
+//! ```
+//!
+//! Each experiment prints paper-style tables, appends notes comparing the
+//! measured shape against the paper's reported numbers, and writes
+//! `results/<id>.csv`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{all_ids, run_experiment, ExperimentOutput, RunOpts};
+pub use table::Table;

@@ -1,0 +1,188 @@
+//! Plain-text tables and CSV output for the experiment harness.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A rectangular result table: one row per x value (usually the client
+/// count), one column per series (protocol / policy).
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table heading.
+    pub title: String,
+    /// Label of the x column.
+    pub xlabel: String,
+    /// Unit of the cells (printed under the title).
+    pub unit: String,
+    /// Series names.
+    pub columns: Vec<String>,
+    /// `(x, one cell per column)`; `NaN` renders as `-`.
+    pub rows: Vec<(f64, Vec<f64>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        xlabel: impl Into<String>,
+        unit: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        Table {
+            title: title.into(),
+            xlabel: xlabel.into(),
+            unit: unit.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the column count).
+    pub fn push_row(&mut self, x: f64, cells: Vec<f64>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((x, cells));
+    }
+
+    fn fmt_cell(v: f64) -> String {
+        if v.is_nan() {
+            "-".into()
+        } else if v == 0.0 || (v.abs() >= 0.01 && v.abs() < 100_000.0) {
+            format!("{v:.2}")
+        } else {
+            format!("{v:.3e}")
+        }
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = Vec::new();
+        let header: Vec<String> = std::iter::once(self.xlabel.clone())
+            .chain(self.columns.iter().cloned())
+            .collect();
+        let body: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(x, cells)| {
+                std::iter::once(format!("{x:.0}"))
+                    .chain(cells.iter().map(|&v| Self::fmt_cell(v)))
+                    .collect()
+            })
+            .collect();
+        for row in std::iter::once(&header).chain(body.iter()) {
+            for (i, cell) in row.iter().enumerate() {
+                if widths.len() <= i {
+                    widths.push(0);
+                }
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}  [{}]", self.title, self.unit);
+        let line = |row: &[String], out: &mut String| {
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(out, "{:>w$}  ", cell, w = widths[i]);
+            }
+            let _ = writeln!(out);
+        };
+        line(&header, &mut out);
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &body {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (x column first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.xlabel);
+        for c in &self.columns {
+            let _ = write!(out, ",{c}");
+        }
+        let _ = writeln!(out);
+        for (x, cells) in &self.rows {
+            let _ = write!(out, "{x}");
+            for v in cells {
+                if v.is_nan() {
+                    let _ = write!(out, ",");
+                } else {
+                    let _ = write!(out, ",{v}");
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Writes the CSV next to the other results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_csv(&self, dir: &Path, stem: &str) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{stem}.csv"));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+
+    /// The cell at `(x, column)`, if present (for assertions in tests).
+    pub fn cell(&self, x: f64, column: &str) -> Option<f64> {
+        let ci = self.columns.iter().position(|c| c == column)?;
+        self.rows
+            .iter()
+            .find(|(rx, _)| (rx - x).abs() < 1e-9)
+            .map(|(_, cells)| cells[ci])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(
+            "Fig. X",
+            "clients",
+            "msgs/ms",
+            vec!["BSS".into(), "SysV".into()],
+        );
+        t.push_row(1.0, vec![8.4, 5.5]);
+        t.push_row(2.0, vec![9.1, f64::NAN]);
+        t
+    }
+
+    #[test]
+    fn render_is_aligned_and_complete() {
+        let s = sample().render();
+        assert!(s.contains("Fig. X"));
+        assert!(s.contains("clients"));
+        assert!(s.contains("8.40"));
+        assert!(s.contains('-'), "NaN renders as dash");
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let csv = sample().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("clients,BSS,SysV"));
+        assert_eq!(lines.next(), Some("1,8.4,5.5"));
+        assert_eq!(lines.next(), Some("2,9.1,"));
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let t = sample();
+        assert_eq!(t.cell(1.0, "SysV"), Some(5.5));
+        assert!(t.cell(2.0, "SysV").unwrap().is_nan());
+        assert_eq!(t.cell(3.0, "BSS"), None);
+        assert_eq!(t.cell(1.0, "nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = sample();
+        t.push_row(3.0, vec![1.0]);
+    }
+}

@@ -1,0 +1,59 @@
+//! # usipc-queue — concurrent FIFO queues for user-level IPC
+//!
+//! The paper's communication substrate is "concurrent uni-directional queues
+//! implemented in shared memory", which its evaluation software realizes with
+//! "a common implementation of the Michael and Scott two-lock queue" (§2.2,
+//! citing \[9\] = Michael & Scott, PODC'96). This crate provides that queue —
+//! in both a generic heap form and the shared-memory (offset-based) form the
+//! IPC facility actually uses — plus the nonblocking Michael & Scott queue
+//! and two ring buffers used for design-choice ablations:
+//!
+//! * [`TwoLockQueue`] — generic, heap-allocated M&S two-lock queue.
+//! * [`ShmQueue`] — the same algorithm inside a
+//!   [`ShmArena`](usipc_shm::ShmArena): test-and-set spinlocks, node pool,
+//!   fixed capacity with flow control (`enqueue` returns `false` when full,
+//!   which is what triggers the paper's `sleep(1)` back-off).
+//! * [`MsQueue`] — nonblocking M&S queue with ABA-protected tagged offsets.
+//! * [`SpscRing`] — wait-free single-producer/single-consumer ring.
+//! * [`MpmcRing`] — bounded multi-producer/multi-consumer ring
+//!   (per-slot sequence numbers).
+//! * [`SpinLock`] — the raw test-and-set lock used inside the arena.
+//!
+//! All shared-memory queues carry `u64` payloads: large messages travel as
+//! arena *offsets* into a [`SlotPool`](usipc_shm::SlotPool), exactly as the
+//! paper suggests for variable-sized data ("one of the fields of the fixed
+//! sized message \[points\] to a variable sized component in shared memory").
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod mpmc;
+mod ms_lockfree;
+mod shm_two_lock;
+mod spinlock;
+mod spsc;
+mod two_lock;
+
+pub use mpmc::MpmcRing;
+pub use ms_lockfree::MsQueue;
+pub use shm_two_lock::ShmQueue;
+pub use spinlock::SpinLock;
+pub use spsc::SpscRing;
+pub use two_lock::TwoLockQueue;
+
+/// Common interface over the shared-memory queue variants, used by the
+/// ablation benches to swap implementations under the same protocol code.
+pub trait ShmFifo: Copy + Send + Sync + 'static {
+    /// Creates a queue with room for `capacity` elements.
+    fn create(arena: &usipc_shm::ShmArena, capacity: usize) -> Result<Self, usipc_shm::ShmError>
+    where
+        Self: Sized;
+    /// Attempts to enqueue; `false` means the queue is full (flow control).
+    fn enqueue(&self, arena: &usipc_shm::ShmArena, value: u64) -> bool;
+    /// Attempts to dequeue; `None` means the queue is empty.
+    fn dequeue(&self, arena: &usipc_shm::ShmArena) -> Option<u64>;
+    /// Cheap emptiness poll (the `empty(Q)` test of the BSLS algorithm).
+    fn is_empty(&self, arena: &usipc_shm::ShmArena) -> bool;
+    /// Number of elements currently queued (approximate under concurrency).
+    fn len(&self, arena: &usipc_shm::ShmArena) -> usize;
+}

@@ -1,0 +1,280 @@
+//! Bounded multi-producer/multi-consumer ring with per-slot sequence
+//! numbers (Vyukov-style).
+//!
+//! The third queue shape in the ablation set: compared to the two-lock
+//! queue it trades the node pool and locks for a fixed array and per-slot
+//! sequencing; compared to the lock-free M&S queue it avoids pointer
+//! chasing. It is *not* linearizable for `len`, and a stalled producer can
+//! delay consumers of later slots — properties the ablation bench surfaces.
+
+use crate::ShmFifo;
+use core::sync::atomic::{AtomicU64, Ordering};
+use usipc_shm::{CacheAligned, ShmArena, ShmError, ShmPtr, ShmSafe, ShmSlice};
+
+/// One ring slot: sequence word plus payload.
+#[repr(C)]
+#[derive(Debug)]
+pub struct MpmcSlot {
+    seq: AtomicU64,
+    value: AtomicU64,
+}
+
+unsafe impl ShmSafe for MpmcSlot {}
+
+/// Ring bookkeeping.
+#[repr(C)]
+#[derive(Debug)]
+pub struct MpmcHeader {
+    enqueue_pos: CacheAligned<AtomicU64>,
+    dequeue_pos: CacheAligned<AtomicU64>,
+    capacity: u64,
+}
+
+unsafe impl ShmSafe for MpmcHeader {}
+
+/// Handle to a bounded MPMC ring in an arena.
+#[derive(Debug)]
+pub struct MpmcRing {
+    header: ShmPtr<MpmcHeader>,
+    slots: ShmSlice<MpmcSlot>,
+}
+
+impl Clone for MpmcRing {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl Copy for MpmcRing {}
+unsafe impl ShmSafe for MpmcRing {}
+
+impl MpmcRing {
+    /// Creates an empty ring; `capacity` is rounded up to a power of two,
+    /// with a minimum of 2.
+    ///
+    /// The minimum is load-bearing: with a single slot, Vyukov's sequence
+    /// scheme cannot distinguish "free for this lap" (`seq == pos`) from
+    /// "still holding last lap's element" (`seq == pos - capacity + 1`,
+    /// which equals `pos` when `capacity == 1`), so an enqueue would
+    /// overwrite an unconsumed element and the next dequeue would spin
+    /// forever on a sequence from the future (caught by the
+    /// `mpmc_ring_matches_model` property test).
+    pub fn create(arena: &ShmArena, capacity: usize) -> Result<Self, ShmError> {
+        assert!(capacity >= 1, "ring capacity must be at least 1");
+        let cap = capacity.next_power_of_two().max(2);
+        let slots = arena.alloc_slice(cap, |i| MpmcSlot {
+            seq: AtomicU64::new(i as u64),
+            value: AtomicU64::new(0),
+        })?;
+        let header = arena.alloc(MpmcHeader {
+            enqueue_pos: CacheAligned::new(AtomicU64::new(0)),
+            dequeue_pos: CacheAligned::new(AtomicU64::new(0)),
+            capacity: cap as u64,
+        })?;
+        Ok(MpmcRing { header, slots })
+    }
+
+    /// Attempts to enqueue; `false` when the ring is full.
+    pub fn enqueue(&self, arena: &ShmArena, value: u64) -> bool {
+        let hdr = arena.get(self.header);
+        let mask = hdr.capacity - 1;
+        let mut pos = hdr.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = arena.get(self.slots.at((pos & mask) as usize));
+            let seq = slot.seq.load(Ordering::Acquire);
+            match seq as i64 - pos as i64 {
+                0 => {
+                    // Slot free for this ticket: claim it.
+                    match hdr.enqueue_pos.compare_exchange_weak(
+                        pos,
+                        pos + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            slot.value.store(value, Ordering::Relaxed);
+                            slot.seq.store(pos + 1, Ordering::Release);
+                            return true;
+                        }
+                        Err(actual) => pos = actual,
+                    }
+                }
+                d if d < 0 => return false, // slot still holds an unconsumed lap: full
+                _ => pos = hdr.enqueue_pos.load(Ordering::Relaxed),
+            }
+        }
+    }
+
+    /// Attempts to dequeue; `None` when the ring is empty.
+    pub fn dequeue(&self, arena: &ShmArena) -> Option<u64> {
+        let hdr = arena.get(self.header);
+        let mask = hdr.capacity - 1;
+        let mut pos = hdr.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = arena.get(self.slots.at((pos & mask) as usize));
+            let seq = slot.seq.load(Ordering::Acquire);
+            match seq as i64 - (pos + 1) as i64 {
+                0 => {
+                    match hdr.dequeue_pos.compare_exchange_weak(
+                        pos,
+                        pos + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            let value = slot.value.load(Ordering::Relaxed);
+                            slot.seq.store(pos + hdr.capacity, Ordering::Release);
+                            return Some(value);
+                        }
+                        Err(actual) => pos = actual,
+                    }
+                }
+                d if d < 0 => return None, // slot not yet published: empty
+                _ => pos = hdr.dequeue_pos.load(Ordering::Relaxed),
+            }
+        }
+    }
+
+    /// Cheap emptiness poll (advisory).
+    pub fn is_empty(&self, arena: &ShmArena) -> bool {
+        self.len(arena) == 0
+    }
+
+    /// Current number of elements (approximate under concurrency).
+    pub fn len(&self, arena: &ShmArena) -> usize {
+        let hdr = arena.get(self.header);
+        let e = hdr.enqueue_pos.load(Ordering::Acquire);
+        let d = hdr.dequeue_pos.load(Ordering::Acquire);
+        e.saturating_sub(d) as usize
+    }
+}
+
+impl ShmFifo for MpmcRing {
+    fn create(arena: &ShmArena, capacity: usize) -> Result<Self, ShmError> {
+        MpmcRing::create(arena, capacity)
+    }
+    fn enqueue(&self, arena: &ShmArena, value: u64) -> bool {
+        MpmcRing::enqueue(self, arena, value)
+    }
+    fn dequeue(&self, arena: &ShmArena) -> Option<u64> {
+        MpmcRing::dequeue(self, arena)
+    }
+    fn is_empty(&self, arena: &ShmArena) -> bool {
+        MpmcRing::is_empty(self, arena)
+    }
+    fn len(&self, arena: &ShmArena) -> usize {
+        MpmcRing::len(self, arena)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn ring(capacity: usize) -> (Arc<ShmArena>, MpmcRing) {
+        let arena = Arc::new(ShmArena::new(1 << 16).unwrap());
+        let q = MpmcRing::create(&arena, capacity).unwrap();
+        (arena, q)
+    }
+
+    #[test]
+    fn fifo_and_capacity() {
+        let (a, q) = ring(4);
+        for i in 0..4u64 {
+            assert!(q.enqueue(&a, i));
+        }
+        assert!(!q.enqueue(&a, 99));
+        for i in 0..4u64 {
+            assert_eq!(q.dequeue(&a), Some(i));
+        }
+        assert_eq!(q.dequeue(&a), None);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let (a, q) = ring(5); // rounds to 8
+        for i in 0..8u64 {
+            assert!(q.enqueue(&a, i), "slot {i}");
+        }
+        assert!(!q.enqueue(&a, 99));
+    }
+
+    #[test]
+    fn capacity_one_rounds_up_and_stays_correct() {
+        // Regression: a true 1-slot Vyukov ring overwrites and then hangs;
+        // we round up to 2 slots instead.
+        let (a, q) = ring(1);
+        assert!(q.enqueue(&a, 10));
+        assert!(q.enqueue(&a, 11));
+        assert!(!q.enqueue(&a, 12), "full at the rounded capacity");
+        assert_eq!(q.dequeue(&a), Some(10));
+        assert_eq!(q.dequeue(&a), Some(11));
+        assert_eq!(q.dequeue(&a), None);
+        for i in 0..1000u64 {
+            assert!(q.enqueue(&a, i));
+            assert_eq!(q.dequeue(&a), Some(i));
+        }
+    }
+
+    #[test]
+    fn wraparound() {
+        let (a, q) = ring(2);
+        for i in 0..10_000u64 {
+            assert!(q.enqueue(&a, i));
+            assert_eq!(q.dequeue(&a), Some(i));
+        }
+    }
+
+    #[test]
+    fn mpmc_conservation() {
+        use std::collections::HashSet;
+        use std::sync::atomic::AtomicU64 as HostU64;
+        let (a, q) = ring(64);
+        const PRODUCERS: u64 = 4;
+        const CONSUMERS: usize = 4;
+        const PER: u64 = 6_000;
+        const TOTAL: u64 = PRODUCERS * PER;
+        let taken = Arc::new(HostU64::new(0));
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    for i in 0..PER {
+                        while !q.enqueue(&a, p * PER + i) {
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                let taken = Arc::clone(&taken);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while taken.load(Ordering::Relaxed) < TOTAL {
+                        if let Some(v) = q.dequeue(&a) {
+                            got.push(v);
+                            taken.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        for t in producers {
+            t.join().unwrap();
+        }
+        let mut seen = HashSet::new();
+        for c in consumers {
+            for v in c.join().unwrap() {
+                assert!(seen.insert(v), "duplicate {v}");
+            }
+        }
+        assert_eq!(seen.len() as u64, TOTAL);
+        assert!(q.is_empty(&a));
+    }
+}

@@ -1,0 +1,325 @@
+//! The Michael & Scott two-lock queue in shared-memory (offset) form.
+//!
+//! This is the queue the IPC facility actually uses: the header, the locks,
+//! the node pool and the nodes all live in a [`ShmArena`], linked by offsets,
+//! so the whole structure is position independent. Capacity is fixed and
+//! `enqueue` reports fullness instead of growing — the flow-control signal on
+//! which the paper's `sleep(1)`-on-full back-off is built.
+
+use crate::spinlock::SpinLock;
+use crate::ShmFifo;
+use core::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use usipc_shm::{
+    CacheAligned, PoolSlot, ShmArena, ShmError, ShmPtr, ShmSafe, SlotPool, NULL_OFFSET,
+};
+
+/// A queue node: FIFO link plus payload.
+///
+/// The link (`next`) is distinct from the pool's internal free-list link, so
+/// a consumer that reads a node which has just been recycled sees stale but
+/// type-stable data — never free-list internals.
+#[repr(C)]
+#[derive(Debug)]
+pub struct QNode {
+    next: AtomicU32,
+    value: AtomicU64,
+}
+
+unsafe impl ShmSafe for QNode {}
+
+impl QNode {
+    fn empty() -> Self {
+        QNode {
+            next: AtomicU32::new(NULL_OFFSET),
+            value: AtomicU64::new(0),
+        }
+    }
+}
+
+type NodePtr = ShmPtr<PoolSlot<QNode>>;
+
+/// Shared queue bookkeeping.
+///
+/// Head state (consumer side) and tail state (producer side) sit on separate
+/// cache lines so a client enqueuing requests never bounces the line the
+/// server is dequeuing from.
+#[repr(C)]
+#[derive(Debug)]
+pub struct QueueHeader {
+    head_lock: CacheAligned<SpinLock>,
+    head: CacheAligned<AtomicU32>,
+    tail_lock: CacheAligned<SpinLock>,
+    tail: CacheAligned<AtomicU32>,
+    count: CacheAligned<AtomicU32>,
+    capacity: u32,
+}
+
+unsafe impl ShmSafe for QueueHeader {}
+
+/// Handle to a two-lock FIFO queue in an arena (plain offsets, `Copy`).
+#[derive(Debug)]
+pub struct ShmQueue {
+    header: ShmPtr<QueueHeader>,
+    pool: SlotPool<QNode>,
+}
+
+impl Clone for ShmQueue {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl Copy for ShmQueue {}
+unsafe impl ShmSafe for ShmQueue {}
+
+/// Extra pool slots beyond `capacity`: one for the dummy node plus slack for
+/// dequeuers that have unlinked a node but not yet returned it to the pool.
+/// With fewer concurrent dequeuers than `POOL_SLACK` the `count`-based
+/// capacity check is exact and pool exhaustion can never cause a spurious
+/// "full" report.
+const POOL_SLACK: usize = 8;
+
+impl ShmQueue {
+    /// Creates an empty queue with room for `capacity` elements.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arena exhaustion.
+    pub fn create(arena: &ShmArena, capacity: usize) -> Result<Self, ShmError> {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        assert!(capacity < u32::MAX as usize - POOL_SLACK, "queue too large");
+        let pool = SlotPool::create(arena, capacity + POOL_SLACK, |_| QNode::empty())?;
+        let dummy = pool.alloc(arena).expect("fresh pool has a free slot");
+        let header = arena.alloc(QueueHeader {
+            head_lock: CacheAligned::new(SpinLock::new()),
+            head: CacheAligned::new(AtomicU32::new(dummy.raw())),
+            tail_lock: CacheAligned::new(SpinLock::new()),
+            tail: CacheAligned::new(AtomicU32::new(dummy.raw())),
+            count: CacheAligned::new(AtomicU32::new(0)),
+            capacity: capacity as u32,
+        })?;
+        Ok(ShmQueue { header, pool })
+    }
+
+    /// Maximum number of elements.
+    pub fn capacity(&self, arena: &ShmArena) -> usize {
+        arena.get(self.header).capacity as usize
+    }
+
+    /// Attempts to enqueue `value`; returns `false` when the queue is full.
+    pub fn enqueue(&self, arena: &ShmArena, value: u64) -> bool {
+        let hdr = arena.get(self.header);
+        let Some(node) = self.pool.alloc(arena) else {
+            return false; // all slack consumed: treat as full
+        };
+        let qn = arena.get(node).value();
+        qn.value.store(value, Ordering::Relaxed);
+        qn.next.store(NULL_OFFSET, Ordering::Relaxed);
+
+        let mut full = false;
+        hdr.tail_lock.with(|| {
+            if hdr.count.load(Ordering::Relaxed) >= hdr.capacity {
+                full = true;
+                return;
+            }
+            let tail: NodePtr = ShmPtr::from_raw(hdr.tail.load(Ordering::Relaxed));
+            // Release: publishes the payload store above to the consumer's
+            // acquiring load of `next`.
+            arena.get(tail).value().next.store(node.raw(), Ordering::Release);
+            hdr.tail.store(node.raw(), Ordering::Relaxed);
+            hdr.count.fetch_add(1, Ordering::Relaxed);
+        });
+        if full {
+            self.pool.free(arena, node);
+        }
+        !full
+    }
+
+    /// Removes the oldest element, or `None` if the queue is empty.
+    pub fn dequeue(&self, arena: &ShmArena) -> Option<u64> {
+        let hdr = arena.get(self.header);
+        hdr.head_lock.lock();
+        let dummy: NodePtr = ShmPtr::from_raw(hdr.head.load(Ordering::Relaxed));
+        let next_off = arena.get(dummy).value().next.load(Ordering::Acquire);
+        if next_off == NULL_OFFSET {
+            hdr.head_lock.unlock();
+            return None;
+        }
+        let next: NodePtr = ShmPtr::from_raw(next_off);
+        // M&S: read the value from the node that becomes the new dummy.
+        let value = arena.get(next).value().value.load(Ordering::Relaxed);
+        hdr.head.store(next_off, Ordering::Relaxed);
+        hdr.count.fetch_sub(1, Ordering::Relaxed);
+        hdr.head_lock.unlock();
+        self.pool.free(arena, dummy);
+        Some(value)
+    }
+
+    /// Cheap emptiness poll — the `empty(Q)` test in the BSLS spin loop.
+    ///
+    /// Advisory only: the answer may be stale by the time the caller acts.
+    pub fn is_empty(&self, arena: &ShmArena) -> bool {
+        arena.get(self.header).count.load(Ordering::Acquire) == 0
+    }
+
+    /// Current number of elements (approximate under concurrency).
+    pub fn len(&self, arena: &ShmArena) -> usize {
+        arena.get(self.header).count.load(Ordering::Acquire) as usize
+    }
+}
+
+impl ShmFifo for ShmQueue {
+    fn create(arena: &ShmArena, capacity: usize) -> Result<Self, ShmError> {
+        ShmQueue::create(arena, capacity)
+    }
+    fn enqueue(&self, arena: &ShmArena, value: u64) -> bool {
+        ShmQueue::enqueue(self, arena, value)
+    }
+    fn dequeue(&self, arena: &ShmArena) -> Option<u64> {
+        ShmQueue::dequeue(self, arena)
+    }
+    fn is_empty(&self, arena: &ShmArena) -> bool {
+        ShmQueue::is_empty(self, arena)
+    }
+    fn len(&self, arena: &ShmArena) -> usize {
+        ShmQueue::len(self, arena)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn queue(capacity: usize) -> (Arc<ShmArena>, ShmQueue) {
+        let arena = Arc::new(ShmArena::new(1 << 20).unwrap());
+        let q = ShmQueue::create(&arena, capacity).unwrap();
+        (arena, q)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let (a, q) = queue(64);
+        for i in 0..50u64 {
+            assert!(q.enqueue(&a, i));
+        }
+        assert_eq!(q.len(&a), 50);
+        for i in 0..50u64 {
+            assert_eq!(q.dequeue(&a), Some(i));
+        }
+        assert_eq!(q.dequeue(&a), None);
+        assert!(q.is_empty(&a));
+    }
+
+    #[test]
+    fn capacity_enforced_exactly() {
+        let (a, q) = queue(4);
+        for i in 0..4u64 {
+            assert!(q.enqueue(&a, i), "slot {i} should fit");
+        }
+        assert!(!q.enqueue(&a, 99), "fifth element must be refused");
+        assert_eq!(q.len(&a), 4);
+        assert_eq!(q.dequeue(&a), Some(0));
+        assert!(q.enqueue(&a, 99), "room again after a dequeue");
+    }
+
+    #[test]
+    fn full_then_drain_then_reuse() {
+        let (a, q) = queue(2);
+        assert!(q.enqueue(&a, 1) && q.enqueue(&a, 2));
+        assert!(!q.enqueue(&a, 3));
+        assert_eq!(q.dequeue(&a), Some(1));
+        assert_eq!(q.dequeue(&a), Some(2));
+        assert_eq!(q.dequeue(&a), None);
+        for round in 0..100u64 {
+            assert!(q.enqueue(&a, round));
+            assert_eq!(q.dequeue(&a), Some(round));
+        }
+    }
+
+    #[test]
+    fn spsc_concurrent_transfer() {
+        let (a, q) = queue(16);
+        const N: u64 = 30_000;
+        let ap = Arc::clone(&a);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                while !q.enqueue(&ap, i) {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        let mut expect = 0u64;
+        while expect < N {
+            if let Some(v) = q.dequeue(&a) {
+                assert_eq!(v, expect, "FIFO violated");
+                expect += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+        assert!(q.is_empty(&a));
+    }
+
+    #[test]
+    fn mpsc_conservation() {
+        let (a, q) = queue(32);
+        const PRODUCERS: u64 = 4;
+        const PER: u64 = 6_000;
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    for i in 0..PER {
+                        while !q.enqueue(&a, p * PER + i) {
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        let mut last_per_producer = vec![None::<u64>; PRODUCERS as usize];
+        let mut got = 0u64;
+        while got < PRODUCERS * PER {
+            if let Some(v) = q.dequeue(&a) {
+                assert!(seen.insert(v), "duplicate {v}");
+                let p = (v / PER) as usize;
+                let i = v % PER;
+                if let Some(prev) = last_per_producer[p] {
+                    assert!(i > prev, "per-producer FIFO violated");
+                }
+                last_per_producer[p] = Some(i);
+                got += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        for t in producers {
+            t.join().unwrap();
+        }
+        assert!(q.is_empty(&a));
+    }
+
+    #[test]
+    fn two_queues_share_one_arena() {
+        let arena = ShmArena::new(1 << 20).unwrap();
+        let q1 = ShmQueue::create(&arena, 8).unwrap();
+        let q2 = ShmQueue::create(&arena, 8).unwrap();
+        assert!(q1.enqueue(&arena, 1));
+        assert!(q2.enqueue(&arena, 2));
+        assert_eq!(q1.dequeue(&arena), Some(1));
+        assert_eq!(q2.dequeue(&arena), Some(2));
+    }
+
+    #[test]
+    fn handle_is_plain_data() {
+        // The handle itself can live in the arena (root structure pattern).
+        let arena = ShmArena::new(1 << 20).unwrap();
+        let q = ShmQueue::create(&arena, 8).unwrap();
+        let stored = arena.alloc(q).unwrap();
+        let q2 = *arena.get(stored);
+        assert!(q2.enqueue(&arena, 7));
+        assert_eq!(q.dequeue(&arena), Some(7));
+    }
+}

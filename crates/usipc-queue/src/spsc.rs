@@ -1,0 +1,196 @@
+//! Wait-free single-producer/single-consumer ring buffer.
+//!
+//! The paper's server architecture gives each client a private reply queue
+//! (§2.1: "a reply queue per client is required"). A reply queue has exactly
+//! one producer (the server) and one consumer (the owning client), so a
+//! plain ring with monotonic head/tail counters suffices — no locks, no CAS.
+//! `figures ablation-queue` compares this against the two-lock queue on the
+//! reply path.
+
+use crate::ShmFifo;
+use core::sync::atomic::{AtomicU64, Ordering};
+use usipc_shm::{CacheAligned, ShmArena, ShmError, ShmPtr, ShmSafe, ShmSlice};
+
+/// Ring bookkeeping: producer and consumer cursors on separate lines.
+#[repr(C)]
+#[derive(Debug)]
+pub struct SpscHeader {
+    /// Total elements ever enqueued (producer-owned).
+    tail: CacheAligned<AtomicU64>,
+    /// Total elements ever dequeued (consumer-owned).
+    head: CacheAligned<AtomicU64>,
+    capacity: u64,
+}
+
+unsafe impl ShmSafe for SpscHeader {}
+
+/// Handle to a wait-free SPSC ring in an arena.
+///
+/// # Contract
+///
+/// At most one thread may call [`enqueue`](Self::enqueue) and at most one
+/// thread may call [`dequeue`](Self::dequeue) at any given time. The handle
+/// does not enforce this (it is plain shared-memory data); violating it
+/// cannot corrupt host memory but can duplicate or lose values.
+#[derive(Debug)]
+pub struct SpscRing {
+    header: ShmPtr<SpscHeader>,
+    slots: ShmSlice<AtomicU64>,
+}
+
+impl Clone for SpscRing {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl Copy for SpscRing {}
+unsafe impl ShmSafe for SpscRing {}
+
+impl SpscRing {
+    /// Creates an empty ring with exactly `capacity` slots.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arena exhaustion.
+    pub fn create(arena: &ShmArena, capacity: usize) -> Result<Self, ShmError> {
+        assert!(capacity >= 1, "ring capacity must be at least 1");
+        let slots = arena.alloc_slice(capacity, |_| AtomicU64::new(0))?;
+        let header = arena.alloc(SpscHeader {
+            tail: CacheAligned::new(AtomicU64::new(0)),
+            head: CacheAligned::new(AtomicU64::new(0)),
+            capacity: capacity as u64,
+        })?;
+        Ok(SpscRing { header, slots })
+    }
+
+    /// Attempts to enqueue; `false` when the ring is full. Producer side.
+    pub fn enqueue(&self, arena: &ShmArena, value: u64) -> bool {
+        let hdr = arena.get(self.header);
+        let tail = hdr.tail.load(Ordering::Relaxed); // producer-owned
+        let head = hdr.head.load(Ordering::Acquire);
+        if tail - head >= hdr.capacity {
+            return false;
+        }
+        let slot = self.slots.at((tail % hdr.capacity) as usize);
+        arena.get(slot).store(value, Ordering::Relaxed);
+        // Release publishes the slot write to the consumer.
+        hdr.tail.store(tail + 1, Ordering::Release);
+        true
+    }
+
+    /// Attempts to dequeue; `None` when the ring is empty. Consumer side.
+    pub fn dequeue(&self, arena: &ShmArena) -> Option<u64> {
+        let hdr = arena.get(self.header);
+        let head = hdr.head.load(Ordering::Relaxed); // consumer-owned
+        let tail = hdr.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let slot = self.slots.at((head % hdr.capacity) as usize);
+        let value = arena.get(slot).load(Ordering::Relaxed);
+        // Release lets the producer reuse the slot.
+        hdr.head.store(head + 1, Ordering::Release);
+        Some(value)
+    }
+
+    /// Cheap emptiness poll (advisory).
+    pub fn is_empty(&self, arena: &ShmArena) -> bool {
+        let hdr = arena.get(self.header);
+        hdr.head.load(Ordering::Acquire) == hdr.tail.load(Ordering::Acquire)
+    }
+
+    /// Current number of elements (approximate under concurrency).
+    pub fn len(&self, arena: &ShmArena) -> usize {
+        let hdr = arena.get(self.header);
+        let tail = hdr.tail.load(Ordering::Acquire);
+        let head = hdr.head.load(Ordering::Acquire);
+        tail.saturating_sub(head) as usize
+    }
+}
+
+impl ShmFifo for SpscRing {
+    fn create(arena: &ShmArena, capacity: usize) -> Result<Self, ShmError> {
+        SpscRing::create(arena, capacity)
+    }
+    fn enqueue(&self, arena: &ShmArena, value: u64) -> bool {
+        SpscRing::enqueue(self, arena, value)
+    }
+    fn dequeue(&self, arena: &ShmArena) -> Option<u64> {
+        SpscRing::dequeue(self, arena)
+    }
+    fn is_empty(&self, arena: &ShmArena) -> bool {
+        SpscRing::is_empty(self, arena)
+    }
+    fn len(&self, arena: &ShmArena) -> usize {
+        SpscRing::len(self, arena)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn ring(capacity: usize) -> (Arc<ShmArena>, SpscRing) {
+        let arena = Arc::new(ShmArena::new(1 << 16).unwrap());
+        let q = SpscRing::create(&arena, capacity).unwrap();
+        (arena, q)
+    }
+
+    #[test]
+    fn fifo_and_capacity() {
+        let (a, q) = ring(3);
+        assert!(q.is_empty(&a));
+        assert!(q.enqueue(&a, 1) && q.enqueue(&a, 2) && q.enqueue(&a, 3));
+        assert!(!q.enqueue(&a, 4), "full at capacity");
+        assert_eq!(q.len(&a), 3);
+        assert_eq!(q.dequeue(&a), Some(1));
+        assert!(q.enqueue(&a, 4));
+        assert_eq!(q.dequeue(&a), Some(2));
+        assert_eq!(q.dequeue(&a), Some(3));
+        assert_eq!(q.dequeue(&a), Some(4));
+        assert_eq!(q.dequeue(&a), None);
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let (a, q) = ring(2);
+        for i in 0..10_000u64 {
+            assert!(q.enqueue(&a, i));
+            assert_eq!(q.dequeue(&a), Some(i));
+        }
+    }
+
+    #[test]
+    fn cross_thread_transfer_in_order() {
+        let (a, q) = ring(8);
+        const N: u64 = 50_000;
+        let ap = Arc::clone(&a);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                while !q.enqueue(&ap, i) {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        let mut expect = 0;
+        while expect < N {
+            if let Some(v) = q.dequeue(&a) {
+                assert_eq!(v, expect);
+                expect += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn capacity_one_ping_pong() {
+        let (a, q) = ring(1);
+        assert!(q.enqueue(&a, 9));
+        assert!(!q.enqueue(&a, 10));
+        assert_eq!(q.dequeue(&a), Some(9));
+        assert_eq!(q.dequeue(&a), None);
+    }
+}

@@ -1,0 +1,230 @@
+//! Generic (heap) Michael & Scott two-lock queue.
+//!
+//! This is the textbook form of the algorithm the paper's evaluation software
+//! uses: a singly linked list with a dummy head node, a head lock serializing
+//! consumers and a tail lock serializing producers. Producers and consumers
+//! never contend with each other (they touch different locks and, thanks to
+//! the dummy node, different nodes), which is the property that makes it a
+//! good client/server IPC substrate.
+//!
+//! The shared-memory counterpart used by the IPC facility proper is
+//! [`ShmQueue`](crate::ShmQueue); this generic version exists for host-side
+//! use (work queues in tests and benches) and as the readable reference
+//! implementation of the algorithm.
+
+use std::ptr;
+use std::sync::Mutex;
+
+struct Node<T> {
+    value: Option<T>,
+    next: *mut Node<T>,
+}
+
+/// An unbounded MPMC FIFO queue with separate head and tail locks
+/// (Michael & Scott, PODC'96, Figure 2).
+pub struct TwoLockQueue<T> {
+    head: Mutex<*mut Node<T>>, // dummy node; consumers lock this
+    tail: Mutex<*mut Node<T>>, // last node; producers lock this
+}
+
+// SAFETY: nodes are only reached through one of the two mutexes; values are
+// moved in and out whole.
+unsafe impl<T: Send> Send for TwoLockQueue<T> {}
+unsafe impl<T: Send> Sync for TwoLockQueue<T> {}
+
+impl<T> Default for TwoLockQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TwoLockQueue<T> {
+    /// Creates an empty queue (one dummy node).
+    pub fn new() -> Self {
+        let dummy = Box::into_raw(Box::new(Node {
+            value: None,
+            next: ptr::null_mut(),
+        }));
+        TwoLockQueue {
+            head: Mutex::new(dummy),
+            tail: Mutex::new(dummy),
+        }
+    }
+
+    /// Appends `value` at the tail.
+    pub fn enqueue(&self, value: T) {
+        let node = Box::into_raw(Box::new(Node {
+            value: Some(value),
+            next: ptr::null_mut(),
+        }));
+        let mut tail = self.tail.lock().expect("tail lock poisoned");
+        // SAFETY: *tail is the live last node, reachable only under the tail
+        // lock for writing `next`.
+        unsafe {
+            (**tail).next = node;
+        }
+        *tail = node;
+    }
+
+    /// Removes the oldest element, or `None` if the queue is empty.
+    pub fn dequeue(&self) -> Option<T> {
+        let mut head = self.head.lock().expect("head lock poisoned");
+        let dummy = *head;
+        // SAFETY: the dummy node is owned by the head lock holder.
+        let next = unsafe { (*dummy).next };
+        if next.is_null() {
+            return None;
+        }
+        // SAFETY: `next` is a live node; it becomes the new dummy, and we
+        // take its value (M&S read the value *before* swinging head).
+        let value = unsafe { (*next).value.take() };
+        *head = next;
+        drop(head);
+        // SAFETY: the old dummy is now unreachable from the queue.
+        drop(unsafe { Box::from_raw(dummy) });
+        debug_assert!(value.is_some(), "non-dummy node without value");
+        value
+    }
+
+    /// Whether the queue is currently empty.
+    ///
+    /// The answer is a snapshot; like the paper's `empty(Q)` poll it may be
+    /// stale by the time the caller acts on it.
+    pub fn is_empty(&self) -> bool {
+        let head = self.head.lock().expect("head lock poisoned");
+        // SAFETY: dummy is owned by the head lock holder.
+        unsafe { (**head).next.is_null() }
+    }
+}
+
+impl<T> Drop for TwoLockQueue<T> {
+    fn drop(&mut self) {
+        let mut cur = *self.head.get_mut().expect("head lock poisoned");
+        while !cur.is_null() {
+            // SAFETY: sole owner during drop; walk and free the whole list.
+            let boxed = unsafe { Box::from_raw(cur) };
+            cur = boxed.next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = TwoLockQueue::new();
+        assert!(q.is_empty());
+        for i in 0..100 {
+            q.enqueue(i);
+        }
+        assert!(!q.is_empty());
+        for i in 0..100 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn dequeue_empty_is_none_and_recovers() {
+        let q = TwoLockQueue::new();
+        assert_eq!(q.dequeue(), None);
+        q.enqueue("a");
+        assert_eq!(q.dequeue(), Some("a"));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn drop_with_elements_leaks_nothing() {
+        // Exercised under the default test harness; miri/asan would flag a
+        // leak or double free. Use droppable values to check value drops.
+        let q = TwoLockQueue::new();
+        for i in 0..10 {
+            q.enqueue(vec![i; 100]);
+        }
+        let _ = q.dequeue();
+        drop(q);
+    }
+
+    #[test]
+    fn mpmc_conservation() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        const PRODUCERS: u64 = 4;
+        const CONSUMERS: usize = 4;
+        const PER: u64 = 5_000;
+        const TOTAL: u64 = PRODUCERS * PER;
+        let q = Arc::new(TwoLockQueue::new());
+        let taken = Arc::new(AtomicU64::new(0));
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..PER {
+                        q.enqueue(p * PER + i);
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let taken = Arc::clone(&taken);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while taken.load(Ordering::Relaxed) < TOTAL {
+                        match q.dequeue() {
+                            Some(v) => {
+                                got.push(v);
+                                taken.fetch_add(1, Ordering::Relaxed);
+                            }
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all = HashSet::new();
+        let mut total = 0usize;
+        for c in consumers {
+            let got = c.join().unwrap();
+            total += got.len();
+            for v in got {
+                assert!(all.insert(v), "value {v} dequeued twice");
+            }
+        }
+        assert_eq!(total, TOTAL as usize);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn per_producer_order_preserved() {
+        // FIFO per producer: with one producer and one consumer running
+        // concurrently, consumption order equals production order.
+        let q = Arc::new(TwoLockQueue::new());
+        let qp = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            for i in 0..20_000u64 {
+                qp.enqueue(i);
+            }
+        });
+        let mut expect = 0u64;
+        while expect < 20_000 {
+            if let Some(v) = q.dequeue() {
+                assert_eq!(v, expect);
+                expect += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,395 @@
+//! The shared-memory arena: a fixed region with a concurrent bump allocator.
+
+use crate::ptr::{RawOffset, ShmPtr, ShmSlice, NULL_OFFSET};
+use crate::{ShmSafe, CACHE_LINE};
+use core::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+
+/// Errors from arena operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShmError {
+    /// The allocation does not fit in the remaining arena space.
+    OutOfMemory {
+        /// Bytes requested (including alignment padding).
+        requested: usize,
+        /// Bytes still available.
+        available: usize,
+    },
+    /// The requested arena capacity is invalid (zero or > 4 GiB).
+    BadCapacity(usize),
+}
+
+impl core::fmt::Display for ShmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ShmError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "shared arena exhausted: requested {requested} bytes, {available} available"
+            ),
+            ShmError::BadCapacity(c) => write!(f, "invalid arena capacity {c}"),
+        }
+    }
+}
+
+impl std::error::Error for ShmError {}
+
+/// An opaque bootstrap token naming the arena's *root object*.
+///
+/// A process that attaches to a real shared segment knows only the base
+/// address; everything else must be discoverable from a well-known slot. The
+/// creator stores the offset of its top-level structure with
+/// [`ShmArena::publish_root`]; attachers retrieve it with
+/// [`ShmArena::root`]. The token records the offset so the type resolution
+/// stays explicit at the call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShmToken(pub(crate) RawOffset);
+
+/// A fixed-size shared region with a concurrent bump allocator.
+///
+/// All cross-"address-space" IPC state lives inside an arena and is addressed
+/// by [`ShmPtr`] offsets, never by host pointers, so every structure is
+/// position independent. Allocation is append-only: the arena never frees
+/// individual objects (recycling is layered on top by
+/// [`SlotPool`](crate::SlotPool)), which is what makes offset resolution a
+/// safe operation — a published offset can never dangle.
+///
+/// The backing store here is an anonymous, zeroed, cache-line aligned heap
+/// block; see DESIGN.md for why this is a faithful stand-in for an
+/// `mmap`-ed System V / POSIX segment.
+pub struct ShmArena {
+    base: *mut u8,
+    cap: usize,
+    /// Bump cursor: offset of the first free byte.
+    next: AtomicUsize,
+    /// Root-object bootstrap slot (offset of the creator's top-level struct).
+    root: AtomicU32,
+}
+
+// SAFETY: the arena is an owned allocation; all shared mutation goes through
+// atomics (`next`, `root`) or through `&T` objects whose types promised
+// thread-safe shared access via `ShmSafe`.
+unsafe impl Send for ShmArena {}
+unsafe impl Sync for ShmArena {}
+
+impl core::fmt::Debug for ShmArena {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ShmArena")
+            .field("capacity", &self.cap)
+            .field("used", &self.used())
+            .finish()
+    }
+}
+
+/// First usable offset: one cache line is reserved as a pseudo-header so that
+/// offset 0 ([`NULL_OFFSET`]) never names a live object.
+const HEADER: usize = CACHE_LINE;
+
+impl ShmArena {
+    /// Creates an arena with `capacity` usable bytes (rounded up to a cache
+    /// line), zero-filled.
+    ///
+    /// # Errors
+    ///
+    /// [`ShmError::BadCapacity`] if `capacity` is zero or the total region
+    /// would exceed the 4 GiB addressable by a 32-bit offset.
+    pub fn new(capacity: usize) -> Result<Self, ShmError> {
+        let total = capacity
+            .checked_add(HEADER)
+            .and_then(|t| t.checked_next_multiple_of(CACHE_LINE))
+            .ok_or(ShmError::BadCapacity(capacity))?;
+        if capacity == 0 || total > u32::MAX as usize {
+            return Err(ShmError::BadCapacity(capacity));
+        }
+        let layout = Layout::from_size_align(total, CACHE_LINE).expect("arena layout");
+        // SAFETY: layout has non-zero size (capacity > 0 checked above).
+        let base = unsafe { alloc_zeroed(layout) };
+        if base.is_null() {
+            std::alloc::handle_alloc_error(layout);
+        }
+        Ok(ShmArena {
+            base,
+            cap: total,
+            next: AtomicUsize::new(HEADER),
+            root: AtomicU32::new(NULL_OFFSET),
+        })
+    }
+
+    /// Total capacity in bytes, including the reserved header line.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Bytes currently consumed (including the header line and padding).
+    pub fn used(&self) -> usize {
+        self.next.load(Ordering::Acquire)
+    }
+
+    /// Bytes still available for allocation.
+    pub fn available(&self) -> usize {
+        self.cap - self.used()
+    }
+
+    /// Reserves `size` bytes at `align` and returns the offset.
+    fn bump(&self, size: usize, align: usize) -> Result<RawOffset, ShmError> {
+        debug_assert!(align.is_power_of_two());
+        let mut cur = self.next.load(Ordering::Relaxed);
+        loop {
+            let aligned = (cur + align - 1) & !(align - 1);
+            let end = aligned + size;
+            if end > self.cap {
+                return Err(ShmError::OutOfMemory {
+                    requested: end - cur,
+                    available: self.cap - cur,
+                });
+            }
+            match self.next.compare_exchange_weak(
+                cur,
+                end,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(aligned as RawOffset),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Allocates and initializes a `T`, returning its offset pointer.
+    ///
+    /// # Errors
+    ///
+    /// [`ShmError::OutOfMemory`] when the arena is exhausted.
+    pub fn alloc<T: ShmSafe>(&self, init: T) -> Result<ShmPtr<T>, ShmError> {
+        let off = self.bump(core::mem::size_of::<T>(), core::mem::align_of::<T>())?;
+        // SAFETY: `off` is in-bounds, correctly aligned, and exclusively ours
+        // until the returned pointer is published by the caller.
+        unsafe {
+            core::ptr::write(self.base.add(off as usize).cast::<T>(), init);
+        }
+        Ok(ShmPtr::from_raw(off))
+    }
+
+    /// Allocates a `[T; n]` initialized element-wise by `init(i)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ShmError::OutOfMemory`] when the arena is exhausted.
+    pub fn alloc_slice<T: ShmSafe>(
+        &self,
+        n: usize,
+        mut init: impl FnMut(usize) -> T,
+    ) -> Result<ShmSlice<T>, ShmError> {
+        let size = core::mem::size_of::<T>()
+            .checked_mul(n)
+            .ok_or(ShmError::BadCapacity(n))?;
+        let off = self.bump(size, core::mem::align_of::<T>())?;
+        for i in 0..n {
+            // SAFETY: as in `alloc`, each slot is in-bounds and unpublished.
+            unsafe {
+                core::ptr::write(
+                    self.base
+                        .add(off as usize + i * core::mem::size_of::<T>())
+                        .cast::<T>(),
+                    init(i),
+                );
+            }
+        }
+        Ok(ShmSlice::from_raw(off, n as u32))
+    }
+
+    fn check<T>(&self, off: RawOffset, count: usize) {
+        let size = core::mem::size_of::<T>() * count;
+        let used = self.used();
+        assert!(
+            off as usize >= HEADER && off as usize + size <= used,
+            "ShmPtr +{off:#x} (len {size}) outside allocated range [{HEADER:#x}, {used:#x})"
+        );
+        assert_eq!(
+            off as usize % core::mem::align_of::<T>(),
+            0,
+            "ShmPtr +{off:#x} misaligned for {}",
+            core::any::type_name::<T>()
+        );
+    }
+
+    /// Resolves an offset pointer to a reference.
+    ///
+    /// # Panics
+    ///
+    /// If the pointer is null, out of the allocated range, or misaligned —
+    /// i.e. if it was not produced by this arena's allocator for a `T`.
+    pub fn get<T: ShmSafe>(&self, p: ShmPtr<T>) -> &T {
+        self.check::<T>(p.raw(), 1);
+        // SAFETY: bounds and alignment checked; objects are never freed, and
+        // `T: ShmSafe` guarantees shared access through `&T` is sound.
+        unsafe { &*self.base.add(p.raw() as usize).cast::<T>() }
+    }
+
+    /// Resolves a slice handle to a shared slice.
+    ///
+    /// # Panics
+    ///
+    /// Under the same conditions as [`Self::get`].
+    pub fn get_slice<T: ShmSafe>(&self, s: ShmSlice<T>) -> &[T] {
+        if s.is_empty() {
+            return &[];
+        }
+        self.check::<T>(s.raw(), s.len());
+        // SAFETY: as in `get`, for `len` consecutive elements.
+        unsafe {
+            core::slice::from_raw_parts(self.base.add(s.raw() as usize).cast::<T>(), s.len())
+        }
+    }
+
+    /// Publishes `p` as the arena's root object for attaching peers.
+    pub fn publish_root<T: ShmSafe>(&self, p: ShmPtr<T>) -> ShmToken {
+        self.root.store(p.raw(), Ordering::Release);
+        ShmToken(p.raw())
+    }
+
+    /// Retrieves the root object offset published by the creator, if any.
+    pub fn root<T: ShmSafe>(&self) -> Option<ShmPtr<T>> {
+        match self.root.load(Ordering::Acquire) {
+            NULL_OFFSET => None,
+            off => Some(ShmPtr::from_raw(off)),
+        }
+    }
+}
+
+impl Drop for ShmArena {
+    fn drop(&mut self) {
+        // NOTE: objects inside the arena are `ShmSafe` (plain data + atomics)
+        // and never own host resources, so no per-object drop is required.
+        let layout = Layout::from_size_align(self.cap, CACHE_LINE).expect("arena layout");
+        // SAFETY: `base` was allocated with exactly this layout in `new`.
+        unsafe { dealloc(self.base, layout) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn alloc_get_roundtrip() {
+        let a = ShmArena::new(4096).unwrap();
+        let p = a.alloc(0xabcd_ef01_u32).unwrap();
+        assert_eq!(*a.get(p), 0xabcd_ef01);
+    }
+
+    #[test]
+    fn offsets_start_after_header() {
+        let a = ShmArena::new(4096).unwrap();
+        let p = a.alloc(1u8).unwrap();
+        assert!(p.raw() as usize >= HEADER);
+        assert!(!p.is_null());
+    }
+
+    #[test]
+    fn alignment_respected() {
+        let a = ShmArena::new(4096).unwrap();
+        let _ = a.alloc(1u8).unwrap();
+        let p = a.alloc(crate::CacheAligned::new(7u64)).unwrap();
+        assert_eq!(p.raw() as usize % crate::CACHE_LINE, 0);
+        assert_eq!(**a.get(p), 7);
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let a = ShmArena::new(4096).unwrap();
+        let s = a.alloc_slice(8, |i| i as u64 * 3).unwrap();
+        let view = a.get_slice(s);
+        assert_eq!(view.len(), 8);
+        assert_eq!(view[5], 15);
+        assert_eq!(*a.get(s.at(5)), 15);
+    }
+
+    #[test]
+    fn empty_slice_ok() {
+        let a = ShmArena::new(4096).unwrap();
+        let s = a.alloc_slice(0, |_| 0u64).unwrap();
+        assert!(a.get_slice(s).is_empty());
+    }
+
+    #[test]
+    fn exhaustion_reported() {
+        let a = ShmArena::new(256).unwrap();
+        let mut last = Ok(());
+        for _ in 0..100 {
+            last = a.alloc([0u8; 64]).map(|_| ());
+            if last.is_err() {
+                break;
+            }
+        }
+        match last {
+            Err(ShmError::OutOfMemory { .. }) => {}
+            other => panic!("expected OutOfMemory, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        assert_eq!(ShmArena::new(0).unwrap_err(), ShmError::BadCapacity(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside allocated range")]
+    fn stale_offset_panics() {
+        let a = ShmArena::new(4096).unwrap();
+        let bogus: ShmPtr<u64> = ShmPtr::from_raw(1 << 20);
+        let _ = a.get(bogus);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_offset_panics() {
+        let a = ShmArena::new(4096).unwrap();
+        let _ = a.alloc(0u64).unwrap();
+        let _ = a.alloc(0u64).unwrap();
+        let bogus: ShmPtr<u64> = ShmPtr::from_raw(HEADER as u32 + 1);
+        let _ = a.get(bogus);
+    }
+
+    #[test]
+    fn root_bootstrap() {
+        let a = ShmArena::new(4096).unwrap();
+        assert!(a.root::<u32>().is_none());
+        let p = a.alloc(99u32).unwrap();
+        a.publish_root(p);
+        let found: ShmPtr<u32> = a.root().unwrap();
+        assert_eq!(*a.get(found), 99);
+    }
+
+    #[test]
+    fn concurrent_bump_is_race_free() {
+        let a = Arc::new(ShmArena::new(1 << 20).unwrap());
+        let counter = a.alloc(AtomicU64::new(0)).unwrap();
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    let mut ptrs = Vec::new();
+                    for i in 0..200u64 {
+                        ptrs.push(a.alloc(t as u64 * 1000 + i).unwrap());
+                    }
+                    ptrs
+                })
+            })
+            .collect();
+        let mut all: Vec<ShmPtr<u64>> = Vec::new();
+        for t in threads {
+            all.extend(t.join().unwrap());
+        }
+        // Every allocation distinct and holding its own value.
+        let mut raws: Vec<u32> = all.iter().map(|p| p.raw()).collect();
+        raws.sort_unstable();
+        raws.dedup();
+        assert_eq!(raws.len(), 1600);
+        let _ = a.get(counter);
+    }
+}

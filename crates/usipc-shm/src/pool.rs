@@ -1,0 +1,285 @@
+//! Lock-free fixed-slot pools: the "efficient free-pool management" that the
+//! paper's fixed-size message design enables (§2.1).
+//!
+//! Senders allocate a message slot, fill it, and pass its *offset* through a
+//! queue; the receiver reads the slot and returns it to the pool. Because all
+//! slots are the same size and live in the arena, allocation is a single
+//! tagged compare-and-swap on a Treiber free stack — no heap, no system
+//! calls, and safe against the ABA recycling hazard via modification tags.
+
+use crate::arena::{ShmArena, ShmError};
+use crate::ptr::{ShmPtr, ShmSlice, TaggedAtomicPtr, TaggedPtr};
+use crate::ShmSafe;
+use core::sync::atomic::{AtomicU32, Ordering};
+
+/// One pool slot: an intrusive free-list link plus the payload.
+///
+/// The payload is exposed as `&T`; types stored in a pool perform their own
+/// interior mutation (e.g. the 24-byte IPC message is a pair of atomics).
+/// While a slot is checked out its link word is unused and the holder has
+/// logical exclusivity; the happens-before edge that makes the payload's
+/// relaxed writes visible to the next reader is supplied by whatever channel
+/// transfers the offset (queue enqueue/dequeue, or the pool's own free/alloc
+/// release/acquire pair).
+#[repr(C)]
+#[derive(Debug)]
+pub struct PoolSlot<T> {
+    next: TaggedAtomicPtr,
+    value: T,
+}
+
+unsafe impl<T: ShmSafe> ShmSafe for PoolSlot<T> {}
+
+impl<T> PoolSlot<T> {
+    /// Shared access to the payload.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+}
+
+/// Shared pool bookkeeping, stored in the arena.
+#[repr(C)]
+#[derive(Debug)]
+pub struct SlotPoolHeader {
+    /// Top of the Treiber free stack (tagged against ABA).
+    free: TaggedAtomicPtr,
+    /// Number of slots currently checked out (statistics only).
+    in_use: AtomicU32,
+    /// Total number of slots.
+    capacity: u32,
+}
+
+unsafe impl ShmSafe for SlotPoolHeader {}
+
+/// A handle to a fixed-slot pool in an arena.
+///
+/// The handle is plain data (offsets only) and `Copy`, so it can be embedded
+/// in a root structure and picked up by attaching peers.
+#[derive(Debug)]
+pub struct SlotPool<T> {
+    header: ShmPtr<SlotPoolHeader>,
+    slots: ShmSlice<PoolSlot<T>>,
+}
+
+// Manual impls: derives would add an unwanted `T: Clone/Copy` bound.
+impl<T> Clone for SlotPool<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SlotPool<T> {}
+
+unsafe impl<T: 'static> ShmSafe for SlotPool<T> {}
+
+impl<T: ShmSafe> SlotPool<T> {
+    /// Creates a pool of `capacity` slots, payloads initialized by `init(i)`,
+    /// with every slot initially free.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arena exhaustion.
+    pub fn create(
+        arena: &ShmArena,
+        capacity: usize,
+        mut init: impl FnMut(usize) -> T,
+    ) -> Result<Self, ShmError> {
+        assert!(capacity > 0, "slot pool needs at least one slot");
+        assert!(capacity <= u32::MAX as usize, "slot pool too large");
+        let slots = arena.alloc_slice(capacity, |i| PoolSlot {
+            next: TaggedAtomicPtr::new(TaggedPtr::NULL),
+            value: init(i),
+        })?;
+        // Thread the free list through the freshly created slots.
+        for i in 0..capacity - 1 {
+            let this = arena.get(slots.at(i));
+            this.next
+                .store(TaggedPtr::new(slots.at(i + 1).raw(), 0), Ordering::Relaxed);
+        }
+        let header = arena.alloc(SlotPoolHeader {
+            free: TaggedAtomicPtr::new(TaggedPtr::new(slots.at(0).raw(), 0)),
+            in_use: AtomicU32::new(0),
+            capacity: capacity as u32,
+        })?;
+        Ok(SlotPool { header, slots })
+    }
+
+    /// Total number of slots.
+    pub fn capacity(&self, arena: &ShmArena) -> usize {
+        arena.get(self.header).capacity as usize
+    }
+
+    /// Slots currently checked out (approximate under concurrency).
+    pub fn in_use(&self, arena: &ShmArena) -> usize {
+        arena.get(self.header).in_use.load(Ordering::Relaxed) as usize
+    }
+
+    /// Pops a free slot, or `None` if the pool is exhausted.
+    ///
+    /// Lock-free: a failed tagged CAS means another thread made progress.
+    pub fn alloc(&self, arena: &ShmArena) -> Option<ShmPtr<PoolSlot<T>>> {
+        let hdr = arena.get(self.header);
+        loop {
+            let top = hdr.free.load(Ordering::Acquire);
+            if top.is_null() {
+                return None;
+            }
+            let node_ptr: ShmPtr<PoolSlot<T>> = ShmPtr::from_raw(top.off);
+            let next = arena.get(node_ptr).next.load(Ordering::Relaxed);
+            if hdr
+                .free
+                .compare_exchange_weak(top, top.bumped(next.off), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                hdr.in_use.fetch_add(1, Ordering::Relaxed);
+                return Some(node_ptr);
+            }
+        }
+    }
+
+    /// Returns a slot to the pool.
+    ///
+    /// # Panics
+    ///
+    /// If `slot` does not belong to this pool's slot array (debug builds
+    /// verify membership; release builds verify bounds via the arena).
+    pub fn free(&self, arena: &ShmArena, slot: ShmPtr<PoolSlot<T>>) {
+        debug_assert!(self.owns(slot), "freeing a slot from a different pool");
+        let hdr = arena.get(self.header);
+        let node = arena.get(slot);
+        loop {
+            let top = hdr.free.load(Ordering::Relaxed);
+            node.next.store(top, Ordering::Relaxed);
+            if hdr
+                .free
+                .compare_exchange_weak(top, top.bumped(slot.raw()), Ordering::Release, Ordering::Relaxed)
+                .is_ok()
+            {
+                hdr.in_use.fetch_sub(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+
+    /// Whether `slot` lies within this pool's slot array.
+    pub fn owns(&self, slot: ShmPtr<PoolSlot<T>>) -> bool {
+        let start = self.slots.raw();
+        let stride = core::mem::size_of::<PoolSlot<T>>() as u64;
+        let end = start as u64 + stride * self.slots.len() as u64;
+        let off = slot.raw() as u64;
+        off >= start as u64 && off < end && (off - start as u64).is_multiple_of(stride)
+    }
+
+    /// Index of `slot` within the pool (for tracing/diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// If the slot is not owned by this pool.
+    pub fn index_of(&self, slot: ShmPtr<PoolSlot<T>>) -> usize {
+        assert!(self.owns(slot));
+        ((slot.raw() - self.slots.raw()) as usize) / core::mem::size_of::<PoolSlot<T>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    fn pool_of(n: usize) -> (Arc<ShmArena>, SlotPool<AtomicU64>) {
+        let arena = Arc::new(ShmArena::new(1 << 20).unwrap());
+        let pool = SlotPool::create(&arena, n, |_| AtomicU64::new(0)).unwrap();
+        (arena, pool)
+    }
+
+    #[test]
+    fn alloc_all_then_exhausted() {
+        let (arena, pool) = pool_of(4);
+        let mut got = Vec::new();
+        for _ in 0..4 {
+            got.push(pool.alloc(&arena).expect("slot available"));
+        }
+        assert!(pool.alloc(&arena).is_none());
+        assert_eq!(pool.in_use(&arena), 4);
+        // Distinct slots.
+        let mut raws: Vec<_> = got.iter().map(|p| p.raw()).collect();
+        raws.sort_unstable();
+        raws.dedup();
+        assert_eq!(raws.len(), 4);
+    }
+
+    #[test]
+    fn free_makes_slot_reusable() {
+        let (arena, pool) = pool_of(1);
+        let s = pool.alloc(&arena).unwrap();
+        assert!(pool.alloc(&arena).is_none());
+        pool.free(&arena, s);
+        assert_eq!(pool.in_use(&arena), 0);
+        assert!(pool.alloc(&arena).is_some());
+    }
+
+    #[test]
+    fn payload_persists_across_checkout() {
+        let (arena, pool) = pool_of(2);
+        let s = pool.alloc(&arena).unwrap();
+        arena.get(s).value().store(77, Ordering::Relaxed);
+        pool.free(&arena, s);
+        let s2 = pool.alloc(&arena).unwrap();
+        // LIFO free stack: we get the same slot back, value intact (pools do
+        // not zero on free; protocols overwrite).
+        assert_eq!(s2, s);
+        assert_eq!(arena.get(s2).value().load(Ordering::Relaxed), 77);
+    }
+
+    #[test]
+    fn index_and_ownership() {
+        let (arena, pool) = pool_of(8);
+        let a = pool.alloc(&arena).unwrap();
+        let b = pool.alloc(&arena).unwrap();
+        assert!(pool.owns(a) && pool.owns(b));
+        assert_ne!(pool.index_of(a), pool.index_of(b));
+        assert!(pool.index_of(a) < 8);
+        let foreign: ShmPtr<PoolSlot<AtomicU64>> = ShmPtr::from_raw(4);
+        assert!(!pool.owns(foreign));
+    }
+
+    #[test]
+    fn concurrent_alloc_free_conserves_slots() {
+        let (arena, pool) = pool_of(16);
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let arena = Arc::clone(&arena);
+                std::thread::spawn(move || {
+                    let mut held = Vec::new();
+                    for round in 0..1000u64 {
+                        if let Some(s) = pool.alloc(&arena) {
+                            arena.get(s).value().fetch_add(1, Ordering::Relaxed);
+                            held.push(s);
+                        }
+                        if round % 3 == 0 {
+                            if let Some(s) = held.pop() {
+                                pool.free(&arena, s);
+                            }
+                        }
+                        if held.len() > 2 {
+                            pool.free(&arena, held.remove(0));
+                        }
+                    }
+                    for s in held {
+                        pool.free(&arena, s);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(pool.in_use(&arena), 0);
+        // All 16 slots recoverable.
+        let mut all = Vec::new();
+        while let Some(s) = pool.alloc(&arena) {
+            all.push(s);
+        }
+        assert_eq!(all.len(), 16);
+    }
+}

@@ -1,0 +1,64 @@
+//! # usipc-sim — a deterministic operating-system scheduler simulator
+//!
+//! The evaluation of Unrau & Krieger's sleep/wake-up protocols (ICPP 1998)
+//! is dominated by *scheduler* behaviour: IRIX's degrading priorities make
+//! BSS throughput rise with client count while AIX's fairness makes it fall
+//! (Fig. 2); fixed priorities buy 30–50 % (Fig. 3); Linux 1.0's `yield`
+//! costs 33 ms until the authors patch it (Fig. 12). None of those kernels
+//! can be run today, so this crate provides the substrate on which every
+//! figure is regenerated: a discrete-event kernel with
+//!
+//! * processes as real host threads coordinated by a baton (exactly one
+//!   executes at a time; virtual time is decoupled from host time and runs
+//!   deterministically),
+//! * pluggable [scheduling policies](sched) modelling IRIX, AIX, fixed
+//!   priority, stock Linux 1.0 and the paper's modified `sched_yield`,
+//! * kernel objects: counting [semaphores](Semaphore), System V style
+//!   [message queues](KMsgQueue), barriers, `sleep`, and the proposed
+//!   [`handoff`](Handoff) system call (§6),
+//! * per-machine [cost models](MachineModel) calibrated against Table 1, and
+//! * `getrusage`-style per-process statistics (voluntary/involuntary
+//!   context switches, yields, blocks) — the instrumentation behind the
+//!   paper's §2.2 analysis.
+//!
+//! ## Example
+//!
+//! ```
+//! use usipc_sim::{MachineModel, PolicyKind, SimBuilder, VDur};
+//!
+//! let mut b = SimBuilder::new(MachineModel::sgi_indy(), PolicyKind::FairRr.build());
+//! let q = b.add_msgq(16);
+//! b.spawn("client", move |sys| {
+//!     sys.msgsnd(q, [7, 0, 0, 0]);
+//! });
+//! b.spawn("server", move |sys| {
+//!     let m = sys.msgrcv(q);
+//!     assert_eq!(m[0], 7);
+//! });
+//! let report = b.run();
+//! assert!(report.outcome.is_completed());
+//! assert!(report.end_time.as_micros_f64() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod engine;
+mod machine;
+mod msgq;
+mod report;
+pub mod sched;
+mod sem;
+mod syscall;
+mod time;
+pub mod trace;
+
+pub use engine::SimBuilder;
+pub use machine::MachineModel;
+pub use msgq::{KMsgQueue, RecvOutcome, SendOutcome};
+pub use report::{Mark, Outcome, SemFinal, SimReport, TaskReport};
+pub use sched::{PolicyKind, Scheduler, YieldDecision};
+pub use sem::{DownResult, Semaphore};
+pub use syscall::{BarrierId, Handoff, KMsg, MsqId, Pid, Request, ResumeValue, SemId, Sys, TaskStats};
+pub use time::{VDur, VTime};
+pub use trace::{render_interleaving, TraceEvent, TraceWhat};

@@ -1,0 +1,169 @@
+//! Kernel message queues (System V style) — the paper's baseline IPC.
+//!
+//! "As a kernel mediated IPC mechanism, SYSV message queues represent a
+//! lower-bound on acceptable user-level IPC performance" (§2.2). The queue
+//! itself is a bounded FIFO of fixed-size messages with sender and receiver
+//! wait lists; the *costs* (per-op kernel time, the big-kernel-lock
+//! serialization visible in Fig. 11's flat SysV curve) are charged by the
+//! engine, not here.
+
+use crate::syscall::{KMsg, Pid};
+use std::collections::VecDeque;
+
+/// A bounded kernel message queue with FIFO blocking on both sides.
+#[derive(Debug)]
+pub struct KMsgQueue {
+    msgs: VecDeque<KMsg>,
+    capacity: usize,
+    /// Senders blocked on a full queue, with their pending message.
+    send_waiters: VecDeque<(Pid, KMsg)>,
+    /// Receivers blocked on an empty queue.
+    recv_waiters: VecDeque<Pid>,
+}
+
+/// Result of a send attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Message stored (or handed directly to a waiting receiver, whose pid
+    /// is carried so the engine can wake it).
+    Delivered(Option<Pid>),
+    /// Queue full; the sender was queued and must block.
+    MustBlock,
+}
+
+/// Result of a receive attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvOutcome {
+    /// A message was taken; if a blocked sender's message was admitted as a
+    /// result, its pid is carried so the engine can wake it.
+    Got(KMsg, Option<Pid>),
+    /// Queue empty; the receiver was queued and must block.
+    MustBlock,
+}
+
+impl KMsgQueue {
+    /// Creates an empty queue holding at most `capacity` messages.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "message queue needs capacity");
+        KMsgQueue {
+            msgs: VecDeque::with_capacity(capacity),
+            capacity,
+            send_waiters: VecDeque::new(),
+            recv_waiters: VecDeque::new(),
+        }
+    }
+
+    /// `msgsnd`: deliver, or queue the sender.
+    pub fn send(&mut self, from: Pid, m: KMsg) -> SendOutcome {
+        if let Some(rcv) = self.recv_waiters.pop_front() {
+            debug_assert!(self.msgs.is_empty(), "waiting receiver with queued msgs");
+            // Direct hand-off: the engine delivers `m` to `rcv` on wake-up.
+            self.msgs.push_back(m);
+            SendOutcome::Delivered(Some(rcv))
+        } else if self.msgs.len() < self.capacity {
+            self.msgs.push_back(m);
+            SendOutcome::Delivered(None)
+        } else {
+            self.send_waiters.push_back((from, m));
+            SendOutcome::MustBlock
+        }
+    }
+
+    /// `msgrcv`: take the oldest message, or queue the receiver.
+    pub fn recv(&mut self, who: Pid) -> RecvOutcome {
+        if let Some(m) = self.msgs.pop_front() {
+            // Admission of a blocked sender's message, if any.
+            let unblocked = self.send_waiters.pop_front().map(|(pid, pending)| {
+                self.msgs.push_back(pending);
+                pid
+            });
+            RecvOutcome::Got(m, unblocked)
+        } else {
+            self.recv_waiters.push_back(who);
+            RecvOutcome::MustBlock
+        }
+    }
+
+    /// Takes the message owed to a receiver that was woken by a direct
+    /// hand-off.
+    pub fn take_delivery(&mut self) -> Option<KMsg> {
+        self.msgs.pop_front()
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Whether no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Blocked receivers.
+    pub fn recv_waiting(&self) -> usize {
+        self.recv_waiters.len()
+    }
+
+    /// Blocked senders.
+    pub fn send_waiting(&self) -> usize {
+        self.send_waiters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(x: u64) -> KMsg {
+        [x, 0, 0, 0]
+    }
+
+    #[test]
+    fn send_recv_fifo() {
+        let mut q = KMsgQueue::new(4);
+        assert_eq!(q.send(Pid(0), msg(1)), SendOutcome::Delivered(None));
+        assert_eq!(q.send(Pid(0), msg(2)), SendOutcome::Delivered(None));
+        match q.recv(Pid(1)) {
+            RecvOutcome::Got(m, None) => assert_eq!(m, msg(1)),
+            other => panic!("{other:?}"),
+        }
+        match q.recv(Pid(1)) {
+            RecvOutcome::Got(m, None) => assert_eq!(m, msg(2)),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(q.recv(Pid(1)), RecvOutcome::MustBlock);
+    }
+
+    #[test]
+    fn direct_handoff_to_waiting_receiver() {
+        let mut q = KMsgQueue::new(4);
+        assert_eq!(q.recv(Pid(7)), RecvOutcome::MustBlock);
+        match q.send(Pid(0), msg(9)) {
+            SendOutcome::Delivered(Some(pid)) => assert_eq!(pid, Pid(7)),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(q.take_delivery(), Some(msg(9)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_queue_blocks_sender_then_admits() {
+        let mut q = KMsgQueue::new(1);
+        assert_eq!(q.send(Pid(0), msg(1)), SendOutcome::Delivered(None));
+        assert_eq!(q.send(Pid(0), msg(2)), SendOutcome::MustBlock);
+        assert_eq!(q.send_waiting(), 1);
+        match q.recv(Pid(1)) {
+            RecvOutcome::Got(m, Some(sender)) => {
+                assert_eq!(m, msg(1));
+                assert_eq!(sender, Pid(0));
+            }
+            other => panic!("{other:?}"),
+        }
+        // The blocked sender's message was admitted.
+        match q.recv(Pid(1)) {
+            RecvOutcome::Got(m, None) => assert_eq!(m, msg(2)),
+            other => panic!("{other:?}"),
+        }
+    }
+}

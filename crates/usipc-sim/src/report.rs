@@ -1,0 +1,114 @@
+//! Simulation outcome and per-task reporting.
+
+use crate::syscall::{Pid, TaskStats};
+use crate::time::VTime;
+
+/// How a simulation ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every task ran to completion.
+    Completed,
+    /// Live tasks remained but none could ever run again (the report lists
+    /// the stuck tasks and their block reasons).
+    Deadlock(Vec<String>),
+    /// Virtual time exceeded the configured limit.
+    TimeLimit,
+    /// A task panicked (message attached).
+    TaskPanicked {
+        /// Name of the offending task.
+        task: String,
+        /// Panic payload rendered to a string.
+        message: String,
+    },
+    /// A semaphore counter overflowed — the failure mode of §3's multiple
+    /// wake-up race; names the semaphore index and its limit.
+    SemaphoreOverflow {
+        /// Index of the overflowed semaphore.
+        sem: u32,
+        /// Its configured limit.
+        limit: u32,
+    },
+}
+
+impl Outcome {
+    /// Whether the run completed normally.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, Outcome::Completed)
+    }
+}
+
+/// Per-task results.
+#[derive(Debug, Clone)]
+pub struct TaskReport {
+    /// Pid assigned at spawn.
+    pub pid: Pid,
+    /// Name given at spawn.
+    pub name: String,
+    /// Scheduling statistics.
+    pub stats: TaskStats,
+}
+
+/// An instrumentation mark recorded via `Sys::mark`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mark {
+    /// Virtual time of the mark.
+    pub at: VTime,
+    /// Task that recorded it.
+    pub pid: Pid,
+    /// User-chosen code.
+    pub code: u64,
+}
+
+/// Final state of one kernel semaphore (for race-condition regression
+/// tests: a growing high-water mark is the §3 wake-up-accumulation bug).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SemFinal {
+    /// Credit count when the run ended.
+    pub count: u32,
+    /// Highest credit count ever reached.
+    pub max_count: u32,
+    /// Processes still blocked on it at the end (0 on clean completion).
+    pub waiting: usize,
+}
+
+/// Full results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Termination condition.
+    pub outcome: Outcome,
+    /// Virtual time when the run ended.
+    pub end_time: VTime,
+    /// One entry per task, in pid order.
+    pub tasks: Vec<TaskReport>,
+    /// All recorded marks, in time order.
+    pub marks: Vec<Mark>,
+    /// Total context switches (voluntary + involuntary) across tasks.
+    pub total_switches: u64,
+    /// Final state of every kernel semaphore, in creation order.
+    pub sems: Vec<SemFinal>,
+    /// Scheduling timeline (empty unless tracing was enabled on the
+    /// builder); see [`trace`](crate::trace).
+    pub trace: Vec<crate::trace::TraceEvent>,
+}
+
+impl SimReport {
+    /// Looks a task up by name (first match).
+    pub fn task(&self, name: &str) -> Option<&TaskReport> {
+        self.tasks.iter().find(|t| t.name == name)
+    }
+
+    /// Marks recorded with a given code, in time order.
+    pub fn marks_with_code(&self, code: u64) -> impl Iterator<Item = &Mark> {
+        self.marks.iter().filter(move |m| m.code == code)
+    }
+
+    /// Time of the first mark with `code`, if any.
+    pub fn first_mark(&self, code: u64) -> Option<VTime> {
+        self.marks_with_code(code).next().map(|m| m.at)
+    }
+
+    /// Time of the last mark with `code`, if any.
+    pub fn last_mark(&self, code: u64) -> Option<VTime> {
+        self.marks_with_code(code).last().map(|m| m.at)
+    }
+}

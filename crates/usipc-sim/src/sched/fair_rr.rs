@@ -1,0 +1,94 @@
+//! AIX-like fair round-robin scheduler.
+//!
+//! Models the behaviour the paper observed on AIX 4.1, where BSS throughput
+//! *falls* as clients are added (Fig. 2b): every `yield` rotates the CPU to
+//! the next ready process, so with `n` busy-waiting clients each round trip
+//! pays for a full rotation of futile dequeue-and-yield attempts, and each
+//! switch costs more as the run queue grows (run-queue scan + cache
+//! reload in the machine model).
+
+use super::rq::FifoRunQueue;
+use super::{Scheduler, YieldDecision};
+use crate::syscall::Pid;
+use crate::time::VDur;
+
+/// Fair round-robin: `yield` always switches when anyone is ready.
+#[derive(Debug, Default)]
+pub struct FairRoundRobin {
+    rq: FifoRunQueue,
+}
+
+impl FairRoundRobin {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for FairRoundRobin {
+    fn init(&mut self, ntasks: usize) {
+        self.rq.init(ntasks);
+    }
+
+    fn on_ready(&mut self, pid: Pid) {
+        self.rq.push(pid);
+    }
+
+    fn pick(&mut self) -> Option<Pid> {
+        self.rq.pop()
+    }
+
+    fn steal(&mut self, pid: Pid) -> bool {
+        self.rq.remove(pid)
+    }
+
+    fn on_run(&mut self, _pid: Pid, _ran: VDur) {}
+
+    fn on_block(&mut self, _pid: Pid) {}
+
+    fn on_yield(&mut self, _pid: Pid) -> YieldDecision {
+        if self.rq.is_empty() {
+            YieldDecision::Continue
+        } else {
+            YieldDecision::Switch
+        }
+    }
+
+    fn ready_count(&self) -> usize {
+        self.rq.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "fair-rr"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yield_always_switches_when_contended() {
+        let mut p = FairRoundRobin::new();
+        p.init(2);
+        p.on_ready(Pid(0));
+        assert_eq!(p.pick(), Some(Pid(0)));
+        assert_eq!(p.on_yield(Pid(0)), YieldDecision::Continue, "alone");
+        p.on_ready(Pid(1));
+        assert_eq!(p.on_yield(Pid(0)), YieldDecision::Switch);
+    }
+
+    #[test]
+    fn rotation_is_fifo() {
+        let mut p = FairRoundRobin::new();
+        p.init(3);
+        for i in 0..3 {
+            p.on_ready(Pid(i));
+        }
+        assert_eq!(p.pick(), Some(Pid(0)));
+        p.on_ready(Pid(0)); // yielded back to the tail
+        assert_eq!(p.pick(), Some(Pid(1)));
+        assert_eq!(p.pick(), Some(Pid(2)));
+        assert_eq!(p.pick(), Some(Pid(0)));
+    }
+}

@@ -1,0 +1,128 @@
+//! Non-degrading fixed-priority scheduler (the Fig. 3 / Fig. 8 policy).
+//!
+//! "To test the hypothesis that priority aging by the operating system is
+//! impacting performance, we set both the server and client priorities to be
+//! non-degrading" (§2.2). With no aging, a `yield` from a process always
+//! rotates to the next ready process of equal (or higher) static priority —
+//! exactly the behaviour the authors obtained with super-user fixed-priority
+//! scheduling, worth +50 % on the SGI and +30 % on the IBM.
+
+use super::rq::FifoRunQueue;
+use super::{Scheduler, YieldDecision};
+use crate::syscall::Pid;
+use crate::time::VDur;
+
+/// Static priorities (higher wins), FIFO round-robin within a level.
+#[derive(Debug, Default)]
+pub struct FixedPriority {
+    prio: Vec<i32>,
+    rq: FifoRunQueue,
+}
+
+impl FixedPriority {
+    /// Creates the policy with every task at priority 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a task's static priority (before or during a run).
+    pub fn set_priority(&mut self, pid: Pid, prio: i32) {
+        self.prio[pid.idx()] = prio;
+    }
+
+    fn best_ready(&self) -> Option<(Pid, i32)> {
+        // FIFO order within a priority level: take the *first* queued pid of
+        // the maximal level.
+        let mut best: Option<(Pid, i32)> = None;
+        for pid in self.rq.iter() {
+            let pr = self.prio[pid.idx()];
+            if best.is_none_or(|(_, bp)| pr > bp) {
+                best = Some((pid, pr));
+            }
+        }
+        best
+    }
+}
+
+impl Scheduler for FixedPriority {
+    fn init(&mut self, ntasks: usize) {
+        // Preserve priorities assigned before the run starts.
+        self.prio.resize(ntasks, 0);
+        self.rq.init(ntasks);
+    }
+
+    fn on_ready(&mut self, pid: Pid) {
+        self.rq.push(pid);
+    }
+
+    fn pick(&mut self) -> Option<Pid> {
+        let (pid, _) = self.best_ready()?;
+        self.rq.remove(pid);
+        Some(pid)
+    }
+
+    fn steal(&mut self, pid: Pid) -> bool {
+        self.rq.remove(pid)
+    }
+
+    fn on_run(&mut self, _pid: Pid, _ran: VDur) {}
+
+    fn on_block(&mut self, _pid: Pid) {}
+
+    fn on_yield(&mut self, pid: Pid) -> YieldDecision {
+        match self.best_ready() {
+            Some((_, pr)) if pr >= self.prio[pid.idx()] => YieldDecision::Switch,
+            _ => YieldDecision::Continue,
+        }
+    }
+
+    fn ready_count(&self) -> usize {
+        self.rq.len()
+    }
+
+    fn static_priorities(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_priorities_round_robin_on_yield() {
+        let mut p = FixedPriority::new();
+        p.init(2);
+        p.on_ready(Pid(0));
+        p.on_ready(Pid(1));
+        assert_eq!(p.pick(), Some(Pid(0)));
+        assert_eq!(p.on_yield(Pid(0)), YieldDecision::Switch);
+    }
+
+    #[test]
+    fn higher_priority_picked_first() {
+        let mut p = FixedPriority::new();
+        p.init(3);
+        p.set_priority(Pid(2), 5);
+        p.on_ready(Pid(0));
+        p.on_ready(Pid(1));
+        p.on_ready(Pid(2));
+        assert_eq!(p.pick(), Some(Pid(2)));
+        assert_eq!(p.pick(), Some(Pid(0)));
+    }
+
+    #[test]
+    fn lower_priority_waiter_does_not_take_yield() {
+        let mut p = FixedPriority::new();
+        p.init(2);
+        p.set_priority(Pid(0), 5);
+        p.on_ready(Pid(0));
+        assert_eq!(p.pick(), Some(Pid(0)));
+        p.on_ready(Pid(1)); // priority 0 < 5
+        assert_eq!(p.on_yield(Pid(0)), YieldDecision::Continue);
+    }
+}

@@ -1,0 +1,86 @@
+//! Linux 1.0.32 stock scheduler model.
+//!
+//! §6: "we found that the response time for the busy-wait algorithm (BSS)
+//! was on the order of 33 *milliseconds* instead of the 120 microseconds we
+//! were expecting. The problem appeared to be in the way the dynamic
+//! priority was aged." In the 1.0 scheduler a `sched_yield` did not expire
+//! the caller's counter, so a busy-waiting process kept being re-selected
+//! until its ~30 ms quantum drained.
+//!
+//! Structurally this is the degrading-priority model with the aging step set
+//! to the full quantum — a `yield` only switches after the caller has burnt
+//! a whole quantum of CPU.
+
+use super::degrading::DegradingPriority;
+use super::{Scheduler, YieldDecision};
+use crate::syscall::Pid;
+use crate::time::VDur;
+
+/// Stock Linux 1.0 `sched_yield` behaviour (see module docs).
+#[derive(Debug)]
+pub struct LinuxOldSched {
+    inner: DegradingPriority,
+}
+
+impl LinuxOldSched {
+    /// Creates the policy with the counter quantum (the paper's machine ran
+    /// with roughly 30 ms).
+    pub fn new(quantum: VDur) -> Self {
+        LinuxOldSched {
+            inner: DegradingPriority::new(quantum),
+        }
+    }
+}
+
+impl Scheduler for LinuxOldSched {
+    fn init(&mut self, ntasks: usize) {
+        self.inner.init(ntasks)
+    }
+    fn on_ready(&mut self, pid: Pid) {
+        self.inner.on_ready(pid)
+    }
+    fn pick(&mut self) -> Option<Pid> {
+        self.inner.pick()
+    }
+    fn steal(&mut self, pid: Pid) -> bool {
+        self.inner.steal(pid)
+    }
+    fn on_run(&mut self, pid: Pid, ran: VDur) {
+        self.inner.on_run(pid, ran)
+    }
+    fn on_block(&mut self, pid: Pid) {
+        self.inner.on_block(pid)
+    }
+    fn on_yield(&mut self, pid: Pid) -> YieldDecision {
+        self.inner.on_yield(pid)
+    }
+    fn ready_count(&self) -> usize {
+        self.inner.ready_count()
+    }
+    fn name(&self) -> &'static str {
+        "linux-old"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yield_is_a_near_noop_within_the_quantum() {
+        let mut p = LinuxOldSched::new(VDur::millis(30));
+        p.init(2);
+        p.on_ready(Pid(0));
+        assert_eq!(p.pick(), Some(Pid(0)));
+        p.on_ready(Pid(1));
+        // 1000 yields at ~25 µs each: still under 30 ms.
+        for _ in 0..1000 {
+            p.on_run(Pid(0), VDur::micros(25));
+            if p.on_yield(Pid(0)) == YieldDecision::Switch {
+                panic!("switched before the quantum drained");
+            }
+        }
+        p.on_run(Pid(0), VDur::millis(6));
+        assert_eq!(p.on_yield(Pid(0)), YieldDecision::Switch);
+    }
+}

@@ -1,0 +1,128 @@
+//! A FIFO run queue with membership tracking, shared by the policies.
+
+use crate::syscall::Pid;
+use std::collections::VecDeque;
+
+/// FIFO queue of ready pids with O(1) membership checks and O(n) targeted
+/// removal (n = ready processes, which is small in every experiment).
+#[derive(Debug, Default)]
+pub struct FifoRunQueue {
+    queue: VecDeque<Pid>,
+    member: Vec<bool>,
+}
+
+impl FifoRunQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes the membership table for `ntasks` processes.
+    pub fn init(&mut self, ntasks: usize) {
+        self.queue.clear();
+        self.member = vec![false; ntasks];
+    }
+
+    /// Appends `pid` (panics on double-insert — an engine invariant breach).
+    pub fn push(&mut self, pid: Pid) {
+        assert!(
+            !core::mem::replace(&mut self.member[pid.idx()], true),
+            "{pid} enqueued twice"
+        );
+        self.queue.push_back(pid);
+    }
+
+    /// Pops the oldest ready pid.
+    pub fn pop(&mut self) -> Option<Pid> {
+        let pid = self.queue.pop_front()?;
+        self.member[pid.idx()] = false;
+        Some(pid)
+    }
+
+    /// Removes a specific pid; `false` if absent.
+    pub fn remove(&mut self, pid: Pid) -> bool {
+        if !self.member.get(pid.idx()).copied().unwrap_or(false) {
+            return false;
+        }
+        let pos = self
+            .queue
+            .iter()
+            .position(|&p| p == pid)
+            .expect("membership bit implies presence");
+        self.queue.remove(pos);
+        self.member[pid.idx()] = false;
+        true
+    }
+
+    /// Whether `pid` is queued.
+    pub fn contains(&self, pid: Pid) -> bool {
+        self.member.get(pid.idx()).copied().unwrap_or(false)
+    }
+
+    /// Number of queued pids.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Iterates queued pids in FIFO order.
+    pub fn iter(&self) -> impl Iterator<Item = Pid> + '_ {
+        self.queue.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_discipline() {
+        let mut q = FifoRunQueue::new();
+        q.init(4);
+        q.push(Pid(2));
+        q.push(Pid(0));
+        q.push(Pid(3));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(Pid(2)));
+        assert_eq!(q.pop(), Some(Pid(0)));
+        assert_eq!(q.pop(), Some(Pid(3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn targeted_removal() {
+        let mut q = FifoRunQueue::new();
+        q.init(4);
+        q.push(Pid(0));
+        q.push(Pid(1));
+        q.push(Pid(2));
+        assert!(q.remove(Pid(1)));
+        assert!(!q.remove(Pid(1)), "already removed");
+        assert!(!q.contains(Pid(1)));
+        assert_eq!(q.pop(), Some(Pid(0)));
+        assert_eq!(q.pop(), Some(Pid(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "enqueued twice")]
+    fn double_insert_panics() {
+        let mut q = FifoRunQueue::new();
+        q.init(2);
+        q.push(Pid(1));
+        q.push(Pid(1));
+    }
+
+    #[test]
+    fn reinsert_after_pop_ok() {
+        let mut q = FifoRunQueue::new();
+        q.init(2);
+        q.push(Pid(1));
+        assert_eq!(q.pop(), Some(Pid(1)));
+        q.push(Pid(1));
+        assert!(q.contains(Pid(1)));
+    }
+}

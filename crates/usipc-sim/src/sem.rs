@@ -1,0 +1,171 @@
+//! Kernel counting semaphores (System V style).
+//!
+//! The BSW family of protocols sleeps and wakes through counting semaphores
+//! (§3: "One way to ensure the condition remains pending is to implement the
+//! sleep and wake-up using counting semaphores"). The count may exceed the
+//! number of waiters — that pending credit is precisely what closes the
+//! "wake-up before sleep" race (Execution Interleaving 1 of Fig. 4) — and,
+//! as the authors discovered the hard way, it can also overflow if wake-ups
+//! accumulate unchecked, so overflow here is detected and reported rather
+//! than wrapped.
+
+use crate::syscall::Pid;
+use std::collections::VecDeque;
+
+/// A kernel counting semaphore: a credit count plus a FIFO of blocked pids.
+#[derive(Debug)]
+pub struct Semaphore {
+    count: u32,
+    limit: u32,
+    waiters: VecDeque<Pid>,
+    /// Historical high-water mark of the count (the overflow diagnostics in
+    /// the `stats` experiment read this).
+    max_count: u32,
+}
+
+/// Result of a `P` (down) operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DownResult {
+    /// A credit was consumed; the caller proceeds.
+    Acquired,
+    /// No credit; the caller was queued and must block.
+    MustBlock,
+}
+
+impl Semaphore {
+    /// SysV `SEMVMX`, the traditional semaphore value limit.
+    pub const DEFAULT_LIMIT: u32 = 32_767;
+
+    /// Creates a semaphore with an initial credit count.
+    pub fn new(initial: u32) -> Self {
+        Semaphore {
+            count: initial,
+            limit: Self::DEFAULT_LIMIT,
+            waiters: VecDeque::new(),
+            max_count: initial,
+        }
+    }
+
+    /// Creates a semaphore with an explicit overflow limit (tests use small
+    /// limits to provoke the overflow the authors hit).
+    pub fn with_limit(initial: u32, limit: u32) -> Self {
+        Semaphore {
+            count: initial,
+            limit,
+            waiters: VecDeque::new(),
+            max_count: initial,
+        }
+    }
+
+    /// `P`: consume a credit or queue the caller.
+    pub fn down(&mut self, pid: Pid) -> DownResult {
+        if self.count > 0 {
+            self.count -= 1;
+            DownResult::Acquired
+        } else {
+            self.waiters.push_back(pid);
+            DownResult::MustBlock
+        }
+    }
+
+    /// `V`: wake the oldest waiter, or bank a credit.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(limit)` on counter overflow — the failure mode of §3's
+    /// Execution Interleaving 2 ("this happened in our first version of the
+    /// algorithm!").
+    pub fn up(&mut self) -> Result<Option<Pid>, u32> {
+        if let Some(pid) = self.waiters.pop_front() {
+            Ok(Some(pid))
+        } else {
+            if self.count >= self.limit {
+                return Err(self.limit);
+            }
+            self.count += 1;
+            self.max_count = self.max_count.max(self.count);
+            Ok(None)
+        }
+    }
+
+    /// Current credit count.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Number of blocked processes.
+    pub fn waiting(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// Historical high-water mark of the credit count.
+    pub fn max_count(&self) -> u32 {
+        self.max_count
+    }
+
+    /// Removes a specific pid from the wait queue (used if a blocked task is
+    /// torn down); returns whether it was queued.
+    pub fn cancel(&mut self, pid: Pid) -> bool {
+        if let Some(pos) = self.waiters.iter().position(|&p| p == pid) {
+            self.waiters.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn down_with_credit_acquires() {
+        let mut s = Semaphore::new(2);
+        assert_eq!(s.down(Pid(0)), DownResult::Acquired);
+        assert_eq!(s.down(Pid(0)), DownResult::Acquired);
+        assert_eq!(s.down(Pid(0)), DownResult::MustBlock);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.waiting(), 1);
+    }
+
+    #[test]
+    fn up_wakes_fifo() {
+        let mut s = Semaphore::new(0);
+        s.down(Pid(1));
+        s.down(Pid(2));
+        assert_eq!(s.up().unwrap(), Some(Pid(1)));
+        assert_eq!(s.up().unwrap(), Some(Pid(2)));
+        assert_eq!(s.up().unwrap(), None);
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn pending_credit_prevents_lost_wakeup() {
+        // Wake-up before sleep (Fig. 4, interleaving 1): the V arrives while
+        // no one waits; the later P must not block.
+        let mut s = Semaphore::new(0);
+        assert_eq!(s.up().unwrap(), None);
+        assert_eq!(s.down(Pid(0)), DownResult::Acquired);
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        let mut s = Semaphore::with_limit(0, 3);
+        for _ in 0..3 {
+            assert!(s.up().is_ok());
+        }
+        assert_eq!(s.up(), Err(3));
+        assert_eq!(s.max_count(), 3);
+    }
+
+    #[test]
+    fn cancel_removes_waiter() {
+        let mut s = Semaphore::new(0);
+        s.down(Pid(1));
+        s.down(Pid(2));
+        assert!(s.cancel(Pid(1)));
+        assert!(!s.cancel(Pid(1)));
+        assert_eq!(s.up().unwrap(), Some(Pid(2)));
+    }
+}

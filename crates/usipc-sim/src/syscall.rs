@@ -1,0 +1,281 @@
+//! The simulated system-call interface: identifiers, request/response
+//! types, and the [`Sys`] handle a simulated process uses to talk to the
+//! kernel.
+//!
+//! A simulated process is ordinary Rust code running on a dedicated host
+//! thread. Every interaction with virtual time or kernel services goes
+//! through [`Sys`], which hands a request to the engine and blocks the host
+//! thread until the engine has advanced virtual time to the operation's
+//! completion. Between `Sys` calls the process may touch shared host memory
+//! freely; those accesses are linearized at the virtual instant of the
+//! preceding call's completion (see DESIGN.md §4).
+
+use crate::time::{VDur, VTime};
+use std::sync::mpsc;
+
+/// Process identifier (dense, assigned in spawn order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub u32);
+
+impl Pid {
+    /// Index into per-task tables.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for Pid {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// Counting-semaphore identifier (created via the builder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SemId(pub u32);
+
+/// Kernel message-queue identifier (created via the builder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MsqId(pub u32);
+
+/// Kernel barrier identifier (created via the builder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BarrierId(pub u32);
+
+/// A kernel-mediated message: four 64-bit words, enough for the paper's
+/// 24-byte request (opcode, reply channel, f64 argument) plus a type tag.
+pub type KMsg = [u64; 4];
+
+/// Target of the proposed `handoff` system call (paper §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Handoff {
+    /// `pid = some_pid`: hint that the named process should run next.
+    To(Pid),
+    /// `pid = PID_SELF`: same semantics as `yield`.
+    SelfPid,
+    /// `pid = PID_ANY`: let the highest-priority ready process run, *even if
+    /// it has lower priority than the caller*.
+    Any,
+}
+
+/// A request from a simulated process to the kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Consume `0:` of CPU (user-level computation); sliced by the quantum.
+    Work(VDur),
+    /// `sched_yield()`.
+    Yield,
+    /// Semaphore down (`P`): may block.
+    SemP(SemId),
+    /// Semaphore up (`V`): never blocks.
+    SemV(SemId),
+    /// Kernel `msgsnd`: may block when the queue is full.
+    MsgSnd(MsqId, KMsg),
+    /// Kernel `msgrcv`: blocks when the queue is empty.
+    MsgRcv(MsqId),
+    /// Sleep for at least the given span (`sleep(1)` on queue-full).
+    Sleep(VDur),
+    /// The proposed hand-off scheduling call.
+    Handoff(Handoff),
+    /// Barrier arrival: blocks until all parties have arrived.
+    Barrier(BarrierId),
+    /// Read the virtual clock (no cost, engine-internal).
+    Now,
+    /// Read this process's resource usage (`getrusage`-style; no cost).
+    Rusage,
+    /// Record an instrumentation mark in the report (no cost).
+    Mark(u64),
+    /// Process termination (sent automatically when the body returns).
+    Exit,
+    /// Process panicked (sent by the wrapper; aborts the simulation).
+    Panicked(String),
+}
+
+/// Scheduling statistics for one simulated process, in the spirit of the
+/// `getrusage` analysis of §2.2.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TaskStats {
+    /// Voluntary context switches (yield-switches, blocks, sleeps).
+    pub vcsw: u64,
+    /// Involuntary context switches (quantum preemptions).
+    pub icsw: u64,
+    /// `yield` calls.
+    pub yields: u64,
+    /// `yield` calls that returned to the caller without switching.
+    pub yield_noswitch: u64,
+    /// Semaphore `P` calls.
+    pub sem_p: u64,
+    /// Semaphore `V` calls.
+    pub sem_v: u64,
+    /// `P` calls that actually blocked.
+    pub blocks: u64,
+    /// Kernel message-queue operations.
+    pub msg_ops: u64,
+    /// `handoff` calls.
+    pub handoffs: u64,
+    /// Total system calls.
+    pub syscalls: u64,
+    /// CPU time consumed (work + kernel op time).
+    pub cpu_time: VDur,
+    /// Virtual time at which the process exited (0 if still live).
+    pub exited_at: VTime,
+}
+
+/// Value delivered to a process when one of its requests completes.
+#[derive(Debug, Clone)]
+pub enum ResumeValue {
+    /// Plain completion.
+    Unit,
+    /// `msgrcv` payload.
+    Msg(KMsg),
+    /// `now()` reading.
+    Time(VTime),
+    /// `rusage()` snapshot.
+    Usage(Box<TaskStats>),
+}
+
+/// The system-call handle given to each simulated process body.
+///
+/// Methods block the calling host thread until the simulated operation
+/// completes in virtual time. The handle is deliberately not `Clone`: one
+/// process, one kernel entry path.
+pub struct Sys {
+    pid: Pid,
+    to_engine: mpsc::Sender<(Pid, Request)>,
+    from_engine: mpsc::Receiver<ResumeValue>,
+}
+
+impl Sys {
+    pub(crate) fn new(
+        pid: Pid,
+        to_engine: mpsc::Sender<(Pid, Request)>,
+        from_engine: mpsc::Receiver<ResumeValue>,
+    ) -> Self {
+        Sys {
+            pid,
+            to_engine,
+            from_engine,
+        }
+    }
+
+    /// This process's pid.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn call(&self, req: Request) -> ResumeValue {
+        // A send/recv failure means the engine is gone (e.g. another task
+        // panicked and the simulation was torn down); unwinding this thread
+        // is the correct response and is absorbed by the task wrapper.
+        self.to_engine
+            .send((self.pid, req))
+            .expect("simulation engine terminated");
+        self.from_engine
+            .recv()
+            .expect("simulation engine terminated")
+    }
+
+    pub(crate) fn wait_first_dispatch(&self) {
+        self.from_engine
+            .recv()
+            .expect("simulation engine terminated");
+    }
+
+    pub(crate) fn send_final(&self, req: Request) {
+        // Best-effort: the engine may already be gone on abnormal shutdown.
+        let _ = self.to_engine.send((self.pid, req));
+    }
+
+    /// Consume `d` of CPU time (sliced by the scheduling quantum).
+    pub fn work(&self, d: VDur) {
+        self.call(Request::Work(d));
+    }
+
+    /// Charge CPU time, then run `f` — the memory effects of `f` are
+    /// linearized at the virtual instant the charge completes. This is the
+    /// primitive protocol code uses around queue operations.
+    pub fn charged<R>(&self, d: VDur, f: impl FnOnce() -> R) -> R {
+        self.work(d);
+        f()
+    }
+
+    /// `sched_yield()`.
+    pub fn yield_now(&self) {
+        self.call(Request::Yield);
+    }
+
+    /// Semaphore down (may block in virtual time).
+    pub fn sem_p(&self, s: SemId) {
+        self.call(Request::SemP(s));
+    }
+
+    /// Semaphore up.
+    pub fn sem_v(&self, s: SemId) {
+        self.call(Request::SemV(s));
+    }
+
+    /// Kernel message send (blocks in virtual time while the queue is full).
+    pub fn msgsnd(&self, q: MsqId, m: KMsg) {
+        self.call(Request::MsgSnd(q, m));
+    }
+
+    /// Kernel message receive (blocks in virtual time while empty).
+    pub fn msgrcv(&self, q: MsqId) -> KMsg {
+        match self.call(Request::MsgRcv(q)) {
+            ResumeValue::Msg(m) => m,
+            other => unreachable!("msgrcv resumed with {other:?}"),
+        }
+    }
+
+    /// Sleep for at least `d`.
+    pub fn sleep(&self, d: VDur) {
+        self.call(Request::Sleep(d));
+    }
+
+    /// The proposed `handoff` system call (paper §6).
+    pub fn handoff(&self, target: Handoff) {
+        self.call(Request::Handoff(target));
+    }
+
+    /// Wait at a barrier until all parties arrive.
+    pub fn barrier(&self, b: BarrierId) {
+        self.call(Request::Barrier(b));
+    }
+
+    /// Current virtual time (free: instrumentation, not a modeled syscall).
+    pub fn now(&self) -> VTime {
+        match self.call(Request::Now) {
+            ResumeValue::Time(t) => t,
+            other => unreachable!("now resumed with {other:?}"),
+        }
+    }
+
+    /// This process's scheduling statistics so far (free: instrumentation).
+    pub fn rusage(&self) -> TaskStats {
+        match self.call(Request::Rusage) {
+            ResumeValue::Usage(u) => *u,
+            other => unreachable!("rusage resumed with {other:?}"),
+        }
+    }
+
+    /// Record an instrumentation mark `(time, pid, code)` in the report.
+    pub fn mark(&self, code: u64) {
+        self.call(Request::Mark(code));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pid_display_and_index() {
+        assert_eq!(Pid(3).idx(), 3);
+        assert_eq!(format!("{}", Pid(3)), "pid3");
+    }
+
+    #[test]
+    fn kmsg_is_32_bytes() {
+        assert_eq!(core::mem::size_of::<KMsg>(), 32);
+    }
+}

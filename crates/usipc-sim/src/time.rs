@@ -1,0 +1,160 @@
+//! Virtual time for the simulator: nanosecond-resolution instants and
+//! durations, constructed in the microseconds the paper reports in.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time (nanoseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VTime(pub u64);
+
+/// A span of virtual time (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VDur(pub u64);
+
+impl VTime {
+    /// Simulation start.
+    pub const ZERO: VTime = VTime(0);
+
+    /// Nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since simulation start (floating point).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Milliseconds since simulation start (floating point).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Elapsed span since `earlier` (saturating).
+    pub fn since(self, earlier: VTime) -> VDur {
+        VDur(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl VDur {
+    /// The empty span.
+    pub const ZERO: VDur = VDur(0);
+
+    /// A span of `us` microseconds.
+    pub const fn micros(us: u64) -> VDur {
+        VDur(us * 1_000)
+    }
+
+    /// A span of `ns` nanoseconds.
+    pub const fn nanos(ns: u64) -> VDur {
+        VDur(ns)
+    }
+
+    /// A span of `ms` milliseconds.
+    pub const fn millis(ms: u64) -> VDur {
+        VDur(ms * 1_000_000)
+    }
+
+    /// A span of `s` seconds (the paper's `sleep(1)` back-off).
+    pub const fn seconds(s: u64) -> VDur {
+        VDur(s * 1_000_000_000)
+    }
+
+    /// A span of fractional microseconds (e.g. the 1.5 µs queue op).
+    pub fn micros_f64(us: f64) -> VDur {
+        assert!(us >= 0.0 && us.is_finite(), "invalid duration {us}");
+        VDur((us * 1_000.0).round() as u64)
+    }
+
+    /// Nanoseconds in this span.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds in this span (floating point).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Whether the span is empty.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: VDur) -> VDur {
+        VDur(self.0.saturating_sub(other.0))
+    }
+
+    /// Integer scaling.
+    pub const fn times(self, k: u64) -> VDur {
+        VDur(self.0 * k)
+    }
+}
+
+impl Add<VDur> for VTime {
+    type Output = VTime;
+    fn add(self, d: VDur) -> VTime {
+        VTime(self.0 + d.0)
+    }
+}
+
+impl Sub<VTime> for VTime {
+    type Output = VDur;
+    fn sub(self, other: VTime) -> VDur {
+        VDur(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for VDur {
+    type Output = VDur;
+    fn add(self, d: VDur) -> VDur {
+        VDur(self.0 + d.0)
+    }
+}
+
+impl AddAssign for VDur {
+    fn add_assign(&mut self, d: VDur) {
+        self.0 += d.0;
+    }
+}
+
+impl fmt::Display for VTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}µs", self.as_micros_f64())
+    }
+}
+
+impl fmt::Display for VDur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}µs", self.as_micros_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = VTime::ZERO + VDur::micros(5);
+        assert_eq!(t.as_nanos(), 5_000);
+        assert_eq!((t + VDur::nanos(500)).as_micros_f64(), 5.5);
+        assert_eq!(t.since(VTime::ZERO), VDur::micros(5));
+        assert_eq!(VTime::ZERO.since(t), VDur::ZERO, "saturates");
+    }
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(VDur::micros(1500), VDur::millis(1) + VDur::micros(500));
+        assert_eq!(VDur::seconds(1), VDur::millis(1000));
+        assert_eq!(VDur::micros_f64(1.5), VDur::nanos(1500));
+    }
+
+    #[test]
+    fn scaling_and_saturation() {
+        assert_eq!(VDur::micros(3).times(4), VDur::micros(12));
+        assert_eq!(VDur::micros(3).saturating_sub(VDur::micros(5)), VDur::ZERO);
+    }
+}

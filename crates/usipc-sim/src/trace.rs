@@ -1,0 +1,153 @@
+//! Execution tracing: a timeline of scheduling events.
+//!
+//! The paper explains its protocols and races with *execution interleaving
+//! time-lines* (Fig. 4). With tracing enabled
+//! ([`SimBuilder::trace`](crate::SimBuilder::trace)) the engine records one
+//! [`TraceEvent`] per scheduling action, which the `interleaving` example
+//! renders as exactly such a chart, and which tests use to assert ordering
+//! properties that counters cannot express.
+
+use crate::syscall::{Pid, Request};
+use crate::time::VTime;
+
+/// What happened at one instant of the timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceWhat {
+    /// The task was dispatched onto the given CPU.
+    Dispatched {
+        /// CPU index.
+        cpu: usize,
+    },
+    /// The task began a priced kernel/work operation.
+    OpStart {
+        /// A compact rendering of the request.
+        op: String,
+    },
+    /// The operation completed (semantic effects applied at this instant).
+    OpDone {
+        /// A compact rendering of the request.
+        op: String,
+    },
+    /// The task left the CPU and was requeued as ready.
+    Preempted,
+    /// The task yielded and the policy switched away from it.
+    YieldSwitch,
+    /// The task yielded and the policy let it continue.
+    YieldContinue,
+    /// The task blocked (semaphore, queue, barrier, or sleep).
+    Blocked,
+    /// The task was made runnable again.
+    Woken,
+    /// The task exited.
+    Exited,
+}
+
+/// One timeline record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub at: VTime,
+    /// Task involved.
+    pub pid: Pid,
+    /// What happened.
+    pub what: TraceWhat,
+}
+
+/// Compact rendering of a request for trace records.
+pub(crate) fn render_request(r: &Request) -> String {
+    match r {
+        Request::Work(d) => format!("work({d})"),
+        Request::Yield => "yield".into(),
+        Request::SemP(s) => format!("P(sem{})", s.0),
+        Request::SemV(s) => format!("V(sem{})", s.0),
+        Request::MsgSnd(q, _) => format!("msgsnd(q{})", q.0),
+        Request::MsgRcv(q) => format!("msgrcv(q{})", q.0),
+        Request::Sleep(d) => format!("sleep({d})"),
+        Request::Handoff(h) => format!("handoff({h:?})"),
+        Request::Barrier(b) => format!("barrier({})", b.0),
+        other => format!("{other:?}"),
+    }
+}
+
+/// Renders a trace as a per-task column chart in the spirit of the paper's
+/// Fig. 4 interleaving diagrams. `names` maps pid → display name.
+pub fn render_interleaving(events: &[TraceEvent], names: &[String], width: usize) -> String {
+    use std::fmt::Write as _;
+    let cols = names.len();
+    let mut out = String::new();
+    let _ = write!(out, "{:>12} ", "time(µs)");
+    for n in names {
+        let _ = write!(out, "| {:<w$} ", n, w = width);
+    }
+    let _ = writeln!(out);
+    let total = 13 + cols * (width + 3);
+    let _ = writeln!(out, "{}", "-".repeat(total));
+    for e in events {
+        let label = match &e.what {
+            TraceWhat::Dispatched { cpu } => format!("▶ on cpu{cpu}"),
+            TraceWhat::OpStart { op } => format!("{op} …"),
+            TraceWhat::OpDone { op } => format!("{op} ✓"),
+            TraceWhat::Preempted => "⏸ preempted".into(),
+            TraceWhat::YieldSwitch => "yield → switch".into(),
+            TraceWhat::YieldContinue => "yield → continue".into(),
+            TraceWhat::Blocked => "⏳ blocked".into(),
+            TraceWhat::Woken => "⏰ woken".into(),
+            TraceWhat::Exited => "■ exit".into(),
+        };
+        let _ = write!(out, "{:>12.2} ", e.at.as_micros_f64());
+        for c in 0..cols {
+            if c == e.pid.idx() {
+                let mut l = label.clone();
+                if l.chars().count() > width {
+                    l = l.chars().take(width).collect();
+                }
+                let _ = write!(out, "| {:<w$} ", l, w = width);
+            } else {
+                let _ = write!(out, "| {:<w$} ", "", w = width);
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syscall::SemId;
+
+    #[test]
+    fn request_rendering_is_compact() {
+        assert_eq!(render_request(&Request::Yield), "yield");
+        assert_eq!(render_request(&Request::SemP(SemId(3))), "P(sem3)");
+        assert_eq!(
+            render_request(&Request::MsgRcv(crate::syscall::MsqId(1))),
+            "msgrcv(q1)"
+        );
+    }
+
+    #[test]
+    fn interleaving_chart_has_one_column_per_task() {
+        let events = vec![
+            TraceEvent {
+                at: VTime(1_000),
+                pid: Pid(0),
+                what: TraceWhat::Dispatched { cpu: 0 },
+            },
+            TraceEvent {
+                at: VTime(2_500),
+                pid: Pid(1),
+                what: TraceWhat::Blocked,
+            },
+        ];
+        let s = render_interleaving(&events, &["alice".into(), "bob".into()], 18);
+        assert!(s.contains("alice"));
+        assert!(s.contains("bob"));
+        assert!(s.contains("▶ on cpu0"));
+        assert!(s.contains("⏳ blocked"));
+        // Row alignment: the blocked event sits in the second column.
+        let row = s.lines().last().unwrap();
+        let first_col = row.find("⏳").unwrap();
+        assert!(first_col > 30, "bob's event is in bob's column: {row}");
+    }
+}

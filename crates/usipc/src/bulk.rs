@@ -1,0 +1,258 @@
+//! Variable-sized message payloads in shared memory.
+//!
+//! §2.1: "The interface uses fixed sized messages to permit efficient
+//! free-pool management. Variable sized messages can be accommodated by
+//! using one of the fields of the fixed sized message to point to a
+//! variable sized component in shared memory." [`BulkPool`] is that
+//! component: a pool of fixed-size blocks chained into variable-length
+//! payloads, whose head offset travels in [`Message::aux`](crate::Message).
+//!
+//! Ownership transfers with the message: the sender writes and publishes
+//! the handle through the queue (whose release/acquire edge orders the
+//! relaxed block writes); the receiver reads and frees. Block chaining
+//! reuses the same pattern as the queue nodes: an intrusive next-offset
+//! plus a length word per block.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+use usipc_shm::{PoolSlot, ShmArena, ShmError, ShmPtr, ShmSafe, SlotPool, NULL_OFFSET};
+
+/// Payload bytes per block (one cache line of data plus a header word).
+pub const BLOCK_PAYLOAD: usize = 64;
+
+const WORDS: usize = BLOCK_PAYLOAD / 8;
+
+/// One bulk block: link/length header plus payload words.
+#[repr(C)]
+#[derive(Debug)]
+pub struct BulkBlock {
+    /// Low 32 bits: next block offset (or null); high 32 bits: bytes used
+    /// in *this* block.
+    header: AtomicU64,
+    data: [AtomicU64; WORDS],
+}
+
+unsafe impl ShmSafe for BulkBlock {}
+
+impl BulkBlock {
+    fn empty() -> Self {
+        BulkBlock {
+            header: AtomicU64::new(0),
+            data: [const { AtomicU64::new(0) }; WORDS],
+        }
+    }
+}
+
+/// Handle to a pool of bulk blocks (plain offsets, `Copy`).
+#[derive(Debug)]
+pub struct BulkPool {
+    pool: SlotPool<BulkBlock>,
+}
+
+impl Clone for BulkPool {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl Copy for BulkPool {}
+unsafe impl ShmSafe for BulkPool {}
+
+/// A position-independent handle to a stored payload, small enough for the
+/// message's spare word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BulkHandle(pub u64);
+
+impl BulkHandle {
+    /// The empty payload.
+    pub const EMPTY: BulkHandle = BulkHandle(0);
+
+    fn new(off: u32, total_len: u32) -> Self {
+        BulkHandle(((total_len as u64) << 32) | off as u64)
+    }
+
+    fn off(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// Total payload length in bytes.
+    pub fn len(self) -> usize {
+        (self.0 >> 32) as usize
+    }
+
+    /// Whether this is the empty payload.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl BulkPool {
+    /// Creates a pool of `blocks` blocks in the arena.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arena exhaustion.
+    pub fn create(arena: &ShmArena, blocks: usize) -> Result<Self, ShmError> {
+        Ok(BulkPool {
+            pool: SlotPool::create(arena, blocks, |_| BulkBlock::empty())?,
+        })
+    }
+
+    /// Stores `bytes`, returning a handle to pass in a message's spare
+    /// word, or `None` if the pool cannot hold it right now (back-pressure,
+    /// like a full queue).
+    pub fn write(&self, arena: &ShmArena, bytes: &[u8]) -> Option<BulkHandle> {
+        if bytes.is_empty() {
+            return Some(BulkHandle::EMPTY);
+        }
+        assert!(bytes.len() < u32::MAX as usize, "payload too large");
+        let mut chunks = bytes.chunks(BLOCK_PAYLOAD);
+        let mut acquired: Vec<ShmPtr<PoolSlot<BulkBlock>>> = Vec::new();
+        let needed = bytes.len().div_ceil(BLOCK_PAYLOAD);
+        for _ in 0..needed {
+            match self.pool.alloc(arena) {
+                Some(b) => acquired.push(b),
+                None => {
+                    // Not enough blocks: release what we took.
+                    for b in acquired {
+                        self.pool.free(arena, b);
+                    }
+                    return None;
+                }
+            }
+        }
+        for (i, block_ptr) in acquired.iter().enumerate() {
+            let chunk = chunks.next().expect("block per chunk");
+            let block = arena.get(*block_ptr).value();
+            // Pack the chunk into words.
+            for (w, word_bytes) in chunk.chunks(8).enumerate() {
+                let mut buf = [0u8; 8];
+                buf[..word_bytes.len()].copy_from_slice(word_bytes);
+                block.data[w].store(u64::from_le_bytes(buf), Ordering::Relaxed);
+            }
+            let next = acquired
+                .get(i + 1)
+                .map(|p| p.raw())
+                .unwrap_or(NULL_OFFSET);
+            block
+                .header
+                .store(((chunk.len() as u64) << 32) | next as u64, Ordering::Relaxed);
+        }
+        Some(BulkHandle::new(acquired[0].raw(), bytes.len() as u32))
+    }
+
+    /// Reads the payload behind `h` without freeing it.
+    pub fn read(&self, arena: &ShmArena, h: BulkHandle) -> Vec<u8> {
+        let mut out = Vec::with_capacity(h.len());
+        let mut off = h.off();
+        while off != NULL_OFFSET {
+            let ptr: ShmPtr<PoolSlot<BulkBlock>> = ShmPtr::from_raw(off);
+            let block = arena.get(ptr).value();
+            let header = block.header.load(Ordering::Relaxed);
+            let used = (header >> 32) as usize;
+            for w in 0..used.div_ceil(8) {
+                let word = block.data[w].load(Ordering::Relaxed).to_le_bytes();
+                let take = (used - w * 8).min(8);
+                out.extend_from_slice(&word[..take]);
+            }
+            off = header as u32;
+        }
+        debug_assert_eq!(out.len(), h.len(), "chain length vs handle length");
+        out
+    }
+
+    /// Returns the payload's blocks to the pool.
+    pub fn free(&self, arena: &ShmArena, h: BulkHandle) {
+        let mut off = h.off();
+        while off != NULL_OFFSET {
+            let ptr: ShmPtr<PoolSlot<BulkBlock>> = ShmPtr::from_raw(off);
+            let next = (arena.get(ptr).value().header.load(Ordering::Relaxed)) as u32;
+            self.pool.free(arena, ptr);
+            off = next;
+        }
+    }
+
+    /// Convenience: read then free (the receiver's usual move).
+    pub fn take(&self, arena: &ShmArena, h: BulkHandle) -> Vec<u8> {
+        let bytes = self.read(arena, h);
+        self.free(arena, h);
+        bytes
+    }
+
+    /// Blocks currently checked out.
+    pub fn in_use(&self, arena: &ShmArena) -> usize {
+        self.pool.in_use(arena)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(blocks: usize) -> (ShmArena, BulkPool) {
+        let arena = ShmArena::new(1 << 20).unwrap();
+        let p = BulkPool::create(&arena, blocks).unwrap();
+        (arena, p)
+    }
+
+    #[test]
+    fn roundtrip_small() {
+        let (a, p) = pool(8);
+        let h = p.write(&a, b"hello ipc").unwrap();
+        assert_eq!(h.len(), 9);
+        assert_eq!(p.read(&a, h), b"hello ipc");
+        p.free(&a, h);
+        assert_eq!(p.in_use(&a), 0);
+    }
+
+    #[test]
+    fn roundtrip_multi_block_and_odd_sizes() {
+        let (a, p) = pool(64);
+        for n in [
+            0usize,
+            1,
+            7,
+            8,
+            BLOCK_PAYLOAD - 1,
+            BLOCK_PAYLOAD,
+            BLOCK_PAYLOAD + 1,
+            5 * BLOCK_PAYLOAD + 3,
+        ] {
+            let data: Vec<u8> = (0..n).map(|i| (i * 31 % 251) as u8).collect();
+            let h = p.write(&a, &data).unwrap();
+            assert_eq!(h.len(), n);
+            assert_eq!(p.take(&a, h), data, "size {n}");
+            assert_eq!(p.in_use(&a), 0, "size {n} leaked blocks");
+        }
+    }
+
+    #[test]
+    fn empty_payload_costs_nothing() {
+        let (a, p) = pool(2);
+        let h = p.write(&a, b"").unwrap();
+        assert!(h.is_empty());
+        assert_eq!(p.read(&a, h), Vec::<u8>::new());
+        p.free(&a, h);
+        assert_eq!(p.in_use(&a), 0);
+    }
+
+    #[test]
+    fn exhaustion_rolls_back_cleanly() {
+        let (a, p) = pool(3);
+        let big = vec![7u8; 4 * BLOCK_PAYLOAD]; // needs 4 > 3 blocks
+        assert!(p.write(&a, &big).is_none());
+        assert_eq!(p.in_use(&a), 0, "partial acquisition rolled back");
+        // Pool still fully usable.
+        let ok = vec![1u8; 3 * BLOCK_PAYLOAD];
+        let h = p.write(&a, &ok).unwrap();
+        assert_eq!(p.take(&a, h), ok);
+    }
+
+    #[test]
+    fn handles_are_reusable_after_free() {
+        let (a, p) = pool(2);
+        for round in 0..100u8 {
+            let data = vec![round; BLOCK_PAYLOAD * 2];
+            let h = p.write(&a, &data).unwrap();
+            assert_eq!(p.take(&a, h), data);
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! The shared-memory channel: server receive queue, per-client reply
+//! queues, message pool, and the `awake` flags of the sleep/wake-up
+//! protocols.
+//!
+//! §2.1: "The implementation ... uses two queues: a receive queue at the
+//! server for incoming messages, and a reply queue for responses back to
+//! the client. If multiple clients want to connect to the server, the
+//! single receive queue is still adequate but a reply queue per client is
+//! required. In this case, each client request should include the number of
+//! the reply queue to be used for the response." That is exactly the layout
+//! of [`ChannelRoot`].
+
+use crate::msg::{Message, MsgSlot};
+use crate::platform::{client_sem, server_sem, Cost, OsServices};
+use crate::protocol::WaitStrategy;
+use core::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use usipc_queue::ShmQueue;
+use usipc_shm::{ShmArena, ShmError, ShmPtr, ShmSafe, ShmSlice, SlotPool};
+
+/// A FIFO queue plus the sleep/wake-up state of its single consumer: the
+/// `awake` flag the protocols test-and-set. The counting semaphore the
+/// consumer sleeps on is kernel state, named by the position-derived
+/// convention of [`platform`](crate::platform) rather than stored here.
+#[repr(C)]
+#[derive(Debug)]
+pub struct WaitableQueue {
+    queue: ShmQueue,
+    awake: AtomicU32,
+}
+
+unsafe impl ShmSafe for WaitableQueue {}
+
+impl WaitableQueue {
+    /// Creates a queue (with its `awake` flag initially set) in `arena`.
+    pub(crate) fn create(
+        arena: &ShmArena,
+        capacity: usize,
+    ) -> Result<Self, ShmError> {
+        Ok(WaitableQueue {
+            queue: ShmQueue::create(arena, capacity)?,
+            awake: AtomicU32::new(1),
+        })
+    }
+}
+
+/// Root structure of one client/server channel, published in the arena so
+/// that every attaching party finds the same queues.
+#[repr(C)]
+#[derive(Debug)]
+pub struct ChannelRoot {
+    /// The server's receive queue.
+    receive: WaitableQueue,
+    /// One reply queue per client.
+    reply: ShmSlice<WaitableQueue>,
+    /// Shared pool of fixed-size message slots.
+    pool: SlotPool<MsgSlot>,
+    n_clients: u32,
+    /// Platform task number of the server (hand-off target), `u32::MAX`
+    /// until the server registers.
+    server_task: AtomicU32,
+}
+
+unsafe impl ShmSafe for ChannelRoot {}
+
+/// Sizing parameters for a channel.
+#[derive(Debug, Clone)]
+pub struct ChannelConfig {
+    /// Number of clients (and hence reply queues).
+    pub n_clients: usize,
+    /// Capacity of each queue (requests outstanding before flow control).
+    pub queue_capacity: usize,
+}
+
+impl ChannelConfig {
+    /// A channel for `n_clients` clients with the default queue depth.
+    pub fn new(n_clients: usize) -> Self {
+        ChannelConfig {
+            n_clients,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// Host-side handle to a channel (owns the arena; clone freely).
+#[derive(Debug, Clone)]
+pub struct Channel {
+    arena: Arc<ShmArena>,
+    root: ShmPtr<ChannelRoot>,
+}
+
+impl Channel {
+    /// Creates the arena and channel structures for `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arena exhaustion (the arena is sized from the config, so
+    /// this only fires for absurd configurations).
+    pub fn create(cfg: &ChannelConfig) -> Result<Channel, ShmError> {
+        assert!(cfg.n_clients >= 1, "channel needs at least one client");
+        assert!(cfg.queue_capacity >= 2, "queues need capacity >= 2");
+        let queues = cfg.n_clients + 1;
+        // Conservative arena sizing: queue nodes + pool slots + headers.
+        let bytes = 64 * 1024
+            + queues * (cfg.queue_capacity + 16) * 96
+            + queues * cfg.queue_capacity * 96;
+        let arena = Arc::new(ShmArena::new(bytes)?);
+
+        // Every in-flight message holds a pool slot; the worst case is all
+        // queues simultaneously full.
+        let pool_slots = queues * cfg.queue_capacity + 8;
+        let pool = SlotPool::create(&arena, pool_slots, |_| MsgSlot::default())?;
+
+        let receive = WaitableQueue::create(&arena, cfg.queue_capacity)?;
+        let reply = arena.alloc_slice(cfg.n_clients, |_| {
+            WaitableQueue::create(&arena, cfg.queue_capacity).expect("arena sized for queues")
+        })?;
+        let root = arena.alloc(ChannelRoot {
+            receive,
+            reply,
+            pool,
+            n_clients: cfg.n_clients as u32,
+            server_task: AtomicU32::new(u32::MAX),
+        })?;
+        arena.publish_root(root);
+        Ok(Channel { arena, root })
+    }
+
+    /// Attaches to a channel previously created in `arena` (the peer's
+    /// bootstrap path: a process that maps the shared segment knows only
+    /// the base address and finds everything else through the published
+    /// root offset).
+    ///
+    /// Returns `None` if no channel root was published in this arena.
+    pub fn attach(arena: Arc<ShmArena>) -> Option<Channel> {
+        let root: ShmPtr<ChannelRoot> = arena.root()?;
+        Some(Channel { arena, root })
+    }
+
+    fn root(&self) -> &ChannelRoot {
+        self.arena.get(self.root)
+    }
+
+    /// The shared arena (for applications that co-locate bulk data).
+    pub fn arena(&self) -> &Arc<ShmArena> {
+        &self.arena
+    }
+
+    /// Number of clients the channel was created for.
+    pub fn n_clients(&self) -> u32 {
+        self.root().n_clients
+    }
+
+    /// Registers the server's platform task number as the hand-off target.
+    pub fn register_server_task(&self, task: u32) {
+        self.root().server_task.store(task, Ordering::Release);
+    }
+
+    /// The server's platform task number (`u32::MAX` if unregistered).
+    pub fn server_task(&self) -> u32 {
+        self.root().server_task.load(Ordering::Acquire)
+    }
+
+    /// View of the server receive queue.
+    ///
+    /// Raw access is public so that applications can build custom protocols
+    /// over the same substrate (one of the paper's §1 motivations for
+    /// user-level IPC); the shipped protocols in [`protocol`](crate::protocol)
+    /// are all written against this interface.
+    pub fn receive_queue(&self) -> QueueRef<'_> {
+        let root = self.root();
+        QueueRef {
+            arena: &self.arena,
+            wq: &root.receive,
+            pool: root.pool,
+            sem: server_sem(),
+        }
+    }
+
+    /// View of client `c`'s reply queue (see [`Self::receive_queue`] on raw
+    /// access).
+    pub fn reply_queue(&self, c: u32) -> QueueRef<'_> {
+        let root = self.root();
+        assert!(c < root.n_clients, "client {c} out of range");
+        QueueRef {
+            arena: &self.arena,
+            wq: self.arena.get(root.reply.at(c as usize)),
+            pool: root.pool,
+            sem: client_sem(c),
+        }
+    }
+
+    /// Builds a client endpoint.
+    pub fn client<'a, O: OsServices>(
+        &'a self,
+        os: &'a O,
+        id: u32,
+        strategy: WaitStrategy,
+    ) -> ClientEndpoint<'a, O> {
+        assert!(id < self.n_clients(), "client id out of range");
+        ClientEndpoint {
+            ch: self,
+            os,
+            id,
+            strategy,
+        }
+    }
+
+    /// Builds the server endpoint.
+    pub fn server<'a, O: OsServices>(
+        &'a self,
+        os: &'a O,
+        strategy: WaitStrategy,
+    ) -> ServerEndpoint<'a, O> {
+        ServerEndpoint {
+            ch: self,
+            os,
+            strategy,
+        }
+    }
+}
+
+/// A resolved view of one waitable queue: the primitive layer the protocol
+/// figures are written in terms of (`enqueue`, `dequeue`, `empty`, `awake`,
+/// `tas`, and the consumer's semaphore).
+pub struct QueueRef<'a> {
+    arena: &'a ShmArena,
+    wq: &'a WaitableQueue,
+    pool: SlotPool<MsgSlot>,
+    sem: u32,
+}
+
+impl<'a> QueueRef<'a> {
+    pub(crate) fn new(
+        arena: &'a ShmArena,
+        wq: &'a WaitableQueue,
+        pool: SlotPool<MsgSlot>,
+        sem: u32,
+    ) -> Self {
+        QueueRef {
+            arena,
+            wq,
+            pool,
+            sem,
+        }
+    }
+}
+
+impl QueueRef<'_> {
+    /// `enqueue(Q, msg)`: `false` means the queue is full (flow control).
+    pub fn try_enqueue<O: OsServices>(&self, os: &O, m: Message) -> bool {
+        os.charge(Cost::QueueOp);
+        let Some(slot) = self.pool.alloc(self.arena) else {
+            return false; // pool pressure equals queue-full for callers
+        };
+        self.arena.get(slot).value().store(m);
+        if self.wq.queue.enqueue(self.arena, slot.raw() as u64) {
+            true
+        } else {
+            self.pool.free(self.arena, slot);
+            false
+        }
+    }
+
+    /// `dequeue(Q, msg)`: `None` means the queue is empty.
+    pub fn try_dequeue<O: OsServices>(&self, os: &O) -> Option<Message> {
+        os.charge(Cost::QueueOp);
+        let off = self.wq.queue.dequeue(self.arena)?;
+        let slot: ShmPtr<usipc_shm::PoolSlot<MsgSlot>> = ShmPtr::from_raw(off as u32);
+        let m = self.arena.get(slot).value().load();
+        self.pool.free(self.arena, slot);
+        Some(m)
+    }
+
+    /// `empty(Q)`: the cheap poll of the BSLS spin loop.
+    pub fn is_empty<O: OsServices>(&self, os: &O) -> bool {
+        os.charge(Cost::Poll);
+        self.wq.queue.is_empty(self.arena)
+    }
+
+    /// `Q->awake = 0` (consumer announcing it may sleep).
+    pub fn clear_awake<O: OsServices>(&self, os: &O) {
+        os.charge(Cost::Tas);
+        self.wq.awake.store(0, Ordering::SeqCst);
+    }
+
+    /// `Q->awake = 1` (plain store after waking).
+    pub fn set_awake<O: OsServices>(&self, os: &O) {
+        os.charge(Cost::Tas);
+        self.wq.awake.store(1, Ordering::SeqCst);
+    }
+
+    /// `tas(&Q->awake)`: sets the flag, returns whether it was already set.
+    pub fn tas_awake<O: OsServices>(&self, os: &O) -> bool {
+        os.charge(Cost::Tas);
+        self.wq.awake.swap(1, Ordering::SeqCst) != 0
+    }
+
+    /// The consumer's semaphore index.
+    pub fn sem(&self) -> u32 {
+        self.sem
+    }
+
+    /// Producer-side wake-up: `if (!tas(&Q->awake)) V(Q->sem)` — only the
+    /// first producer to find the flag clear posts the wake-up (the fix for
+    /// Execution Interleaving 2 of Fig. 4).
+    pub fn wake_consumer<O: OsServices>(&self, os: &O) {
+        if !self.tas_awake(os) {
+            os.sem_v(self.sem);
+        }
+    }
+
+    /// Current queue length (diagnostics; the overload check of the
+    /// throttled server reads this).
+    pub fn queued_len(&self) -> usize {
+        self.wq.queue.len(self.arena)
+    }
+}
+
+/// Client-side endpoint: synchronous `Send` (and the asynchronous
+/// extension via [`AsyncClient`](crate::AsyncClient)).
+pub struct ClientEndpoint<'a, O: OsServices> {
+    ch: &'a Channel,
+    os: &'a O,
+    id: u32,
+    strategy: WaitStrategy,
+}
+
+impl<O: OsServices> ClientEndpoint<'_, O> {
+    /// This client's reply-queue index.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Synchronous `Send`: enqueue the request and wait for the reply under
+    /// the endpoint's wait strategy.
+    pub fn call(&self, mut msg: Message) -> Message {
+        msg.channel = self.id;
+        self.strategy.send(self.ch, self.os, self.id, msg)
+    }
+
+    /// Convenience: ECHO round trip, returning the echoed value.
+    pub fn echo(&self, value: f64) -> f64 {
+        self.call(Message::echo(self.id, value)).value
+    }
+
+    /// Convenience: a request with `opcode` and `value`.
+    pub fn rpc(&self, opcode: u32, value: f64) -> Message {
+        self.call(Message {
+            opcode,
+            channel: self.id,
+            value,
+            aux: 0,
+        })
+    }
+
+    /// Sends the disconnect message and waits for the final reply.
+    pub fn disconnect(&self) {
+        let _ = self.call(Message::disconnect(self.id));
+    }
+}
+
+/// Server-side endpoint: `Receive` and `Reply`.
+pub struct ServerEndpoint<'a, O: OsServices> {
+    ch: &'a Channel,
+    os: &'a O,
+    strategy: WaitStrategy,
+}
+
+impl<O: OsServices> ServerEndpoint<'_, O> {
+    /// Blocking `Receive` under the endpoint's wait strategy.
+    pub fn receive(&self) -> Message {
+        self.strategy.receive(self.ch, self.os)
+    }
+
+    /// `Reply` to client `c`.
+    pub fn reply(&self, c: u32, msg: Message) {
+        self.strategy.reply(self.ch, self.os, c, msg)
+    }
+
+    /// The channel this endpoint serves.
+    pub fn channel(&self) -> &Channel {
+        self.ch
+    }
+
+    /// The OS services handle (for charging request work in handlers).
+    pub fn os(&self) -> &O {
+        self.os
+    }
+}

@@ -1,0 +1,664 @@
+//! Ready-made client/server workloads — the paper's benchmark, runnable on
+//! both backends.
+//!
+//! §2.2 describes the workload every figure uses: *n* clients connect to a
+//! single-threaded echo server, barrier, and then "barrage the server with
+//! many thousands of message requests"; the throughput is messages over the
+//! real elapsed time from the first request to the last disconnect. This
+//! module packages that workload for the simulator
+//! ([`run_sim_experiment`]) and for real threads
+//! ([`run_native_experiment`]).
+
+use crate::channel::{Channel, ChannelConfig};
+use crate::platform::OsServices;
+use crate::protocol::WaitStrategy;
+use crate::simulated::{SimCosts, SimIds, SimOs};
+use crate::sysv::{sysv_disconnect, sysv_echo};
+use crate::{NativeConfig, NativeOs};
+use std::sync::Arc;
+use usipc_sim::{MachineModel, PolicyKind, SimBuilder, SimReport, VDur};
+
+/// Mark code: a client is about to issue its first request.
+pub const MARK_FIRST_SEND: u64 = 1;
+/// Mark code: the server observed the last disconnect.
+pub const MARK_SERVER_DONE: u64 = 2;
+
+/// Which IPC mechanism an experiment exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mechanism {
+    /// User-level IPC under the given wait strategy.
+    UserLevel(WaitStrategy),
+    /// The kernel-mediated System V baseline.
+    SysV,
+    /// BSLS clients against the overload-aware server that throttles
+    /// wake-ups (the paper's §5 future work; see
+    /// [`run_throttled_server`](crate::run_throttled_server)).
+    Throttled {
+        /// Client and server spin budget.
+        max_spin: u32,
+        /// Deferred wake-ups issued per server cycle.
+        wake_batch: usize,
+    },
+}
+
+impl Mechanism {
+    /// Short name for tables and CSV files.
+    pub fn name(self) -> String {
+        match self {
+            Mechanism::UserLevel(s) => s.name(),
+            Mechanism::SysV => "SysV".into(),
+            Mechanism::Throttled { max_spin, .. } => format!("THR({max_spin})"),
+        }
+    }
+}
+
+/// One cell of an experiment grid: machine × policy × mechanism × clients.
+#[derive(Debug, Clone)]
+pub struct SimExperiment {
+    /// Cost model.
+    pub machine: MachineModel,
+    /// Scheduling policy.
+    pub policy: PolicyKind,
+    /// IPC mechanism under test.
+    pub mechanism: Mechanism,
+    /// Number of client processes.
+    pub n_clients: usize,
+    /// Request/reply round trips per client (before the disconnect).
+    pub msgs_per_client: u64,
+    /// Depth of each shared queue.
+    pub queue_capacity: usize,
+    /// Maximum extra per-request service time, drawn deterministically per
+    /// message (hash of client and argument). Zero for the pure echo
+    /// micro-benchmark; nonzero to model real service-time variability —
+    /// which is what gives BSLS its nonzero fall-through rates (§4.2).
+    pub service_jitter: VDur,
+}
+
+impl SimExperiment {
+    /// The paper's standard workload shape on the given machine/policy.
+    pub fn new(machine: MachineModel, policy: PolicyKind, mechanism: Mechanism) -> Self {
+        SimExperiment {
+            machine,
+            policy,
+            mechanism,
+            n_clients: 1,
+            msgs_per_client: 2_000,
+            queue_capacity: 64,
+            service_jitter: VDur::ZERO,
+        }
+    }
+
+    /// Sets the client count.
+    pub fn clients(mut self, n: usize) -> Self {
+        self.n_clients = n;
+        self
+    }
+
+    /// Sets the per-client message count.
+    pub fn messages(mut self, n: u64) -> Self {
+        self.msgs_per_client = n;
+        self
+    }
+
+    /// Sets the maximum per-request service jitter.
+    pub fn jitter(mut self, j: VDur) -> Self {
+        self.service_jitter = j;
+        self
+    }
+}
+
+/// Deterministic per-message jitter in `[0, max)` from a 64-bit mix of the
+/// client id and the request argument.
+pub fn jitter_for(channel: u32, value: f64, max: VDur) -> VDur {
+    if max.is_zero() {
+        return VDur::ZERO;
+    }
+    let mut h = value.to_bits() ^ (channel as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    VDur::nanos(h % max.as_nanos().max(1))
+}
+
+/// Results of one simulated experiment cell.
+#[derive(Debug, Clone)]
+pub struct SimExperimentResult {
+    /// Full simulator report (per-task rusage, marks, outcome).
+    pub report: SimReport,
+    /// First request → last disconnect, the paper's measurement window.
+    pub elapsed: VDur,
+    /// ECHO messages processed (disconnects excluded).
+    pub messages: u64,
+    /// Server throughput in messages per millisecond — the y-axis of every
+    /// throughput figure.
+    pub throughput: f64,
+    /// Mean round-trip latency per message in microseconds.
+    pub latency_us: f64,
+}
+
+/// Runs one experiment cell on the simulator.
+///
+/// Task 0 is the server; tasks `1..=n` are clients. Clients meet at a
+/// kernel barrier before the barrage, mirroring §2.2.
+///
+/// # Panics
+///
+/// If the simulation does not complete (deadlock, overflow, task panic) —
+/// in an experiment harness any such outcome is a protocol bug worth a loud
+/// failure.
+pub fn run_sim_experiment(exp: &SimExperiment) -> SimExperimentResult {
+    let n = exp.n_clients;
+    assert!(n >= 1);
+    let multiprocessor = exp.machine.cpus > 1;
+    let costs = SimCosts::from_machine(&exp.machine);
+    let mut b = SimBuilder::new(exp.machine.clone(), exp.policy.build());
+    // One virtual hour default is plenty; linux-old BSS at 33 ms per round
+    // trip with thousands of messages can exceed it, so scale generously.
+    b.time_limit(VDur::seconds(24 * 3600));
+
+    let mut ids = SimIds::default();
+    for _ in 0..=n {
+        ids.sems.push(b.add_sem(0));
+    }
+    for _ in 0..=n {
+        ids.msgqs.push(b.add_msgq(exp.queue_capacity));
+    }
+    let start_barrier = b.add_barrier(n as u32);
+    let ids = Arc::new(ids);
+
+    let channel = Channel::create(&ChannelConfig {
+        n_clients: n,
+        queue_capacity: exp.queue_capacity,
+    })
+    .expect("channel creation");
+
+    let mechanism = exp.mechanism;
+    let msgs = exp.msgs_per_client;
+    let jitter = exp.service_jitter;
+
+    // Server: task 0 == Pid(0).
+    {
+        let ch = channel.clone();
+        let ids = Arc::clone(&ids);
+        b.spawn("server", move |sys| {
+            let os = SimOs::new(sys, ids, costs, multiprocessor, 0);
+            match mechanism {
+                Mechanism::UserLevel(strategy) => {
+                    let _ = crate::server::run_server(&ch, &os, strategy, |m| {
+                        os.compute(jitter_for(m.channel, m.value, jitter).as_nanos());
+                        m
+                    });
+                }
+                Mechanism::SysV => {
+                    let _ = crate::sysv::run_sysv_server(&os, n as u32, |m| {
+                        os.compute(jitter_for(m.channel, m.value, jitter).as_nanos());
+                        m
+                    });
+                }
+                Mechanism::Throttled {
+                    max_spin,
+                    wake_batch,
+                } => {
+                    // NOTE: the throttled server ignores `jitter` — it is a
+                    // pure-echo ablation of the wake-up path.
+                    let _ = crate::server::run_throttled_server(&ch, &os, max_spin, wake_batch);
+                }
+            }
+            sys.mark(MARK_SERVER_DONE);
+        });
+    }
+
+    for c in 0..n as u32 {
+        let ch = channel.clone();
+        let ids = Arc::clone(&ids);
+        b.spawn(format!("client{c}"), move |sys| {
+            let os = SimOs::new(sys, ids, costs, multiprocessor, 1 + c);
+            sys.barrier(start_barrier);
+            sys.mark(MARK_FIRST_SEND);
+            match mechanism {
+                Mechanism::UserLevel(strategy) => {
+                    let ep = ch.client(&os, c, strategy);
+                    for i in 0..msgs {
+                        let v = ep.echo(i as f64);
+                        assert_eq!(v, i as f64, "echo corrupted");
+                    }
+                    ep.disconnect();
+                }
+                Mechanism::SysV => {
+                    for i in 0..msgs {
+                        let v = sysv_echo(&os, c, i as f64);
+                        assert_eq!(v, i as f64, "sysv echo corrupted");
+                    }
+                    sysv_disconnect(&os, c);
+                }
+                Mechanism::Throttled { max_spin, .. } => {
+                    let ep = ch.client(&os, c, WaitStrategy::Bsls { max_spin });
+                    for i in 0..msgs {
+                        let v = ep.echo(i as f64);
+                        assert_eq!(v, i as f64, "echo corrupted");
+                    }
+                    ep.disconnect();
+                }
+            }
+        });
+    }
+
+    let report = b.run();
+    assert!(
+        report.outcome.is_completed(),
+        "experiment did not complete: {:?} (mechanism {:?}, {} clients)",
+        report.outcome,
+        exp.mechanism,
+        n
+    );
+    let start = report
+        .first_mark(MARK_FIRST_SEND)
+        .expect("clients marked their first send");
+    let done = report
+        .last_mark(MARK_SERVER_DONE)
+        .expect("server marked completion");
+    let elapsed = done.since(start);
+    let messages = msgs * n as u64;
+    let ms = elapsed.as_nanos() as f64 / 1e6;
+    SimExperimentResult {
+        throughput: messages as f64 / ms,
+        latency_us: elapsed.as_micros_f64() / messages.max(1) as f64,
+        elapsed,
+        messages,
+        report,
+    }
+}
+
+/// Runs the §2.1 alternative architecture — a server thread per client
+/// over full-duplex queue pairs — on the simulator, with the same
+/// measurement window as [`run_sim_experiment`].
+///
+/// Task layout: tasks `0..n` are the per-connection server threads, tasks
+/// `n..2n` the clients. Semaphores follow the duplex convention
+/// (`2c` server thread, `2c + 1` client).
+///
+/// # Panics
+///
+/// If the simulation does not complete.
+pub fn run_duplex_sim_experiment(
+    machine: &MachineModel,
+    policy: PolicyKind,
+    n_clients: usize,
+    msgs_per_client: u64,
+    max_spin: u32,
+) -> SimExperimentResult {
+    use crate::duplex::DuplexChannel;
+    let n = n_clients;
+    assert!(n >= 1);
+    let multiprocessor = machine.cpus > 1;
+    let costs = SimCosts::from_machine(machine);
+    let mut b = SimBuilder::new(machine.clone(), policy.build());
+    b.time_limit(VDur::seconds(24 * 3600));
+    let mut ids = SimIds::default();
+    for _ in 0..2 * n {
+        ids.sems.push(b.add_sem(0));
+    }
+    let start_barrier = b.add_barrier(n as u32);
+    let ids = Arc::new(ids);
+    let channel = DuplexChannel::create(n, 64).expect("duplex channel");
+
+    for c in 0..n as u32 {
+        let ch = channel.clone();
+        let ids = Arc::clone(&ids);
+        b.spawn(format!("srv{c}"), move |sys| {
+            let os = SimOs::new(sys, ids, costs, multiprocessor, c);
+            let _ = ch.serve_connection(&os, c, max_spin, |m| m);
+            sys.mark(MARK_SERVER_DONE);
+        });
+    }
+    for c in 0..n as u32 {
+        let ch = channel.clone();
+        let ids = Arc::clone(&ids);
+        b.spawn(format!("client{c}"), move |sys| {
+            let os = SimOs::new(sys, ids, costs, multiprocessor, n as u32 + c);
+            sys.barrier(start_barrier);
+            sys.mark(MARK_FIRST_SEND);
+            for i in 0..msgs_per_client {
+                let v = ch.echo(&os, c, i as f64, max_spin);
+                assert_eq!(v, i as f64, "duplex echo corrupted");
+            }
+            ch.disconnect(&os, c, max_spin);
+        });
+    }
+
+    let report = b.run();
+    assert!(
+        report.outcome.is_completed(),
+        "duplex experiment did not complete: {:?} ({n} clients)",
+        report.outcome
+    );
+    let start = report.first_mark(MARK_FIRST_SEND).expect("first send mark");
+    let done = report.last_mark(MARK_SERVER_DONE).expect("server done mark");
+    let elapsed = done.since(start);
+    let messages = msgs_per_client * n as u64;
+    let ms = elapsed.as_nanos() as f64 / 1e6;
+    SimExperimentResult {
+        throughput: messages as f64 / ms,
+        latency_us: elapsed.as_micros_f64() / messages.max(1) as f64,
+        elapsed,
+        messages,
+        report,
+    }
+}
+
+/// Measures the asynchronous-batching gain of §1 on the simulator: one
+/// client posts `batch` requests before collecting the replies, against a
+/// BSW echo server. `batch == 1` degenerates to the synchronous protocol;
+/// larger batches amortize the sleep/wake-up system calls across the
+/// window ("the server ... can handle requests and respond without
+/// invoking kernel services until all pending requests are processed").
+///
+/// # Panics
+///
+/// If the simulation does not complete.
+pub fn run_async_sim_experiment(
+    machine: &MachineModel,
+    policy: PolicyKind,
+    batch: u64,
+    msgs: u64,
+) -> SimExperimentResult {
+    use crate::asynch::AsyncClient;
+    assert!(batch >= 1);
+    let costs = SimCosts::from_machine(machine);
+    let multiprocessor = machine.cpus > 1;
+    let mut b = SimBuilder::new(machine.clone(), policy.build());
+    b.time_limit(VDur::seconds(24 * 3600));
+    let mut ids = SimIds::default();
+    for _ in 0..2 {
+        ids.sems.push(b.add_sem(0));
+    }
+    let ids = Arc::new(ids);
+    let channel = Channel::create(&ChannelConfig {
+        n_clients: 1,
+        queue_capacity: (batch as usize + 2).max(64),
+    })
+    .expect("channel creation");
+
+    {
+        let ch = channel.clone();
+        let ids = Arc::clone(&ids);
+        b.spawn("server", move |sys| {
+            let os = SimOs::new(sys, ids, costs, multiprocessor, 0);
+            let _ = crate::server::run_echo_server(&ch, &os, WaitStrategy::Bsw);
+            sys.mark(MARK_SERVER_DONE);
+        });
+    }
+    {
+        let ch = channel.clone();
+        let ids = Arc::clone(&ids);
+        b.spawn("client", move |sys| {
+            let os = SimOs::new(sys, ids, costs, multiprocessor, 1);
+            sys.mark(MARK_FIRST_SEND);
+            let mut ac = AsyncClient::new(&ch, &os, 0);
+            let mut issued = 0u64;
+            while issued < msgs {
+                let burst = batch.min(msgs - issued);
+                for i in 0..burst {
+                    assert!(
+                        ac.post(crate::Message::echo(0, (issued + i) as f64)),
+                        "queue sized for the batch"
+                    );
+                }
+                for (i, m) in ac.collect_all().into_iter().enumerate() {
+                    assert_eq!(m.value, (issued + i as u64) as f64);
+                }
+                issued += burst;
+            }
+            let ep = ch.client(&os, 0, WaitStrategy::Bsw);
+            ep.disconnect();
+        });
+    }
+
+    let report = b.run();
+    assert!(
+        report.outcome.is_completed(),
+        "async experiment did not complete: {:?} (batch {batch})",
+        report.outcome
+    );
+    let start = report.first_mark(MARK_FIRST_SEND).expect("first send mark");
+    let done = report.last_mark(MARK_SERVER_DONE).expect("server done mark");
+    let elapsed = done.since(start);
+    let ms = elapsed.as_nanos() as f64 / 1e6;
+    SimExperimentResult {
+        throughput: msgs as f64 / ms,
+        latency_us: elapsed.as_micros_f64() / msgs.max(1) as f64,
+        elapsed,
+        messages: msgs,
+        report,
+    }
+}
+
+/// Results of a mixed (multiprogrammed) experiment: the IPC workload plus
+/// a background batch job competing for the same processor.
+#[derive(Debug, Clone)]
+pub struct MixedExperimentResult {
+    /// IPC echo throughput in messages/ms.
+    pub ipc_throughput: f64,
+    /// CPU time the batch job accumulated during the IPC run, as a share
+    /// of the elapsed window (1.0 = a whole processor's worth).
+    pub batch_share: f64,
+    /// Full simulator report.
+    pub report: SimReport,
+}
+
+/// The paper's *thesis*, §1, as an experiment: "To obtain the best overall
+/// system throughput, particularly in multi-programmed environments, the
+/// IPC mechanism should support blocking semantics."
+///
+/// One client with per-request think time runs the echo workload against
+/// the server under `mechanism`, while a background batch job grinds pure
+/// CPU on the same machine. Busy-waiting IPC burns the processor the batch
+/// job could have used; blocking IPC hands it over. The result reports
+/// both the IPC throughput and the batch job's share of the window.
+///
+/// # Panics
+///
+/// If the simulation does not complete.
+pub fn run_mixed_sim_experiment(
+    machine: &MachineModel,
+    policy: PolicyKind,
+    mechanism: Mechanism,
+    msgs: u64,
+    think: VDur,
+) -> MixedExperimentResult {
+    use core::sync::atomic::{AtomicBool, Ordering};
+    let costs = SimCosts::from_machine(machine);
+    let multiprocessor = machine.cpus > 1;
+    let mut b = SimBuilder::new(machine.clone(), policy.build());
+    b.time_limit(VDur::seconds(24 * 3600));
+    let mut ids = SimIds::default();
+    for _ in 0..2 {
+        ids.sems.push(b.add_sem(0));
+    }
+    for _ in 0..2 {
+        ids.msgqs.push(b.add_msgq(64));
+    }
+    let ids = Arc::new(ids);
+    let channel = Channel::create(&ChannelConfig::new(1)).expect("channel creation");
+    let stop = Arc::new(AtomicBool::new(false));
+
+    {
+        let ch = channel.clone();
+        let ids = Arc::clone(&ids);
+        b.spawn("server", move |sys| {
+            let os = SimOs::new(sys, ids, costs, multiprocessor, 0);
+            match mechanism {
+                Mechanism::UserLevel(strategy) => {
+                    let _ = crate::server::run_echo_server(&ch, &os, strategy);
+                }
+                Mechanism::SysV => {
+                    let _ = crate::sysv::run_sysv_echo_server(&os, 1);
+                }
+                Mechanism::Throttled {
+                    max_spin,
+                    wake_batch,
+                } => {
+                    let _ = crate::server::run_throttled_server(&ch, &os, max_spin, wake_batch);
+                }
+            }
+            sys.mark(MARK_SERVER_DONE);
+        });
+    }
+    {
+        let ch = channel.clone();
+        let ids = Arc::clone(&ids);
+        let stop = Arc::clone(&stop);
+        b.spawn("client", move |sys| {
+            let os = SimOs::new(sys, ids, costs, multiprocessor, 1);
+            sys.mark(MARK_FIRST_SEND);
+            for i in 0..msgs {
+                if !think.is_zero() {
+                    // Think time is *idle* time (the paper's infrequent
+                    // clients are waiting on users or I/O, not computing).
+                    sys.sleep(think);
+                }
+                match mechanism {
+                    Mechanism::UserLevel(strategy) => {
+                        let ep = ch.client(&os, 0, strategy);
+                        assert_eq!(ep.echo(i as f64), i as f64);
+                    }
+                    Mechanism::SysV => {
+                        assert_eq!(sysv_echo(&os, 0, i as f64), i as f64);
+                    }
+                    Mechanism::Throttled { max_spin, .. } => {
+                        let ep = ch.client(&os, 0, WaitStrategy::Bsls { max_spin });
+                        assert_eq!(ep.echo(i as f64), i as f64);
+                    }
+                }
+            }
+            match mechanism {
+                Mechanism::UserLevel(strategy) => {
+                    ch.client(&os, 0, strategy).disconnect()
+                }
+                Mechanism::SysV => sysv_disconnect(&os, 0),
+                Mechanism::Throttled { max_spin, .. } => ch
+                    .client(&os, 0, WaitStrategy::Bsls { max_spin })
+                    .disconnect(),
+            }
+            stop.store(true, Ordering::Release);
+        });
+    }
+    {
+        let stop = Arc::clone(&stop);
+        b.spawn("batch", move |sys| {
+            while !stop.load(core::sync::atomic::Ordering::Acquire) {
+                sys.work(VDur::micros(200));
+            }
+        });
+    }
+
+    let report = b.run();
+    assert!(
+        report.outcome.is_completed(),
+        "mixed experiment did not complete: {:?}",
+        report.outcome
+    );
+    let start = report.first_mark(MARK_FIRST_SEND).expect("first send mark");
+    let done = report.last_mark(MARK_SERVER_DONE).expect("server done mark");
+    let elapsed = done.since(start);
+    let ms = elapsed.as_nanos() as f64 / 1e6;
+    let batch_cpu = report.task("batch").unwrap().stats.cpu_time;
+    MixedExperimentResult {
+        ipc_throughput: msgs as f64 / ms,
+        batch_share: batch_cpu.as_nanos() as f64
+            / (elapsed.as_nanos() as f64 * machine.cpus as f64).max(1.0),
+        report,
+    }
+}
+
+/// Results of one native (real-thread) experiment.
+#[derive(Debug, Clone)]
+pub struct NativeExperimentResult {
+    /// Wall-clock duration of the barrage.
+    pub elapsed: std::time::Duration,
+    /// ECHO messages processed.
+    pub messages: u64,
+    /// Throughput in messages per millisecond.
+    pub throughput: f64,
+}
+
+/// Runs the echo workload on real threads (the adoptable backend).
+///
+/// # Panics
+///
+/// On echo corruption or a poisoned thread.
+pub fn run_native_experiment(
+    mechanism: Mechanism,
+    n_clients: usize,
+    msgs_per_client: u64,
+) -> NativeExperimentResult {
+    let channel = Channel::create(&ChannelConfig::new(n_clients)).expect("channel creation");
+    let os = NativeOs::new(NativeConfig::for_clients(n_clients));
+    let barrier = Arc::new(std::sync::Barrier::new(n_clients + 1));
+
+    let server = {
+        let ch = channel.clone();
+        let os = os.task(0);
+        std::thread::spawn(move || match mechanism {
+            Mechanism::UserLevel(strategy) => {
+                let _ = crate::server::run_echo_server(&ch, &os, strategy);
+            }
+            Mechanism::SysV => {
+                let _ = crate::sysv::run_sysv_echo_server(&os, n_clients as u32);
+            }
+            Mechanism::Throttled {
+                max_spin,
+                wake_batch,
+            } => {
+                let _ = crate::server::run_throttled_server(&ch, &os, max_spin, wake_batch);
+            }
+        })
+    };
+
+    let clients: Vec<_> = (0..n_clients as u32)
+        .map(|c| {
+            let ch = channel.clone();
+            let os = os.task(1 + c);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                match mechanism {
+                    Mechanism::UserLevel(strategy) => {
+                        let ep = ch.client(&os, c, strategy);
+                        for i in 0..msgs_per_client {
+                            assert_eq!(ep.echo(i as f64), i as f64, "echo corrupted");
+                        }
+                        ep.disconnect();
+                    }
+                    Mechanism::SysV => {
+                        for i in 0..msgs_per_client {
+                            assert_eq!(sysv_echo(&os, c, i as f64), i as f64);
+                        }
+                        sysv_disconnect(&os, c);
+                    }
+                    Mechanism::Throttled { max_spin, .. } => {
+                        let ep = ch.client(&os, c, WaitStrategy::Bsls { max_spin });
+                        for i in 0..msgs_per_client {
+                            assert_eq!(ep.echo(i as f64), i as f64, "echo corrupted");
+                        }
+                        ep.disconnect();
+                    }
+                }
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let start = std::time::Instant::now();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    server.join().expect("server thread");
+    let elapsed = start.elapsed();
+    let messages = msgs_per_client * n_clients as u64;
+    NativeExperimentResult {
+        throughput: messages as f64 / (elapsed.as_secs_f64() * 1e3),
+        elapsed,
+        messages,
+    }
+}

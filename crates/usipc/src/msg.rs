@@ -1,0 +1,160 @@
+//! The fixed-size IPC message.
+//!
+//! §2.2: "Each message contains 24 bytes which include: an opcode to
+//! identify the request type; the channel on which to return the result;
+//! and a double precision floating point value that serves as an argument
+//! to the request." Fixed sizing is what permits the efficient free-pool
+//! management of [`SlotPool`](usipc_shm::SlotPool); variable-sized payloads
+//! travel as an arena offset in the third word.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+use usipc_shm::ShmSafe;
+
+/// Well-known opcodes used by the built-in server runtime and examples.
+pub mod opcode {
+    /// Echo the argument back (the paper's benchmark request).
+    pub const ECHO: u32 = 1;
+    /// Final message of a client; the server replies and drops the session.
+    pub const DISCONNECT: u32 = 2;
+    /// Calculator example: add the argument to the server accumulator.
+    pub const ADD: u32 = 3;
+    /// Calculator example: multiply the accumulator by the argument.
+    pub const MUL: u32 = 4;
+    /// Calculator example: read the accumulator.
+    pub const READ: u32 = 5;
+    /// First opcode free for applications.
+    pub const USER_BASE: u32 = 64;
+}
+
+/// A request or reply: the paper's 24-byte fixed message, in host form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Message {
+    /// Request type.
+    pub opcode: u32,
+    /// Reply-queue index the result should be returned on.
+    pub channel: u32,
+    /// Double-precision argument / result.
+    pub value: f64,
+    /// Spare word (used by the asynchronous extension for sequencing, and
+    /// available to applications for an arena offset to bulk data).
+    pub aux: u64,
+}
+
+impl Message {
+    /// An ECHO request for client `channel` carrying `value`.
+    pub fn echo(channel: u32, value: f64) -> Self {
+        Message {
+            opcode: opcode::ECHO,
+            channel,
+            value,
+            aux: 0,
+        }
+    }
+
+    /// The disconnect request for client `channel`.
+    pub fn disconnect(channel: u32) -> Self {
+        Message {
+            opcode: opcode::DISCONNECT,
+            channel,
+            value: 0.0,
+            aux: 0,
+        }
+    }
+
+    /// Packs into kernel-message form for the SysV baseline.
+    pub fn to_kmsg(self) -> [u64; 4] {
+        [
+            ((self.opcode as u64) << 32) | self.channel as u64,
+            self.value.to_bits(),
+            self.aux,
+            0,
+        ]
+    }
+
+    /// Unpacks from kernel-message form.
+    pub fn from_kmsg(m: [u64; 4]) -> Self {
+        Message {
+            opcode: (m[0] >> 32) as u32,
+            channel: m[0] as u32,
+            value: f64::from_bits(m[1]),
+            aux: m[2],
+        }
+    }
+}
+
+/// The shared-memory resident form of a [`Message`]: three atomic words
+/// (24 bytes), written by the owner of a pool slot and published to the
+/// consumer through the queue's release/acquire edge.
+#[repr(C)]
+#[derive(Debug, Default)]
+pub struct MsgSlot {
+    head: AtomicU64,
+    value: AtomicU64,
+    aux: AtomicU64,
+}
+
+unsafe impl ShmSafe for MsgSlot {}
+
+impl MsgSlot {
+    /// Writes `m` into the slot (relaxed: the queue publish orders it).
+    pub fn store(&self, m: Message) {
+        self.head.store(
+            ((m.opcode as u64) << 32) | m.channel as u64,
+            Ordering::Relaxed,
+        );
+        self.value.store(m.value.to_bits(), Ordering::Relaxed);
+        self.aux.store(m.aux, Ordering::Relaxed);
+    }
+
+    /// Reads the slot contents.
+    pub fn load(&self) -> Message {
+        let head = self.head.load(Ordering::Relaxed);
+        Message {
+            opcode: (head >> 32) as u32,
+            channel: head as u32,
+            value: f64::from_bits(self.value.load(Ordering::Relaxed)),
+            aux: self.aux.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_is_24_bytes_like_the_paper() {
+        assert_eq!(core::mem::size_of::<MsgSlot>(), 24);
+    }
+
+    #[test]
+    fn slot_roundtrip() {
+        let s = MsgSlot::default();
+        let m = Message {
+            opcode: opcode::ECHO,
+            channel: 3,
+            value: -2.5,
+            aux: 77,
+        };
+        s.store(m);
+        assert_eq!(s.load(), m);
+    }
+
+    #[test]
+    fn kmsg_roundtrip() {
+        let m = Message {
+            opcode: opcode::DISCONNECT,
+            channel: 9,
+            value: 1e300,
+            aux: u64::MAX,
+        };
+        assert_eq!(Message::from_kmsg(m.to_kmsg()), m);
+    }
+
+    #[test]
+    fn nan_value_survives() {
+        let s = MsgSlot::default();
+        s.store(Message::echo(0, f64::NAN));
+        assert!(s.load().value.is_nan());
+    }
+}

@@ -1,0 +1,308 @@
+//! The native backend: real threads on the host OS.
+//!
+//! This is the backend a downstream user adopts. Threads sharing one
+//! address space stand in for the paper's processes sharing a mapped
+//! segment (DESIGN.md substitution table): all IPC state still lives in the
+//! position-independent arena, so moving to real `shm_open`/`mmap`
+//! processes changes only who maps the memory. Sleep/wake-up uses
+//! condvar-based counting semaphores (the portable equivalent of the
+//! paper's System V semaphores; on Linux, `parking_lot` bottoms out in
+//! futexes).
+
+use crate::platform::{Cost, HandoffHint, OsServices};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A counting semaphore with SysV `P`/`V` semantics.
+#[derive(Debug, Default)]
+pub struct CountingSem {
+    count: Mutex<u32>,
+    cv: Condvar,
+}
+
+impl CountingSem {
+    /// Creates a semaphore with an initial credit count.
+    pub fn new(initial: u32) -> Self {
+        CountingSem {
+            count: Mutex::new(initial),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// `P`: block until a credit is available, then take it.
+    pub fn p(&self) {
+        let mut c = self.count.lock();
+        while *c == 0 {
+            self.cv.wait(&mut c);
+        }
+        *c -= 1;
+    }
+
+    /// `V`: add a credit and wake one waiter.
+    pub fn v(&self) {
+        let mut c = self.count.lock();
+        *c += 1;
+        self.cv.notify_one();
+    }
+
+    /// Current credit count (diagnostics; racy by nature).
+    pub fn count(&self) -> u32 {
+        *self.count.lock()
+    }
+}
+
+/// A kernel-style message queue for the SysV baseline: bounded FIFO with
+/// blocking send and receive.
+#[derive(Debug)]
+pub struct NativeMsgq {
+    inner: Mutex<std::collections::VecDeque<[u64; 4]>>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl NativeMsgq {
+    /// Creates a queue holding at most `capacity` messages.
+    pub fn new(capacity: usize) -> Self {
+        NativeMsgq {
+            inner: Mutex::new(std::collections::VecDeque::with_capacity(capacity)),
+            capacity,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Blocking send (`msgsnd`).
+    pub fn send(&self, m: [u64; 4]) {
+        let mut q = self.inner.lock();
+        while q.len() >= self.capacity {
+            self.not_full.wait(&mut q);
+        }
+        q.push_back(m);
+        self.not_empty.notify_one();
+    }
+
+    /// Blocking receive (`msgrcv`).
+    pub fn recv(&self) -> [u64; 4] {
+        let mut q = self.inner.lock();
+        loop {
+            if let Some(m) = q.pop_front() {
+                self.not_full.notify_one();
+                return m;
+            }
+            self.not_empty.wait(&mut q);
+        }
+    }
+}
+
+/// Configuration for [`NativeOs`].
+#[derive(Debug, Clone)]
+pub struct NativeConfig {
+    /// Number of semaphores (1 + number of clients, by convention).
+    pub n_sems: usize,
+    /// Number of kernel message queues (0 if the SysV baseline is unused).
+    pub n_msgqs: usize,
+    /// Capacity of each kernel message queue.
+    pub msgq_capacity: usize,
+    /// `true` on a multiprocessor: `busy_wait` spins ~25 µs instead of
+    /// yielding (§2.1/§5).
+    pub multiprocessor: bool,
+    /// Queue-full back-off. The paper sleeps a full second; tests and
+    /// benches usually shorten this.
+    pub full_backoff: Duration,
+}
+
+impl NativeConfig {
+    /// Convention-following config for `n_clients` clients.
+    pub fn for_clients(n_clients: usize) -> Self {
+        NativeConfig {
+            n_sems: 1 + n_clients,
+            n_msgqs: 1 + n_clients,
+            msgq_capacity: 64,
+            multiprocessor: std::thread::available_parallelism()
+                .map(|p| p.get() > 1)
+                .unwrap_or(false),
+            full_backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Shared state of the native backend; each participating thread holds an
+/// [`Arc`] and presents it to the protocols via [`NativeTask`].
+#[derive(Debug)]
+pub struct NativeOs {
+    sems: Vec<CountingSem>,
+    msgqs: Vec<NativeMsgq>,
+    multiprocessor: bool,
+    full_backoff: Duration,
+}
+
+impl NativeOs {
+    /// Builds the backend from a config.
+    pub fn new(cfg: NativeConfig) -> Arc<Self> {
+        Arc::new(NativeOs {
+            sems: (0..cfg.n_sems).map(|_| CountingSem::new(0)).collect(),
+            msgqs: (0..cfg.n_msgqs)
+                .map(|_| NativeMsgq::new(cfg.msgq_capacity))
+                .collect(),
+            multiprocessor: cfg.multiprocessor,
+            full_backoff: cfg.full_backoff,
+        })
+    }
+
+    /// A per-thread view implementing [`OsServices`].
+    pub fn task(self: &Arc<Self>, task_id: u32) -> NativeTask {
+        NativeTask {
+            os: Arc::clone(self),
+            task_id,
+        }
+    }
+}
+
+/// One thread's handle onto [`NativeOs`].
+#[derive(Debug, Clone)]
+pub struct NativeTask {
+    os: Arc<NativeOs>,
+    task_id: u32,
+}
+
+impl OsServices for NativeTask {
+    fn yield_now(&self) {
+        std::thread::yield_now();
+    }
+
+    fn busy_wait(&self) {
+        if self.os.multiprocessor {
+            // ~25 µs calibrated-by-intent spin (precision is irrelevant;
+            // only the order of magnitude matters).
+            let start = std::time::Instant::now();
+            while start.elapsed() < Duration::from_micros(25) {
+                core::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+    }
+
+    fn poll_pause(&self) {
+        self.busy_wait();
+    }
+
+    fn sem_p(&self, sem: u32) {
+        self.os.sems[sem as usize].p();
+    }
+
+    fn sem_v(&self, sem: u32) {
+        self.os.sems[sem as usize].v();
+    }
+
+    fn sleep_full(&self) {
+        std::thread::sleep(self.os.full_backoff);
+    }
+
+    fn charge(&self, _c: Cost) {}
+
+    fn handoff(&self, _h: HandoffHint) {
+        // No host support for directed yield: degrade to sched_yield, which
+        // is exactly the portability situation the paper laments in §6.
+        std::thread::yield_now();
+    }
+
+    fn msgsnd(&self, q: u32, m: [u64; 4]) {
+        self.os.msgqs[q as usize].send(m);
+    }
+
+    fn msgrcv(&self, q: u32) -> [u64; 4] {
+        self.os.msgqs[q as usize].recv()
+    }
+
+    fn compute(&self, nanos: u64) {
+        let start = std::time::Instant::now();
+        let d = Duration::from_nanos(nanos);
+        while start.elapsed() < d {
+            core::hint::spin_loop();
+        }
+    }
+
+    fn task_id(&self) -> u32 {
+        self.task_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sem_banked_credit() {
+        let s = CountingSem::new(0);
+        s.v();
+        s.v();
+        assert_eq!(s.count(), 2);
+        s.p();
+        s.p();
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn counting_sem_cross_thread() {
+        let s = Arc::new(CountingSem::new(0));
+        let s2 = Arc::clone(&s);
+        let t = std::thread::spawn(move || {
+            s2.p(); // blocks until main Vs
+            s2.p();
+        });
+        s.v();
+        s.v();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn native_msgq_blocking_roundtrip() {
+        let req = Arc::new(NativeMsgq::new(2));
+        let rsp = Arc::new(NativeMsgq::new(2));
+        let (req2, rsp2) = (Arc::clone(&req), Arc::clone(&rsp));
+        let t = std::thread::spawn(move || {
+            let m = req2.recv();
+            rsp2.send([m[0] + 1, 0, 0, 0]);
+        });
+        req.send([41, 0, 0, 0]);
+        assert_eq!(rsp.recv()[0], 42);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn msgq_capacity_blocks_until_drained() {
+        let q = Arc::new(NativeMsgq::new(1));
+        let q2 = Arc::clone(&q);
+        q.send([1, 0, 0, 0]);
+        let t = std::thread::spawn(move || {
+            q2.send([2, 0, 0, 0]); // blocks until main drains
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(q.recv()[0], 1);
+        assert_eq!(q.recv()[0], 2);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn os_services_surface_works() {
+        let os = NativeOs::new(NativeConfig {
+            n_sems: 2,
+            n_msgqs: 1,
+            msgq_capacity: 4,
+            multiprocessor: false,
+            full_backoff: Duration::from_millis(1),
+        });
+        let t = os.task(7);
+        assert_eq!(t.task_id(), 7);
+        t.charge(Cost::QueueOp);
+        t.yield_now();
+        t.sem_v(1);
+        t.sem_p(1);
+        t.msgsnd(0, [5, 0, 0, 0]);
+        assert_eq!(t.msgrcv(0)[0], 5);
+        t.handoff(HandoffHint::Any);
+    }
+}

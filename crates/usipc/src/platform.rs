@@ -1,0 +1,114 @@
+//! The operating-system services abstraction the protocols are written
+//! against.
+//!
+//! The paper stresses that its facility "employs only widely available
+//! operating system mechanisms": `yield`, counting semaphores, `sleep`, and
+//! (for the baseline) System V message queues. [`OsServices`] captures
+//! exactly that surface, so a single implementation of each protocol runs
+//! unchanged on
+//!
+//! * [`NativeOs`](crate::NativeOs) — real threads on the host, and
+//! * [`SimOs`](crate::SimOs) — processes on the
+//!   [`usipc-sim`](usipc_sim) scheduler simulator, where the figures are
+//!   regenerated.
+//!
+//! Identifier conventions (shared by both backends and by the channel
+//! constructor): semaphore `0` belongs to the server's receive queue and
+//! semaphore `1 + c` to client `c`'s reply queue; kernel message queue `0`
+//! is the SysV request queue and `1 + c` client `c`'s SysV reply queue.
+
+/// Cost classes protocols charge to virtual time (no-ops on real hardware,
+/// where the operation itself takes the time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cost {
+    /// One user-level enqueue or dequeue on the shared queue.
+    QueueOp,
+    /// One test-and-set on an `awake` flag.
+    Tas,
+    /// Server-side processing of one request.
+    Request,
+    /// One `empty(Q)` check in the BSLS spin loop.
+    Poll,
+}
+
+/// Target hint for the proposed `handoff` call (paper §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandoffHint {
+    /// Hand off to a specific peer (platform task number).
+    Peer(u32),
+    /// `PID_SELF`: plain yield semantics.
+    SelfHint,
+    /// `PID_ANY`: let anyone else run, even lower priority.
+    Any,
+}
+
+/// The kernel services the protocols rely on.
+///
+/// Implementations are used from within a single task at a time (`&self`
+/// methods, no `Send` bound), which is what lets the simulator backend wrap
+/// a per-task [`Sys`](usipc_sim::Sys) handle.
+pub trait OsServices {
+    /// `sched_yield()`.
+    fn yield_now(&self);
+
+    /// The `busy_wait()` of Figs. 1/7: a yield on a uniprocessor, a short
+    /// spin delay on a multiprocessor (§2.1: "On uniprocessors `busy_wait`
+    /// should be implemented as a `yield()` system call").
+    fn busy_wait(&self);
+
+    /// One pacing step of the BSLS `poll_queue` loop (§5: a 25 µs busy-wait
+    /// on the multiprocessor; a yield on uniprocessors).
+    fn poll_pause(&self);
+
+    /// Counting-semaphore down on the conventional semaphore index.
+    fn sem_p(&self, sem: u32);
+
+    /// Counting-semaphore up on the conventional semaphore index.
+    fn sem_v(&self, sem: u32);
+
+    /// The queue-full back-off (`sleep(1)` in the paper).
+    fn sleep_full(&self);
+
+    /// Charge `c` to virtual time (no-op on real hardware).
+    fn charge(&self, c: Cost);
+
+    /// The proposed hand-off call; platforms without it degrade to yield.
+    fn handoff(&self, h: HandoffHint);
+
+    /// Kernel `msgsnd` on the conventional queue index (SysV baseline).
+    fn msgsnd(&self, q: u32, m: [u64; 4]);
+
+    /// Kernel `msgrcv` on the conventional queue index (SysV baseline).
+    fn msgrcv(&self, q: u32) -> [u64; 4];
+
+    /// Consume `nanos` of CPU performing application work (used by
+    /// workload handlers to model variable service times; a no-op charge on
+    /// the simulator, a calibrated spin on real hardware).
+    fn compute(&self, nanos: u64) {
+        let _ = nanos;
+    }
+
+    /// This task's platform task number (used as a handoff target by
+    /// peers; `u32::MAX` when unknown).
+    fn task_id(&self) -> u32;
+}
+
+/// Semaphore index of the server receive queue.
+pub fn server_sem() -> u32 {
+    0
+}
+
+/// Semaphore index of client `c`'s reply queue.
+pub fn client_sem(c: u32) -> u32 {
+    1 + c
+}
+
+/// Kernel message-queue index of the SysV request queue.
+pub fn sysv_request_q() -> u32 {
+    0
+}
+
+/// Kernel message-queue index of client `c`'s SysV reply queue.
+pub fn sysv_reply_q(c: u32) -> u32 {
+    1 + c
+}

@@ -1,0 +1,54 @@
+//! **Both Sides Limited Spin** (Fig. 9): poll before blocking.
+//!
+//! Both sides poll the queue up to `MAX_SPIN` times (`poll_queue`: a yield
+//! on uniprocessors, a 25 µs busy-wait with an `empty` check per iteration
+//! on the multiprocessor, §5) and only then enter the BSW blocking path.
+//! Fig. 10 shows the uniprocessor sensitivity to `MAX_SPIN` — at 20, a
+//! single client blocks only 3 % of the time — and Fig. 11 shows the
+//! multiprocessor cliff: once one client out-spins its budget, waking it
+//! loads the server, pushing more clients over their budgets.
+
+use crate::channel::{Channel, QueueRef};
+use crate::msg::Message;
+use crate::platform::OsServices;
+use crate::protocol::{blocking_dequeue, enqueue_or_sleep};
+
+/// The limited-spin prologue: `while (empty(Q) && spincnt++ < MAX_SPIN)
+/// poll_queue(Q);`.
+fn limited_spin<O: OsServices>(q: &QueueRef<'_>, os: &O, max_spin: u32) {
+    let mut spincnt = 0;
+    while q.is_empty(os) && spincnt < max_spin {
+        os.poll_pause();
+        spincnt += 1;
+    }
+}
+
+/// Synchronous `Send`: enqueue, wake, spin up to `max_spin`, then block.
+pub fn send<O: OsServices>(
+    ch: &Channel,
+    os: &O,
+    client: u32,
+    msg: Message,
+    max_spin: u32,
+) -> Message {
+    let srv = ch.receive_queue();
+    enqueue_or_sleep(&srv, os, msg);
+    srv.wake_consumer(os);
+    let rq = ch.reply_queue(client);
+    limited_spin(&rq, os, max_spin);
+    blocking_dequeue(&rq, os, || os.busy_wait() /* try to hand off */)
+}
+
+/// `Receive`: spin up to `max_spin`, then block.
+pub fn receive<O: OsServices>(ch: &Channel, os: &O, max_spin: u32) -> Message {
+    let srv = ch.receive_queue();
+    limited_spin(&srv, os, max_spin);
+    blocking_dequeue(&srv, os, || {})
+}
+
+/// `Reply`: identical to BSW.
+pub fn reply<O: OsServices>(ch: &Channel, os: &O, client: u32, msg: Message) {
+    let rq = ch.reply_queue(client);
+    enqueue_or_sleep(&rq, os, msg);
+    rq.wake_consumer(os);
+}

@@ -1,0 +1,39 @@
+//! **Both Sides Wait** (Fig. 5): the basic blocking protocol.
+//!
+//! Consumers that find their queue empty clear their `awake` flag,
+//! double-check the queue (closing interleaving 4 of Fig. 4), and sleep on
+//! a counting semaphore. Producers wake the consumer only if they are the
+//! first to test-and-set the flag (closing interleaving 2), and consumers
+//! absorb stray wake-ups with a `tas`-guarded `P` (closing interleaving 3).
+//!
+//! Performance (Fig. 6): without scheduling help this costs four system
+//! calls per round trip — "there is no advantage to the shared memory
+//! solution at all" — which is what motivates BSWY and BSLS.
+
+use crate::channel::Channel;
+use crate::msg::Message;
+use crate::platform::OsServices;
+use crate::protocol::{blocking_dequeue, enqueue_or_sleep};
+
+/// Synchronous `Send`: enqueue, wake the server if sleeping, block for the
+/// reply.
+pub fn send<O: OsServices>(ch: &Channel, os: &O, client: u32, msg: Message) -> Message {
+    let srv = ch.receive_queue();
+    enqueue_or_sleep(&srv, os, msg);
+    srv.wake_consumer(os);
+    let rq = ch.reply_queue(client);
+    blocking_dequeue(&rq, os, || {})
+}
+
+/// `Receive`: block until a request arrives.
+pub fn receive<O: OsServices>(ch: &Channel, os: &O) -> Message {
+    let srv = ch.receive_queue();
+    blocking_dequeue(&srv, os, || {})
+}
+
+/// `Reply`: enqueue the response and wake the client if sleeping.
+pub fn reply<O: OsServices>(ch: &Channel, os: &O, client: u32, msg: Message) {
+    let rq = ch.reply_queue(client);
+    enqueue_or_sleep(&rq, os, msg);
+    rq.wake_consumer(os);
+}

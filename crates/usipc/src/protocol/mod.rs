@@ -1,0 +1,145 @@
+//! The sleep/wake-up protocols, one module per paper figure.
+//!
+//! | Strategy | Figure | Module |
+//! |---|---|---|
+//! | [`WaitStrategy::Bss`] | Fig. 1 | [`bss`] |
+//! | [`WaitStrategy::Bsw`] | Fig. 5 | [`bsw`] |
+//! | [`WaitStrategy::Bswy`] | Fig. 7 | [`bswy`] |
+//! | [`WaitStrategy::Bsls`] | Fig. 9 | [`bsls`] |
+//! | [`WaitStrategy::HandoffBswy`] | §6 | [`handoff`] |
+//!
+//! Each module implements the paper's `Send`/`Receive`/`Reply` triple over
+//! the [`QueueRef`] primitives — the blocking consumer
+//! skeleton — double-checked dequeue around clearing the `awake` flag,
+//! with the `tas` fix-ups for the races of Fig. 4 — is shared in
+//! `blocking_dequeue` (crate-internal).
+
+pub mod bsls;
+pub mod bss;
+pub mod bsw;
+pub mod bswy;
+pub mod handoff;
+
+use crate::channel::{Channel, QueueRef};
+use crate::msg::Message;
+use crate::platform::OsServices;
+
+/// Which sleep/wake-up protocol an endpoint runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitStrategy {
+    /// Both Sides Spin (Fig. 1): busy-wait on empty queues.
+    Bss,
+    /// Both Sides Wait (Fig. 5): semaphores + `awake` flags.
+    Bsw,
+    /// Both Sides Wait and Yield (Fig. 7): BSW + hand-off hints.
+    Bswy,
+    /// Both Sides Limited Spin (Fig. 9): poll up to `max_spin` times first.
+    Bsls {
+        /// Poll attempts before entering the blocking path (`MAX_SPIN`).
+        max_spin: u32,
+    },
+    /// BSWY with the proposed `handoff` syscall in place of plain yields.
+    HandoffBswy,
+}
+
+impl WaitStrategy {
+    /// Client `Send`: enqueue the request, wait for the reply.
+    pub fn send<O: OsServices>(self, ch: &Channel, os: &O, client: u32, msg: Message) -> Message {
+        match self {
+            WaitStrategy::Bss => bss::send(ch, os, client, msg),
+            WaitStrategy::Bsw => bsw::send(ch, os, client, msg),
+            WaitStrategy::Bswy => bswy::send(ch, os, client, msg),
+            WaitStrategy::Bsls { max_spin } => bsls::send(ch, os, client, msg, max_spin),
+            WaitStrategy::HandoffBswy => handoff::send(ch, os, client, msg),
+        }
+    }
+
+    /// Server `Receive`: wait for the next request.
+    pub fn receive<O: OsServices>(self, ch: &Channel, os: &O) -> Message {
+        match self {
+            WaitStrategy::Bss => bss::receive(ch, os),
+            WaitStrategy::Bsw => bsw::receive(ch, os),
+            WaitStrategy::Bswy => bswy::receive(ch, os),
+            WaitStrategy::Bsls { max_spin } => bsls::receive(ch, os, max_spin),
+            WaitStrategy::HandoffBswy => handoff::receive(ch, os),
+        }
+    }
+
+    /// Server `Reply` to client `c`.
+    pub fn reply<O: OsServices>(self, ch: &Channel, os: &O, c: u32, msg: Message) {
+        match self {
+            WaitStrategy::Bss => bss::reply(ch, os, c, msg),
+            WaitStrategy::Bsw => bsw::reply(ch, os, c, msg),
+            WaitStrategy::Bswy => bswy::reply(ch, os, c, msg),
+            WaitStrategy::Bsls { .. } => bsls::reply(ch, os, c, msg),
+            WaitStrategy::HandoffBswy => handoff::reply(ch, os, c, msg),
+        }
+    }
+
+    /// Short name used in reports and CSV files.
+    pub fn name(self) -> String {
+        match self {
+            WaitStrategy::Bss => "BSS".into(),
+            WaitStrategy::Bsw => "BSW".into(),
+            WaitStrategy::Bswy => "BSWY".into(),
+            WaitStrategy::Bsls { max_spin } => format!("BSLS({max_spin})"),
+            WaitStrategy::HandoffBswy => "HANDOFF".into(),
+        }
+    }
+}
+
+/// The blocking consumer skeleton shared by BSW, BSWY and BSLS (the wait
+/// loops of Figs. 5/7/9):
+///
+/// ```text
+/// while (!dequeue(Q, msg)) {
+///     pre_block();                  // nothing (BSW) / busy_wait (BSWY, BSLS send side)
+///     Q->awake = 0;
+///     if (!dequeue(Q, msg)) {       // the re-check that closes Fig. 4's interleaving 4
+///         P(Q->sem);                // sleep
+///         Q->awake = 1;
+///     } else {                      // reply arrived between check and sleep
+///         if (tas(&Q->awake)) P(Q->sem);   // consume the stray wake-up (interleaving 3)
+///         break;
+///     }
+/// }
+/// ```
+pub(crate) fn blocking_dequeue<O: OsServices>(
+    q: &QueueRef<'_>,
+    os: &O,
+    mut pre_block: impl FnMut(),
+) -> Message {
+    loop {
+        if let Some(m) = q.try_dequeue(os) {
+            return m;
+        }
+        pre_block();
+        q.clear_awake(os);
+        match q.try_dequeue(os) {
+            None => {
+                os.sem_p(q.sem());
+                q.set_awake(os);
+                // Loop: a wake-up promises work, but under multiple
+                // producers another consumer iteration may be needed.
+            }
+            Some(m) => {
+                // The producer may have seen awake == 0 and posted a V we
+                // will never sleep for; absorb it so credits cannot
+                // accumulate and overflow the semaphore (the bug the
+                // authors hit).
+                if q.tas_awake(os) {
+                    os.sem_p(q.sem());
+                }
+                return m;
+            }
+        }
+    }
+}
+
+/// Producer-side enqueue with the paper's queue-full back-off:
+/// `while (!enqueue(Q, msg)) sleep(1);`.
+pub(crate) fn enqueue_or_sleep<O: OsServices>(q: &QueueRef<'_>, os: &O, msg: Message) {
+    while !q.try_enqueue(os, msg) {
+        os.sleep_full();
+    }
+}

@@ -1,0 +1,168 @@
+//! The single-threaded server runtime.
+//!
+//! §2.2: "The server is placed in a tight Receive/Reply loop that accepts
+//! connections and processes requests, where the processing per request is
+//! simply to echo the argument back to the client. ... the server does not
+//! know in advance how many messages it must process", so clients signal
+//! completion with a DISCONNECT request, and the server runs until the last
+//! client disconnects.
+
+use crate::channel::Channel;
+use crate::msg::{opcode, Message};
+use crate::platform::{Cost, OsServices};
+use crate::protocol::WaitStrategy;
+
+/// Statistics from one server run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerRun {
+    /// Requests processed, including the final DISCONNECTs.
+    pub processed: u64,
+    /// DISCONNECTs observed (equals the client count on a clean run).
+    pub disconnects: u32,
+}
+
+/// Runs a request/reply server until every client has disconnected.
+///
+/// `handler` maps each non-DISCONNECT request to its reply; DISCONNECT is
+/// handled internally (echoed back so the client's synchronous `Send`
+/// completes, then counted towards termination). The handler's cost is
+/// charged as [`Cost::Request`].
+pub fn run_server<O: OsServices>(
+    ch: &Channel,
+    os: &O,
+    strategy: WaitStrategy,
+    mut handler: impl FnMut(Message) -> Message,
+) -> ServerRun {
+    ch.register_server_task(os.task_id());
+    let mut live = ch.n_clients();
+    let mut run = ServerRun::default();
+    let server = ch.server(os, strategy);
+    while live > 0 {
+        let m = server.receive();
+        os.charge(Cost::Request);
+        run.processed += 1;
+        if m.opcode == opcode::DISCONNECT {
+            run.disconnects += 1;
+            live -= 1;
+            server.reply(m.channel, m);
+        } else {
+            let mut ans = handler(m);
+            ans.channel = m.channel;
+            server.reply(m.channel, ans);
+        }
+    }
+    run
+}
+
+/// The paper's benchmark server: echoes the argument back.
+pub fn run_echo_server<O: OsServices>(ch: &Channel, os: &O, strategy: WaitStrategy) -> ServerRun {
+    run_server(ch, os, strategy, |m| m)
+}
+
+/// The paper's future work (§5), implemented: an overload-aware BSLS
+/// server that *throttles wake-ups*.
+///
+/// "We could break the positive feedback in the BSLS algorithm by having
+/// the server recognize the fact that it is overloaded, and limit the
+/// number of clients it wakes up at any given time. The challenge is
+/// constraining the concurrency in this fashion while guaranteeing that
+/// starvation doesn't occur. We leave this for future work."
+///
+/// Replies are enqueued immediately (so spinning clients proceed without
+/// any kernel help), but the wake-up `V` for clients that may have gone to
+/// sleep is deferred onto a FIFO list, and the list is drained — at most
+/// `wake_batch` per receive iteration — **only while the receive queue
+/// shows no backlog**. That is the admission control: while already-awake
+/// clients keep the server saturated, sleepers stay asleep instead of
+/// joining the spin contest; the moment the backlog clears (including the
+/// everyone-asleep case, where the queue is empty), wake-ups flow again.
+///
+/// Starvation-freedom: the deferral list is FIFO, a backlogged server
+/// drains it as soon as the backlog clears (which it must, since no new
+/// clients are being woken), and the BSW-family wait loop tolerates late
+/// or unnecessary wake-ups by construction — the `tas`-guarded `P`
+/// absorbs stray credits. The Fig. 11 ablation (`figures throttle`) shows
+/// this removes the BSLS cliff entirely.
+pub fn run_throttled_server<O: OsServices>(
+    ch: &Channel,
+    os: &O,
+    max_spin: u32,
+    wake_batch: usize,
+) -> ServerRun {
+    use crate::protocol::{bsls, enqueue_or_sleep};
+    use std::collections::VecDeque;
+    assert!(wake_batch >= 1, "wake_batch must be at least 1 for liveness");
+    ch.register_server_task(os.task_id());
+    let mut live = ch.n_clients();
+    let mut run = ServerRun::default();
+    let mut pending_wakes: VecDeque<u32> = VecDeque::new();
+    while live > 0 || !pending_wakes.is_empty() {
+        // Admission control: while the receive queue shows backlog, the
+        // awake clients already keep the server saturated — leave the
+        // sleepers asleep. Once the backlog clears (which also covers the
+        // everyone-is-asleep case, where the queue is empty), drain the
+        // deferred wake-ups oldest-first, bounded per cycle.
+        let overloaded = live > 0 && ch.receive_queue().queued_len() >= 2;
+        if !overloaded {
+            for _ in 0..wake_batch {
+                match pending_wakes.pop_front() {
+                    Some(c) => ch.reply_queue(c).wake_consumer(os),
+                    None => break,
+                }
+            }
+        }
+        if live == 0 {
+            continue;
+        }
+        let m = bsls::receive(ch, os, max_spin);
+        os.charge(Cost::Request);
+        run.processed += 1;
+        if m.opcode == opcode::DISCONNECT {
+            run.disconnects += 1;
+            live -= 1;
+            // Disconnects are replied and woken eagerly: the client is
+            // definitely waiting, and the session is ending anyway.
+            let rq = ch.reply_queue(m.channel);
+            enqueue_or_sleep(&rq, os, m);
+            rq.wake_consumer(os);
+        } else {
+            let rq = ch.reply_queue(m.channel);
+            enqueue_or_sleep(&rq, os, m);
+            // Defer the wake-up; a spinning (BSLS) client will usually
+            // collect the reply before this V is ever needed.
+            pending_wakes.push_back(m.channel);
+        }
+    }
+    run
+}
+
+/// A calculator server used by the examples: a per-client accumulator
+/// driven by ADD/MUL/READ requests.
+pub fn run_calculator_server<O: OsServices>(
+    ch: &Channel,
+    os: &O,
+    strategy: WaitStrategy,
+) -> ServerRun {
+    let mut accum = vec![0.0f64; ch.n_clients() as usize];
+    run_server(ch, os, strategy, move |m| {
+        let a = &mut accum[m.channel as usize];
+        let value = match m.opcode {
+            opcode::ADD => {
+                *a += m.value;
+                *a
+            }
+            opcode::MUL => {
+                *a *= m.value;
+                *a
+            }
+            opcode::READ => *a,
+            _ => f64::NAN, // unknown opcode: NaN reply, like an EINVAL
+        };
+        Message {
+            opcode: m.opcode,
+            channel: m.channel,
+            value,
+            aux: 0,
+        }
+    })
+}

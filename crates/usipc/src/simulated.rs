@@ -1,0 +1,161 @@
+//! The simulator backend: protocols running as processes of
+//! [`usipc-sim`](usipc_sim), under the scheduler models that regenerate the
+//! paper's figures.
+
+use crate::platform::{Cost, HandoffHint, OsServices};
+use std::sync::Arc;
+use usipc_sim::{Handoff, MsqId, Pid, SemId, Sys, VDur};
+
+/// Cost table charged by the protocols (extracted from a
+/// [`MachineModel`](usipc_sim::MachineModel) so the protocol layer does not
+/// depend on the whole machine description).
+#[derive(Debug, Clone, Copy)]
+pub struct SimCosts {
+    /// One user-level enqueue or dequeue.
+    pub queue_op: VDur,
+    /// One test-and-set.
+    pub tas_op: VDur,
+    /// Per-request server processing.
+    pub request_work: VDur,
+    /// One `empty(Q)` poll check.
+    pub poll_check: VDur,
+    /// One multiprocessor `poll_queue`/`busy_wait` delay iteration.
+    pub poll_delay: VDur,
+}
+
+impl SimCosts {
+    /// Extracts the protocol-visible costs from a machine model.
+    pub fn from_machine(m: &usipc_sim::MachineModel) -> Self {
+        SimCosts {
+            queue_op: m.queue_op,
+            tas_op: m.tas_op,
+            request_work: m.request_work,
+            poll_check: VDur::nanos(m.queue_op.as_nanos() / 3),
+            poll_delay: m.poll_op,
+        }
+    }
+}
+
+/// Identifier mapping shared by all tasks of one simulated experiment:
+/// which simulator objects realize the conventional indices of
+/// [`platform`](crate::platform).
+#[derive(Debug, Clone, Default)]
+pub struct SimIds {
+    /// Conventional semaphore index → simulator semaphore.
+    pub sems: Vec<SemId>,
+    /// Conventional message-queue index → simulator queue.
+    pub msgqs: Vec<MsqId>,
+    /// Platform task number → simulator pid (for hand-off targeting).
+    pub pids: Vec<Pid>,
+}
+
+/// One simulated task's implementation of [`OsServices`].
+///
+/// Holds the task's [`Sys`] handle by reference; construct one inside each
+/// task body.
+pub struct SimOs<'a> {
+    sys: &'a Sys,
+    ids: Arc<SimIds>,
+    costs: SimCosts,
+    multiprocessor: bool,
+    task_id: u32,
+}
+
+impl<'a> SimOs<'a> {
+    /// Wraps a task's `Sys` handle.
+    ///
+    /// `task_id` is the platform task number of this task (its index in
+    /// `ids.pids`).
+    pub fn new(
+        sys: &'a Sys,
+        ids: Arc<SimIds>,
+        costs: SimCosts,
+        multiprocessor: bool,
+        task_id: u32,
+    ) -> Self {
+        SimOs {
+            sys,
+            ids,
+            costs,
+            multiprocessor,
+            task_id,
+        }
+    }
+
+    /// The underlying simulator handle (for marks and rusage in harnesses).
+    pub fn sys(&self) -> &Sys {
+        self.sys
+    }
+}
+
+impl OsServices for SimOs<'_> {
+    fn yield_now(&self) {
+        self.sys.yield_now();
+    }
+
+    fn busy_wait(&self) {
+        if self.multiprocessor {
+            self.sys.work(self.costs.poll_delay);
+        } else {
+            self.sys.yield_now();
+        }
+    }
+
+    fn poll_pause(&self) {
+        self.busy_wait();
+    }
+
+    fn sem_p(&self, sem: u32) {
+        self.sys.sem_p(self.ids.sems[sem as usize]);
+    }
+
+    fn sem_v(&self, sem: u32) {
+        self.sys.sem_v(self.ids.sems[sem as usize]);
+    }
+
+    fn sleep_full(&self) {
+        self.sys.sleep(VDur::seconds(1));
+    }
+
+    fn charge(&self, c: Cost) {
+        let d = match c {
+            Cost::QueueOp => self.costs.queue_op,
+            Cost::Tas => self.costs.tas_op,
+            Cost::Request => self.costs.request_work,
+            Cost::Poll => self.costs.poll_check,
+        };
+        if !d.is_zero() {
+            self.sys.work(d);
+        }
+    }
+
+    fn handoff(&self, h: HandoffHint) {
+        let target = match h {
+            HandoffHint::Peer(t) => match self.ids.pids.get(t as usize) {
+                Some(&pid) => Handoff::To(pid),
+                None => Handoff::SelfPid,
+            },
+            HandoffHint::SelfHint => Handoff::SelfPid,
+            HandoffHint::Any => Handoff::Any,
+        };
+        self.sys.handoff(target);
+    }
+
+    fn msgsnd(&self, q: u32, m: [u64; 4]) {
+        self.sys.msgsnd(self.ids.msgqs[q as usize], m);
+    }
+
+    fn msgrcv(&self, q: u32) -> [u64; 4] {
+        self.sys.msgrcv(self.ids.msgqs[q as usize])
+    }
+
+    fn compute(&self, nanos: u64) {
+        if nanos > 0 {
+            self.sys.work(VDur::nanos(nanos));
+        }
+    }
+
+    fn task_id(&self) -> u32 {
+        self.task_id
+    }
+}

@@ -1,0 +1,65 @@
+//! The kernel-mediated baseline: System V message queues.
+//!
+//! "As a kernel mediated IPC mechanism, SYSV message queues represent a
+//! lower-bound on acceptable user-level IPC performance" (§2.2). Four
+//! system calls per round trip: the client's `msgsnd`/`msgrcv` pair and the
+//! server's `msgrcv`/`msgsnd` pair. Queue indices follow the conventions of
+//! [`platform`](crate::platform): queue 0 carries requests, queue `1 + c`
+//! carries client `c`'s replies.
+
+use crate::msg::{opcode, Message};
+use crate::platform::{sysv_reply_q, sysv_request_q, Cost, OsServices};
+
+/// Synchronous client call over the kernel queues.
+pub fn sysv_call<O: OsServices>(os: &O, client: u32, mut msg: Message) -> Message {
+    msg.channel = client;
+    os.msgsnd(sysv_request_q(), msg.to_kmsg());
+    Message::from_kmsg(os.msgrcv(sysv_reply_q(client)))
+}
+
+/// Convenience: ECHO round trip over the kernel queues.
+pub fn sysv_echo<O: OsServices>(os: &O, client: u32, value: f64) -> f64 {
+    sysv_call(os, client, Message::echo(client, value)).value
+}
+
+/// Sends the disconnect request and waits for the final reply.
+pub fn sysv_disconnect<O: OsServices>(os: &O, client: u32) {
+    let _ = sysv_call(os, client, Message::disconnect(client));
+}
+
+/// Statistics from one SysV server run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SysvRun {
+    /// Requests processed, including DISCONNECTs.
+    pub processed: u64,
+}
+
+/// Runs the kernel-queue server until all `n_clients` disconnect.
+pub fn run_sysv_server<O: OsServices>(
+    os: &O,
+    n_clients: u32,
+    mut handler: impl FnMut(Message) -> Message,
+) -> SysvRun {
+    let mut live = n_clients;
+    let mut run = SysvRun::default();
+    while live > 0 {
+        let m = Message::from_kmsg(os.msgrcv(sysv_request_q()));
+        os.charge(Cost::Request);
+        run.processed += 1;
+        let ans = if m.opcode == opcode::DISCONNECT {
+            live -= 1;
+            m
+        } else {
+            let mut a = handler(m);
+            a.channel = m.channel;
+            a
+        };
+        os.msgsnd(sysv_reply_q(m.channel), ans.to_kmsg());
+    }
+    run
+}
+
+/// The echo server over kernel queues (the Fig. 2 baseline workload).
+pub fn run_sysv_echo_server<O: OsServices>(os: &O, n_clients: u32) -> SysvRun {
+    run_sysv_server(os, n_clients, |m| m)
+}

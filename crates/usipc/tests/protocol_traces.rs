@@ -1,0 +1,431 @@
+//! Structural tests: each protocol must make exactly the kernel calls its
+//! paper figure prescribes, in the prescribed order. A scripted mock
+//! `OsServices` records every call and can inject a message at a chosen
+//! trigger point (standing in for the peer process).
+
+use std::cell::RefCell;
+use usipc::{
+    Channel, ChannelConfig, Cost, HandoffHint, Message, OsServices, WaitStrategy,
+};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Call {
+    Yield,
+    BusyWait,
+    PollPause,
+    SemP(u32),
+    SemV(u32),
+    SleepFull,
+    Handoff(HandoffHint),
+}
+
+/// When the mock should deliver the scripted message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Trigger {
+    /// Before the protocol runs (reply already waiting).
+    Immediately,
+    /// On the n-th `busy_wait` (1-based).
+    OnBusyWait(u32),
+    /// On the n-th `poll_pause` (1-based).
+    OnPollPause(u32),
+    /// On the n-th `sem_p` (1-based) — i.e. while "blocked".
+    OnSemP(u32),
+}
+
+/// A scripted delivery: trigger point, channel, destination queue
+/// (`u32::MAX` = the server receive queue), message, and whether to also
+/// perform the producer's wake-up step.
+type Script = (Trigger, Channel, u32, Message, bool);
+
+struct MockOs {
+    calls: RefCell<Vec<Call>>,
+    counters: RefCell<(u32, u32, u32)>, // busy_waits, polls, sem_ps
+    script: RefCell<Option<Script>>,
+}
+
+impl MockOs {
+    fn new() -> Self {
+        MockOs {
+            calls: RefCell::new(Vec::new()),
+            counters: RefCell::new((0, 0, 0)),
+            script: RefCell::new(None),
+        }
+    }
+
+    /// Deliver `msg` to queue `dest` (u32::MAX = server receive queue) when
+    /// `trigger` fires; `wake` additionally performs the producer's
+    /// wake-up step (`tas` + V as in the paper's Reply).
+    fn deliver(&self, trigger: Trigger, ch: &Channel, dest: u32, msg: Message, wake: bool) {
+        *self.script.borrow_mut() = Some((trigger, ch.clone(), dest, msg, wake));
+        if trigger == Trigger::Immediately {
+            self.fire();
+        }
+    }
+
+    fn fire(&self) {
+        let taken = self.script.borrow_mut().take();
+        if let Some((_, ch, dest, msg, wake)) = taken {
+            let q = if dest == u32::MAX {
+                ch.receive_queue()
+            } else {
+                ch.reply_queue(dest)
+            };
+            assert!(q.try_enqueue(self, msg), "mock delivery queue full");
+            if wake {
+                q.wake_consumer(self);
+            }
+        }
+    }
+
+    fn maybe_fire(&self, current: Trigger) {
+        let hit = matches!(*self.script.borrow(), Some((t, ..)) if t == current);
+        if hit {
+            self.fire();
+        }
+    }
+
+    fn log(&self, c: Call) {
+        let mut calls = self.calls.borrow_mut();
+        calls.push(c);
+        assert!(
+            calls.len() < 10_000,
+            "protocol spun without progress; recent calls: {:?}",
+            &calls[calls.len() - 10..]
+        );
+    }
+
+    fn calls(&self) -> Vec<Call> {
+        self.calls.borrow().clone()
+    }
+
+    fn count_of(&self, pred: impl Fn(&Call) -> bool) -> usize {
+        self.calls.borrow().iter().filter(|c| pred(c)).count()
+    }
+}
+
+impl OsServices for MockOs {
+    fn yield_now(&self) {
+        self.log(Call::Yield);
+    }
+    fn busy_wait(&self) {
+        self.log(Call::BusyWait);
+        let n = {
+            let mut c = self.counters.borrow_mut();
+            c.0 += 1;
+            c.0
+        };
+        self.maybe_fire(Trigger::OnBusyWait(n));
+    }
+    fn poll_pause(&self) {
+        self.log(Call::PollPause);
+        let n = {
+            let mut c = self.counters.borrow_mut();
+            c.1 += 1;
+            c.1
+        };
+        self.maybe_fire(Trigger::OnPollPause(n));
+    }
+    fn sem_p(&self, sem: u32) {
+        self.log(Call::SemP(sem));
+        let n = {
+            let mut c = self.counters.borrow_mut();
+            c.2 += 1;
+            c.2
+        };
+        self.maybe_fire(Trigger::OnSemP(n));
+    }
+    fn sem_v(&self, sem: u32) {
+        self.log(Call::SemV(sem));
+    }
+    fn sleep_full(&self) {
+        self.log(Call::SleepFull);
+    }
+    fn charge(&self, _c: Cost) {}
+    fn handoff(&self, h: HandoffHint) {
+        self.log(Call::Handoff(h));
+    }
+    fn msgsnd(&self, _q: u32, _m: [u64; 4]) {
+        unreachable!("user-level protocols never use kernel message queues");
+    }
+    fn msgrcv(&self, _q: u32) -> [u64; 4] {
+        unreachable!("user-level protocols never use kernel message queues");
+    }
+    fn task_id(&self) -> u32 {
+        99
+    }
+}
+
+fn channel() -> Channel {
+    Channel::create(&ChannelConfig::new(2)).unwrap()
+}
+
+// ---- BSS (Fig. 1) ----------------------------------------------------
+
+#[test]
+fn bss_makes_no_kernel_calls_when_reply_is_ready() {
+    let ch = channel();
+    let os = MockOs::new();
+    os.deliver(Trigger::Immediately, &ch, 0, Message::echo(0, 5.0), false);
+    let ans = WaitStrategy::Bss.send(&ch, &os, 0, Message::echo(0, 1.0));
+    assert_eq!(ans.value, 5.0);
+    assert!(
+        os.calls().is_empty(),
+        "the ideal user-level IPC path: zero system calls, got {:?}",
+        os.calls()
+    );
+    // The request really was enqueued for the server.
+    assert_eq!(ch.receive_queue().try_dequeue(&os).unwrap().value, 1.0);
+}
+
+#[test]
+fn bss_busy_waits_until_reply_arrives() {
+    let ch = channel();
+    let os = MockOs::new();
+    os.deliver(Trigger::OnBusyWait(3), &ch, 0, Message::echo(0, 9.0), false);
+    let ans = WaitStrategy::Bss.send(&ch, &os, 0, Message::echo(0, 1.0));
+    assert_eq!(ans.value, 9.0);
+    assert_eq!(os.calls(), vec![Call::BusyWait, Call::BusyWait, Call::BusyWait]);
+}
+
+#[test]
+fn bss_receive_spins_never_blocks() {
+    let ch = channel();
+    let os = MockOs::new();
+    os.deliver(Trigger::OnBusyWait(2), &ch, u32::MAX, Message::echo(1, 3.0), false);
+    let m = WaitStrategy::Bss.receive(&ch, &os);
+    assert_eq!(m.value, 3.0);
+    assert_eq!(os.count_of(|c| matches!(c, Call::SemP(_))), 0);
+    assert_eq!(os.count_of(|c| matches!(c, Call::BusyWait)), 2);
+}
+
+// ---- BSW (Fig. 5) ----------------------------------------------------
+
+#[test]
+fn bsw_send_wakes_sleeping_server_exactly_once() {
+    let ch = channel();
+    let os = MockOs::new();
+    // Server announced it may sleep.
+    ch.receive_queue().clear_awake(&os);
+    // Reply appears while we "block".
+    os.deliver(Trigger::OnSemP(1), &ch, 0, Message::echo(0, 2.0), true);
+    let ans = WaitStrategy::Bsw.send(&ch, &os, 0, Message::echo(0, 1.0));
+    assert_eq!(ans.value, 2.0);
+    let calls = os.calls();
+    // First call: V(server sem = 0) — the wake-up.
+    assert_eq!(calls[0], Call::SemV(0), "{calls:?}");
+    // Exactly one wake-up, despite the enqueue path running once more
+    // conceptually (the tas guard, Fig. 4 interleaving 2).
+    assert_eq!(os.count_of(|c| matches!(c, Call::SemV(0))), 1);
+    // And the client slept on its own semaphore (1 + client 0 = 1).
+    assert!(calls.contains(&Call::SemP(1)), "{calls:?}");
+    assert_eq!(os.count_of(|c| matches!(c, Call::BusyWait)), 0, "BSW never busy-waits");
+    assert_eq!(os.count_of(|c| matches!(c, Call::Yield)), 0, "BSW never yields");
+}
+
+#[test]
+fn bsw_send_skips_wakeup_when_server_awake() {
+    let ch = channel();
+    let os = MockOs::new();
+    // Server awake flag is set (it is running): no V may be posted.
+    os.deliver(Trigger::Immediately, &ch, 0, Message::echo(0, 2.0), false);
+    let _ = WaitStrategy::Bsw.send(&ch, &os, 0, Message::echo(0, 1.0));
+    assert_eq!(
+        os.count_of(|c| matches!(c, Call::SemV(_))),
+        0,
+        "no wake-up for an awake consumer: {:?}",
+        os.calls()
+    );
+}
+
+#[test]
+fn bsw_absorbs_stray_wakeup_with_guarded_p() {
+    // Fig. 4 interleaving 3: the reply (and its V) lands between the
+    // consumer's awake=0 and the double-check dequeue. The consumer must
+    // perform one absorbing P and terminate with the flag set.
+    let ch = channel();
+    let os = MockOs::new();
+    // The double-check happens after the first failed dequeue; deliver on
+    // "blocked" is too late, so script on busy-wait... BSW has none, so we
+    // emulate the producer racing the *first* dequeue: deliver immediately
+    // but with the wake-up of a producer that saw awake == 0.
+    ch.reply_queue(0).clear_awake(&os);
+    os.deliver(Trigger::Immediately, &ch, 0, Message::echo(0, 8.0), true);
+    // The producer's tas set the flag; its V is pending.
+    let ans = WaitStrategy::Bsw.send(&ch, &os, 0, Message::echo(0, 1.0));
+    assert_eq!(ans.value, 8.0);
+    // The pending V was posted by the producer...
+    assert_eq!(os.count_of(|c| matches!(c, Call::SemV(1))), 1);
+    // ...and the consumer path completed without sleeping forever (the
+    // dequeue succeeded on the fast path since the reply was present).
+}
+
+// ---- BSWY (Fig. 7) ---------------------------------------------------
+
+#[test]
+fn bswy_send_busy_waits_right_after_the_wakeup() {
+    let ch = channel();
+    let os = MockOs::new();
+    ch.receive_queue().clear_awake(&os); // server sleeping
+    os.deliver(Trigger::OnBusyWait(1), &ch, 0, Message::echo(0, 4.0), false);
+    let ans = WaitStrategy::Bswy.send(&ch, &os, 0, Message::echo(0, 1.0));
+    assert_eq!(ans.value, 4.0);
+    let calls = os.calls();
+    // Fig. 7: V(srv) immediately followed by busy_wait "and let it run".
+    assert_eq!(&calls[0..2], &[Call::SemV(0), Call::BusyWait], "{calls:?}");
+    // Reply was ready after that hand-off: no block.
+    assert_eq!(os.count_of(|c| matches!(c, Call::SemP(_))), 0);
+}
+
+#[test]
+fn bswy_send_skips_the_handoff_when_server_awake() {
+    let ch = channel();
+    let os = MockOs::new();
+    // Server awake: Fig. 7 posts neither V nor the first busy_wait; the
+    // wait loop then busy-waits once per iteration.
+    os.deliver(Trigger::OnBusyWait(1), &ch, 0, Message::echo(0, 4.0), false);
+    let _ = WaitStrategy::Bswy.send(&ch, &os, 0, Message::echo(0, 1.0));
+    assert_eq!(os.count_of(|c| matches!(c, Call::SemV(_))), 0);
+}
+
+#[test]
+fn bswy_receive_yields_once_to_let_clients_run() {
+    let ch = channel();
+    let os = MockOs::new();
+    os.deliver(Trigger::OnSemP(1), &ch, u32::MAX, Message::echo(0, 6.0), true);
+    let m = WaitStrategy::Bswy.receive(&ch, &os);
+    assert_eq!(m.value, 6.0);
+    let calls = os.calls();
+    // Fig. 7 Receive: dequeue fails -> yield() -> blocking path.
+    assert_eq!(calls[0], Call::Yield, "{calls:?}");
+    assert_eq!(os.count_of(|c| matches!(c, Call::Yield)), 1);
+}
+
+#[test]
+fn bswy_receive_returns_immediately_when_work_is_queued() {
+    let ch = channel();
+    let os = MockOs::new();
+    os.deliver(Trigger::Immediately, &ch, u32::MAX, Message::echo(1, 2.5), false);
+    let m = WaitStrategy::Bswy.receive(&ch, &os);
+    assert_eq!(m.value, 2.5);
+    assert!(os.calls().is_empty(), "{:?}", os.calls());
+}
+
+// ---- BSLS (Fig. 9) ---------------------------------------------------
+
+#[test]
+fn bsls_polls_up_to_max_spin_then_blocks() {
+    let ch = channel();
+    let os = MockOs::new();
+    os.deliver(Trigger::OnSemP(1), &ch, 0, Message::echo(0, 3.0), true);
+    let ans = WaitStrategy::Bsls { max_spin: 7 }.send(&ch, &os, 0, Message::echo(0, 1.0));
+    assert_eq!(ans.value, 3.0);
+    assert_eq!(
+        os.count_of(|c| matches!(c, Call::PollPause)),
+        7,
+        "spin budget honoured exactly: {:?}",
+        os.calls()
+    );
+    assert!(os.count_of(|c| matches!(c, Call::SemP(_))) >= 1, "then blocked");
+}
+
+#[test]
+fn bsls_stops_polling_as_soon_as_the_reply_lands() {
+    let ch = channel();
+    let os = MockOs::new();
+    os.deliver(Trigger::OnPollPause(2), &ch, 0, Message::echo(0, 3.5), false);
+    let ans = WaitStrategy::Bsls { max_spin: 50 }.send(&ch, &os, 0, Message::echo(0, 1.0));
+    assert_eq!(ans.value, 3.5);
+    assert_eq!(os.count_of(|c| matches!(c, Call::PollPause)), 2);
+    assert_eq!(os.count_of(|c| matches!(c, Call::SemP(_))), 0, "no block needed");
+}
+
+#[test]
+fn bsls_zero_spin_goes_straight_to_the_blocking_path() {
+    let ch = channel();
+    let os = MockOs::new();
+    os.deliver(Trigger::OnSemP(1), &ch, 0, Message::echo(0, 1.5), true);
+    let _ = WaitStrategy::Bsls { max_spin: 0 }.send(&ch, &os, 0, Message::echo(0, 1.0));
+    assert_eq!(os.count_of(|c| matches!(c, Call::PollPause)), 0);
+}
+
+// ---- handoff (§6) ----------------------------------------------------
+
+#[test]
+fn handoff_send_names_the_server() {
+    let ch = channel();
+    ch.register_server_task(7);
+    let os = MockOs::new();
+    ch.receive_queue().clear_awake(&os); // server sleeping
+    // HandoffBswy never busy-waits (it hands off instead), so inject the
+    // reply at the block point.
+    os.deliver(Trigger::OnSemP(1), &ch, 0, Message::echo(0, 4.0), true);
+    let _ = WaitStrategy::HandoffBswy.send(&ch, &os, 0, Message::echo(0, 1.0));
+    let handoffs: Vec<_> = os
+        .calls()
+        .into_iter()
+        .filter(|c| matches!(c, Call::Handoff(_)))
+        .collect();
+    assert!(
+        handoffs.contains(&Call::Handoff(HandoffHint::Peer(7))),
+        "client hands off to the registered server task: {handoffs:?}"
+    );
+}
+
+#[test]
+fn handoff_receive_uses_pid_any() {
+    let ch = channel();
+    let os = MockOs::new();
+    os.deliver(Trigger::OnSemP(1), &ch, u32::MAX, Message::echo(0, 6.0), true);
+    let _ = WaitStrategy::HandoffBswy.receive(&ch, &os);
+    assert_eq!(
+        os.calls()[0],
+        Call::Handoff(HandoffHint::Any),
+        "server lets anyone run: {:?}",
+        os.calls()
+    );
+}
+
+#[test]
+fn handoff_without_registration_falls_back_to_yield() {
+    let ch = channel(); // server never registered
+    let os = MockOs::new();
+    ch.receive_queue().clear_awake(&os);
+    os.deliver(Trigger::OnSemP(1), &ch, 0, Message::echo(0, 4.0), true);
+    let _ = WaitStrategy::HandoffBswy.send(&ch, &os, 0, Message::echo(0, 1.0));
+    assert_eq!(os.count_of(|c| matches!(c, Call::Handoff(_))), 0);
+    assert!(os.count_of(|c| matches!(c, Call::Yield)) >= 1, "{:?}", os.calls());
+}
+
+// ---- Reply (common) --------------------------------------------------
+
+#[test]
+fn reply_wakes_only_a_sleeping_client() {
+    let ch = channel();
+    let os = MockOs::new();
+    for strategy in [
+        WaitStrategy::Bsw,
+        WaitStrategy::Bswy,
+        WaitStrategy::Bsls { max_spin: 3 },
+        WaitStrategy::HandoffBswy,
+    ] {
+        // Client 1 sleeping: V expected on sem 1 + 1 = 2.
+        let os2 = MockOs::new();
+        ch.reply_queue(1).clear_awake(&os2);
+        strategy.reply(&ch, &os2, 1, Message::echo(1, 0.0));
+        assert_eq!(
+            os2.count_of(|c| matches!(c, Call::SemV(2))),
+            1,
+            "{} wakes the sleeping client",
+            strategy.name()
+        );
+        // Drain for the next round; the flag is set again by tas.
+        assert!(ch.reply_queue(1).try_dequeue(&os2).is_some());
+
+        // Client awake: no V.
+        let os3 = MockOs::new();
+        strategy.reply(&ch, &os3, 1, Message::echo(1, 0.0));
+        assert_eq!(os3.count_of(|c| matches!(c, Call::SemV(_))), 0);
+        assert!(ch.reply_queue(1).try_dequeue(&os3).is_some());
+        let _ = os.calls(); // silence unused in release config
+    }
+}

@@ -1,0 +1,114 @@
+//! Variable-sized messages: a tiny content store over fixed-size IPC.
+//!
+//! ```text
+//! cargo run --release --example bulk_transfer
+//! ```
+//!
+//! §2.1: "Variable sized messages can be accommodated by using one of the
+//! fields of the fixed sized message to point to a variable sized
+//! component in shared memory." Here the client PUTs documents of
+//! arbitrary size and GETs them back: the bytes travel through a
+//! [`BulkPool`](usipc::BulkPool) in the shared arena, and only a 24-byte
+//! message (opcode + key + bulk handle) crosses the queues. Ownership of
+//! the blocks transfers with the handle: client-written blocks are freed
+//! by the server and vice versa, so the pool drains back to empty.
+
+use std::collections::HashMap;
+use usipc::{
+    opcode, BulkHandle, BulkPool, Channel, ChannelConfig, Message, NativeConfig, NativeOs,
+    WaitStrategy,
+};
+
+const OP_PUT: u32 = opcode::USER_BASE;
+const OP_GET: u32 = opcode::USER_BASE + 1;
+const STRATEGY: WaitStrategy = WaitStrategy::Bsw;
+
+fn main() {
+    let channel = Channel::create(&ChannelConfig::new(1)).expect("create channel");
+    let pool = BulkPool::create(channel.arena(), 256).expect("bulk pool");
+    let os = NativeOs::new(NativeConfig::for_clients(1));
+
+    // Server: a key/value store; keys are f64 message values, documents are
+    // bulk payloads. PUT takes ownership of the incoming blocks; GET writes
+    // fresh blocks the client will free.
+    let server = {
+        let ch = channel.clone();
+        let os = os.task(0);
+        std::thread::spawn(move || {
+            let mut store: HashMap<u64, Vec<u8>> = HashMap::new();
+            usipc::run_server(&ch, &os, STRATEGY, |m| {
+                let arena = ch.arena();
+                match m.opcode {
+                    OP_PUT => {
+                        let bytes = pool.take(arena, BulkHandle(m.aux));
+                        store.insert(m.value.to_bits(), bytes);
+                        Message {
+                            opcode: OP_PUT,
+                            channel: m.channel,
+                            value: m.value,
+                            aux: 0,
+                        }
+                    }
+                    OP_GET => {
+                        let doc = store.get(&m.value.to_bits());
+                        let handle = doc
+                            .and_then(|d| pool.write(arena, d))
+                            .unwrap_or(BulkHandle::EMPTY);
+                        Message {
+                            opcode: OP_GET,
+                            channel: m.channel,
+                            value: m.value,
+                            aux: handle.0,
+                        }
+                    }
+                    _ => Message {
+                        opcode: m.opcode,
+                        channel: m.channel,
+                        value: f64::NAN,
+                        aux: 0,
+                    },
+                }
+            })
+        })
+    };
+
+    let client_os = os.task(1);
+    let client = channel.client(&client_os, 0, STRATEGY);
+    let arena = channel.arena();
+
+    let documents: Vec<(f64, Vec<u8>)> = vec![
+        (1.0, b"short note".to_vec()),
+        (2.0, vec![0xAB; 1000]),
+        (3.0, (0..2000u32).flat_map(|i| i.to_le_bytes()).collect()),
+    ];
+
+    for (key, doc) in &documents {
+        let handle = pool.write(arena, doc).expect("pool has room");
+        let mut m = Message {
+            opcode: OP_PUT,
+            channel: 0,
+            value: *key,
+            aux: handle.0,
+        };
+        m = client.call(m);
+        assert_eq!(m.opcode, OP_PUT);
+        println!("PUT key {key}: {} bytes", doc.len());
+    }
+
+    for (key, doc) in &documents {
+        let m = client.call(Message {
+            opcode: OP_GET,
+            channel: 0,
+            value: *key,
+            aux: 0,
+        });
+        let got = pool.take(arena, BulkHandle(m.aux));
+        assert_eq!(&got, doc, "document {key} round-tripped");
+        println!("GET key {key}: {} bytes ✓", got.len());
+    }
+
+    client.disconnect();
+    server.join().expect("server thread");
+    assert_eq!(pool.in_use(arena), 0, "every block returned to the pool");
+    println!("pool drained: 0 blocks in use");
+}

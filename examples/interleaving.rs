@@ -1,0 +1,83 @@
+//! Execution interleaving timelines, as in the paper's Fig. 4.
+//!
+//! ```text
+//! cargo run --release --example interleaving
+//! ```
+//!
+//! Runs three round trips of the BSW protocol between one client and the
+//! echo server on the simulated SGI (degrading priorities) with full
+//! tracing, and prints the scheduling timeline: every dispatch, kernel
+//! operation, yield decision, block and wake-up, in per-process columns.
+//! Watch for the protocol's signature moves — the client's `V(sem0)` that
+//! wakes the server, both sides' `P` blocks, and the wake-ups that ripple
+//! back.
+
+use std::sync::Arc;
+use usipc::{
+    Channel, ChannelConfig, Message, SimCosts, SimIds, SimOs, WaitStrategy,
+};
+use usipc_sim::{render_interleaving, MachineModel, PolicyKind, SimBuilder, VDur};
+
+const ROUND_TRIPS: u64 = 3;
+
+fn main() {
+    let machine = MachineModel::sgi_indy();
+    let costs = SimCosts::from_machine(&machine);
+    let mut b = SimBuilder::new(machine, PolicyKind::degrading_default().build());
+    b.trace(true);
+    b.time_limit(VDur::seconds(10));
+
+    let mut ids = SimIds::default();
+    for _ in 0..2 {
+        ids.sems.push(b.add_sem(0));
+    }
+    let ids = Arc::new(ids);
+    let channel = Channel::create(&ChannelConfig::new(1)).unwrap();
+
+    {
+        let (ch, ids) = (channel.clone(), Arc::clone(&ids));
+        b.spawn("server", move |sys| {
+            let os = SimOs::new(sys, ids, costs, false, 0);
+            let _ = usipc::run_echo_server(&ch, &os, WaitStrategy::Bsw);
+        });
+    }
+    {
+        let (ch, ids) = (channel.clone(), Arc::clone(&ids));
+        b.spawn("client", move |sys| {
+            let os = SimOs::new(sys, ids, costs, false, 1);
+            let ep = ch.client(&os, 0, WaitStrategy::Bsw);
+            for i in 0..ROUND_TRIPS {
+                let m = ep.call(Message::echo(0, i as f64));
+                assert_eq!(m.value, i as f64);
+            }
+            ep.disconnect();
+        });
+    }
+
+    let report = b.run();
+    assert!(report.outcome.is_completed(), "{:?}", report.outcome);
+
+    let names: Vec<String> = report.tasks.iter().map(|t| t.name.clone()).collect();
+    println!(
+        "BSW protocol, {ROUND_TRIPS} round trips, SGI model, degrading priorities"
+    );
+    println!("({} timeline events)\n", report.trace.len());
+    println!("{}", render_interleaving(&report.trace, &names, 24));
+
+    let server = report.task("server").unwrap();
+    let client = report.task("client").unwrap();
+    println!(
+        "server: {} blocks, {} V, {} P   |   client: {} blocks, {} V, {} P",
+        server.stats.blocks,
+        server.stats.sem_v,
+        server.stats.sem_p,
+        client.stats.blocks,
+        client.stats.sem_v,
+        client.stats.sem_p,
+    );
+    println!(
+        "total: {} context switches in {:.1} µs of virtual time",
+        report.total_switches,
+        report.end_time.as_micros_f64()
+    );
+}

@@ -1,0 +1,41 @@
+//! Quickstart: a blocking echo server and one client on real threads.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! This is the minimal adoption path for the library: create a channel,
+//! spawn a server thread running the Both Sides Wait protocol (fully
+//! blocking — no cycles wasted while idle), and make synchronous calls.
+
+use usipc::{Channel, ChannelConfig, NativeConfig, NativeOs, WaitStrategy};
+
+fn main() {
+    // One client, default queue depth.
+    let channel = Channel::create(&ChannelConfig::new(1)).expect("create channel");
+    // Kernel-ish services: semaphores for sleep/wake-up (convention:
+    // sem 0 = server, sem 1+c = client c).
+    let os = NativeOs::new(NativeConfig::for_clients(1));
+
+    let server = {
+        let ch = channel.clone();
+        let os = os.task(0);
+        std::thread::spawn(move || usipc::run_echo_server(&ch, &os, WaitStrategy::Bsw))
+    };
+
+    let client_os = os.task(1);
+    let client = channel.client(&client_os, 0, WaitStrategy::Bsw);
+
+    for i in 0..5 {
+        let v = client.echo(f64::from(i) * 1.5);
+        println!("echo({}) = {}", f64::from(i) * 1.5, v);
+        assert_eq!(v, f64::from(i) * 1.5);
+    }
+    client.disconnect();
+
+    let run = server.join().expect("server thread");
+    println!(
+        "server processed {} requests ({} disconnects)",
+        run.processed, run.disconnects
+    );
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate for the `usipc` reproduction workspace.
+//!
+//! This crate exists to host the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); the library surface simply
+//! re-exports the member crates for convenience.
+
+pub use usipc;
+pub use usipc_queue;
+pub use usipc_shm;
+pub use usipc_sim;

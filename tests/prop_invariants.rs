@@ -1,0 +1,224 @@
+//! Property-based tests on the core data structures and the simulator.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use usipc::harness::{run_sim_experiment, Mechanism, SimExperiment};
+use usipc::{Message, WaitStrategy};
+use usipc_queue::{MpmcRing, MsQueue, ShmFifo, ShmQueue, SpscRing};
+use usipc_shm::{ShmArena, TaggedAtomicPtr, TaggedPtr};
+use usipc_sim::{MachineModel, PolicyKind, VDur};
+
+/// One step of a single-threaded queue workout.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Enqueue(u64),
+    Dequeue,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..1_000_000).prop_map(Op::Enqueue),
+        Just(Op::Dequeue),
+    ]
+}
+
+/// Runs an op sequence against both the real queue and a VecDeque model
+/// with the same capacity; every observation must match.
+fn check_against_model<Q: ShmFifo>(capacity: usize, ops: &[Op]) {
+    let arena = ShmArena::new(1 << 21).unwrap();
+    let q = Q::create(&arena, capacity).unwrap();
+    let mut model: VecDeque<u64> = VecDeque::new();
+    // Ring capacities may round up; learn the effective capacity lazily.
+    let mut effective_cap = None;
+    for &op in ops {
+        match op {
+            Op::Enqueue(v) => {
+                let accepted = q.enqueue(&arena, v);
+                if accepted {
+                    model.push_back(v);
+                    assert!(
+                        effective_cap.is_none_or(|c| model.len() <= c),
+                        "queue exceeded its learned capacity"
+                    );
+                } else {
+                    // Refusal is only legal at (or beyond) the requested
+                    // capacity; remember the smallest refusal point.
+                    assert!(
+                        model.len() >= capacity,
+                        "refused an enqueue below the requested capacity ({} < {capacity})",
+                        model.len()
+                    );
+                    effective_cap.get_or_insert(model.len());
+                }
+            }
+            Op::Dequeue => {
+                assert_eq!(q.dequeue(&arena), model.pop_front(), "FIFO order differs");
+            }
+        }
+        assert_eq!(q.len(&arena), model.len(), "length diverged");
+        assert_eq!(q.is_empty(&arena), model.is_empty());
+    }
+    // Drain and compare the tails.
+    while let Some(expect) = model.pop_front() {
+        assert_eq!(q.dequeue(&arena), Some(expect));
+    }
+    assert_eq!(q.dequeue(&arena), None);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn shm_two_lock_matches_model(
+        capacity in 1usize..12,
+        ops in proptest::collection::vec(op_strategy(), 0..200),
+    ) {
+        check_against_model::<ShmQueue>(capacity, &ops);
+    }
+
+    #[test]
+    fn ms_lockfree_matches_model(
+        capacity in 1usize..12,
+        ops in proptest::collection::vec(op_strategy(), 0..200),
+    ) {
+        check_against_model::<MsQueue>(capacity, &ops);
+    }
+
+    #[test]
+    fn spsc_ring_matches_model(
+        capacity in 1usize..12,
+        ops in proptest::collection::vec(op_strategy(), 0..200),
+    ) {
+        check_against_model::<SpscRing>(capacity, &ops);
+    }
+
+    #[test]
+    fn mpmc_ring_matches_model(
+        capacity in 1usize..12,
+        ops in proptest::collection::vec(op_strategy(), 0..200),
+    ) {
+        check_against_model::<MpmcRing>(capacity, &ops);
+    }
+
+    #[test]
+    fn arena_allocations_are_disjoint_and_stable(
+        sizes in proptest::collection::vec(1usize..128, 1..40),
+    ) {
+        let arena = ShmArena::new(1 << 20).unwrap();
+        let mut claims: Vec<(u32, usize, u8)> = Vec::new();
+        for (i, &n) in sizes.iter().enumerate() {
+            let fill = (i % 251) as u8;
+            let s = arena.alloc_slice(n, |_| fill).unwrap();
+            claims.push((s.raw(), n, fill));
+        }
+        // No overlap, every byte still holds its fill value.
+        let mut ranges: Vec<(u32, u32)> = claims
+            .iter()
+            .map(|&(off, n, _)| (off, off + n as u32))
+            .collect();
+        ranges.sort_unstable();
+        for w in ranges.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "allocations overlap: {w:?}");
+        }
+        for &(off, n, fill) in &claims {
+            let s = usipc_shm::ShmSlice::<u8>::from_raw(off, n as u32);
+            for &b in arena.get_slice(s) {
+                prop_assert_eq!(b, fill);
+            }
+        }
+    }
+
+    #[test]
+    fn tagged_ptr_roundtrips(off in any::<u32>(), tag in any::<u32>()) {
+        let p = TaggedPtr::new(off, tag);
+        let cell = TaggedAtomicPtr::new(p);
+        prop_assert_eq!(cell.load(std::sync::atomic::Ordering::Relaxed), p);
+        let bumped = p.bumped(off ^ 0xffff);
+        prop_assert_eq!(bumped.tag, tag.wrapping_add(1));
+        prop_assert_eq!(bumped.off, off ^ 0xffff);
+    }
+
+    #[test]
+    fn message_kmsg_roundtrips(
+        opcode in any::<u32>(),
+        channel in any::<u32>(),
+        value in any::<f64>(),
+        aux in any::<u64>(),
+    ) {
+        let m = Message { opcode, channel, value, aux };
+        let back = Message::from_kmsg(m.to_kmsg());
+        prop_assert_eq!(back.opcode, opcode);
+        prop_assert_eq!(back.channel, channel);
+        prop_assert_eq!(back.aux, aux);
+        if value.is_nan() {
+            prop_assert!(back.value.is_nan());
+        } else {
+            prop_assert_eq!(back.value, value);
+        }
+    }
+}
+
+proptest! {
+    // Whole-simulation properties are costly (each case runs two complete
+    // simulations on a thread-per-process engine); keep the case count low
+    // — the deterministic integration tests cover the grid densely anyway.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn any_strategy_any_shape_completes_and_is_deterministic(
+        strategy_idx in 0usize..6,
+        clients in 1usize..3,
+        msgs in 5u64..20,
+        machine_idx in 0usize..3,
+    ) {
+        let strategy = [
+            WaitStrategy::Bss,
+            WaitStrategy::Bsw,
+            WaitStrategy::Bswy,
+            WaitStrategy::Bsls { max_spin: 2 },
+            WaitStrategy::Bsls { max_spin: 9 },
+            WaitStrategy::HandoffBswy,
+        ][strategy_idx];
+        let machine = [
+            MachineModel::sgi_indy(),
+            MachineModel::ibm_p4(),
+            MachineModel::sgi_challenge8(),
+        ][machine_idx].clone();
+        let exp = SimExperiment::new(
+            machine,
+            PolicyKind::degrading_default(),
+            Mechanism::UserLevel(strategy),
+        )
+        .clients(clients)
+        .messages(msgs)
+        .jitter(VDur::micros((msgs % 7) * 10));
+        let a = run_sim_experiment(&exp);
+        let b = run_sim_experiment(&exp);
+        prop_assert_eq!(a.messages, msgs * clients as u64);
+        prop_assert_eq!(a.elapsed, b.elapsed, "determinism");
+        prop_assert_eq!(a.report.total_switches, b.report.total_switches);
+    }
+
+    #[test]
+    fn semaphore_credits_never_accumulate_in_bsw(
+        clients in 1usize..3,
+        msgs in 5u64..20,
+    ) {
+        let exp = SimExperiment::new(
+            MachineModel::sgi_indy(),
+            PolicyKind::degrading_default(),
+            Mechanism::UserLevel(WaitStrategy::Bsw),
+        )
+        .clients(clients)
+        .messages(msgs);
+        let r = run_sim_experiment(&exp);
+        for (i, s) in r.report.sems.iter().enumerate() {
+            prop_assert!(
+                s.max_count <= 2,
+                "sem {i} accumulated {} credits",
+                s.max_count
+            );
+            prop_assert_eq!(s.waiting, 0, "no one left blocked");
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Regression tests for the four race interleavings of Fig. 4 and the
+//! semaphore-overflow failure of §3, forced deterministically on the
+//! simulator by spacing the participants with precise `work()` gaps.
+//!
+//! The simulator runs one process at a time and linearizes shared-memory
+//! effects at syscall completion, so a `work(d)` places the next memory
+//! operation at an exact virtual instant — the scalpel these tests need.
+
+use std::sync::Arc;
+use usipc::{Channel, ChannelConfig, Message, OsServices, SimCosts, SimIds, SimOs};
+use usipc_sim::{MachineModel, Outcome, PolicyKind, SimBuilder, VDur};
+
+fn quiet_machine() -> MachineModel {
+    MachineModel {
+        name: "race-test",
+        cpus: 2, // two CPUs: both parties genuinely concurrent
+        queue_op: VDur::nanos(100),
+        tas_op: VDur::nanos(50),
+        syscall: VDur::micros(1),
+        runq_scan_per_ready: VDur::ZERO,
+        ctx_switch: VDur::ZERO,
+        cache_reload_per_proc: VDur::ZERO,
+        cache_procs_max: 0,
+        block_resume_penalty: VDur::ZERO,
+        msg_op: VDur::micros(1),
+        sem_op: VDur::micros(1),
+        poll_op: VDur::micros(1),
+        request_work: VDur::ZERO,
+        quantum: VDur::millis(100),
+        fixed_sched_discount: 1.0,
+    }
+}
+
+struct Rig {
+    b: SimBuilder,
+    ids: Arc<SimIds>,
+    costs: SimCosts,
+    channel: Channel,
+}
+
+fn rig() -> Rig {
+    let machine = quiet_machine();
+    let mut b = SimBuilder::new(machine.clone(), PolicyKind::FairRr.build());
+    b.time_limit(VDur::seconds(10));
+    let mut ids = SimIds::default();
+    for _ in 0..2 {
+        ids.sems.push(b.add_sem(0));
+    }
+    let channel = Channel::create(&ChannelConfig::new(1)).unwrap();
+    Rig {
+        costs: SimCosts::from_machine(&machine),
+        b,
+        ids: Arc::new(ids),
+        channel,
+    }
+}
+
+/// Fig. 4, interleaving 1 — *wake-up before sleep*: the producer's V lands
+/// in the window between the consumer's failed re-check and its P. With
+/// counting semaphores the credit remains pending and the P returns
+/// immediately.
+#[test]
+fn wakeup_before_sleep_is_not_lost() {
+    let mut r = rig();
+    let (ids, costs) = (Arc::clone(&r.ids), r.costs);
+    let ch = r.channel.clone();
+    r.b.spawn("consumer", move |sys| {
+        let os = SimOs::new(sys, ids, costs, true, 0);
+        let q = ch.receive_queue();
+        // C.1 dequeue -> empty; C.2 awake = 0; C.3 dequeue -> empty
+        assert!(q.try_dequeue(&os).is_none());
+        q.clear_awake(&os);
+        assert!(q.try_dequeue(&os).is_none());
+        // ... window: the producer enqueues AND posts the V right here ...
+        sys.work(VDur::micros(50));
+        // C.4 block(consumer): must consume the pending credit, not sleep.
+        os.sem_p(q.sem());
+        q.set_awake(&os);
+        let m = q.try_dequeue(&os).expect("message was enqueued in the window");
+        assert_eq!(m.value, 42.0);
+    });
+    let (ids, costs) = (Arc::clone(&r.ids), r.costs);
+    let ch = r.channel.clone();
+    r.b.spawn("producer", move |sys| {
+        let os = SimOs::new(sys, ids, costs, true, 1);
+        sys.work(VDur::micros(10)); // land inside the consumer's window
+        let q = ch.receive_queue();
+        assert!(q.try_enqueue(&os, Message::echo(0, 42.0)));
+        q.wake_consumer(&os); // sees awake == 0 -> V
+    });
+    let report = r.b.run();
+    assert!(report.outcome.is_completed(), "{:?}", report.outcome);
+    let consumer = report.task("consumer").unwrap();
+    assert_eq!(
+        consumer.stats.blocks, 0,
+        "P consumed the banked credit instead of blocking"
+    );
+    assert_eq!(report.sems[0].count, 0, "no stray credit left behind");
+}
+
+/// Fig. 4, interleaving 2 — *multiple wake-ups*: two producers see the
+/// cleared flag "simultaneously"; the atomic test-and-set ensures only the
+/// first posts a V, so credits cannot accumulate.
+#[test]
+fn multiple_producers_post_only_one_wakeup() {
+    let mut r = rig();
+    let (ids, costs) = (Arc::clone(&r.ids), r.costs);
+    let ch = r.channel.clone();
+    r.b.spawn("consumer", move |sys| {
+        let os = SimOs::new(sys, ids, costs, true, 0);
+        let q = ch.receive_queue();
+        assert!(q.try_dequeue(&os).is_none());
+        q.clear_awake(&os);
+        assert!(q.try_dequeue(&os).is_none());
+        sys.work(VDur::micros(100)); // both producers fire in this window
+        os.sem_p(q.sem());
+        q.set_awake(&os);
+        // Drain both messages.
+        let mut got = 0;
+        while q.try_dequeue(&os).is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 2);
+    });
+    for p in 0..2u64 {
+        let (ids, costs) = (Arc::clone(&r.ids), r.costs);
+        let ch = r.channel.clone();
+        r.b.spawn(format!("producer{p}"), move |sys| {
+            let os = SimOs::new(sys, ids, costs, true, 1);
+            sys.work(VDur::micros(10 + p)); // nearly simultaneous
+            let q = ch.receive_queue();
+            assert!(q.try_enqueue(&os, Message::echo(0, p as f64)));
+            q.wake_consumer(&os);
+        });
+    }
+    let report = r.b.run();
+    assert!(report.outcome.is_completed(), "{:?}", report.outcome);
+    assert!(
+        report.sems[0].max_count <= 1,
+        "tas let only the first producer post a wake-up (max_count {})",
+        report.sems[0].max_count
+    );
+    assert_eq!(report.sems[0].count, 0);
+}
+
+/// Fig. 4, interleaving 3 — *wake-up without sleep*: the consumer's
+/// re-check succeeds, but a producer has already posted a V; the
+/// `tas`-guarded extra P absorbs it so the credit cannot linger.
+#[test]
+fn stray_wakeup_is_absorbed_by_tas_guarded_p() {
+    let mut r = rig();
+    let (ids, costs) = (Arc::clone(&r.ids), r.costs);
+    let ch = r.channel.clone();
+    r.b.spawn("consumer", move |sys| {
+        let os = SimOs::new(sys, ids, costs, true, 0);
+        let q = ch.receive_queue();
+        assert!(q.try_dequeue(&os).is_none());
+        q.clear_awake(&os);
+        sys.work(VDur::micros(50)); // producer enqueues + Vs in this window
+        // C.3 re-check: succeeds now.
+        let m = q.try_dequeue(&os).expect("message arrived in the window");
+        assert_eq!(m.value, 7.0);
+        // Fig. 5's fix: tas returned 1 -> a producer posted a V; absorb it.
+        if q.tas_awake(&os) {
+            os.sem_p(q.sem());
+        }
+    });
+    let (ids, costs) = (Arc::clone(&r.ids), r.costs);
+    let ch = r.channel.clone();
+    r.b.spawn("producer", move |sys| {
+        let os = SimOs::new(sys, ids, costs, true, 1);
+        sys.work(VDur::micros(10));
+        let q = ch.receive_queue();
+        assert!(q.try_enqueue(&os, Message::echo(0, 7.0)));
+        q.wake_consumer(&os);
+    });
+    let report = r.b.run();
+    assert!(report.outcome.is_completed(), "{:?}", report.outcome);
+    assert_eq!(
+        report.sems[0].count, 0,
+        "the stray credit was absorbed, not banked"
+    );
+    assert_eq!(report.task("consumer").unwrap().stats.blocks, 0);
+}
+
+/// Fig. 4, interleaving 4 — *why step C.3 is required*: a consumer that
+/// skips the double-check sleeps forever when the producer checked the
+/// flag before it was cleared. The simulator detects the deadlock.
+#[test]
+fn skipping_the_recheck_loses_the_wakeup() {
+    let mut r = rig();
+    let (ids, costs) = (Arc::clone(&r.ids), r.costs);
+    let ch = r.channel.clone();
+    r.b.spawn("buggy-consumer", move |sys| {
+        let os = SimOs::new(sys, ids, costs, true, 0);
+        let q = ch.receive_queue();
+        // C.1: dequeue fails.
+        assert!(q.try_dequeue(&os).is_none());
+        // The producer runs entirely inside this gap: enqueue, check the
+        // awake flag (still 1!), skip the wake-up.
+        sys.work(VDur::micros(50));
+        // C.2 ... and then the buggy consumer blocks WITHOUT re-checking.
+        q.clear_awake(&os);
+        os.sem_p(q.sem()); // sleeps forever
+        unreachable!("no one will ever wake the buggy consumer");
+    });
+    let (ids, costs) = (Arc::clone(&r.ids), r.costs);
+    let ch = r.channel.clone();
+    r.b.spawn("producer", move |sys| {
+        let os = SimOs::new(sys, ids, costs, true, 1);
+        sys.work(VDur::micros(10));
+        let q = ch.receive_queue();
+        assert!(q.try_enqueue(&os, Message::echo(0, 1.0)));
+        q.wake_consumer(&os); // tas sees awake == 1 -> no V posted
+    });
+    let report = r.b.run();
+    match report.outcome {
+        Outcome::Deadlock(ref stuck) => {
+            assert_eq!(stuck.len(), 1);
+            assert!(stuck[0].contains("buggy-consumer"), "{stuck:?}");
+        }
+        ref other => panic!("expected the lost-wakeup deadlock, got {other:?}"),
+    }
+}
+
+/// §3: "the multiple wake-ups can accumulate - eventually causing an
+/// overflow of the semaphore value (this happened in our first version of
+/// the algorithm!)". A producer without the tas guard Vs on every enqueue
+/// while the consumer never sleeps; with a small semaphore limit the
+/// overflow is detected.
+#[test]
+fn unguarded_wakeups_overflow_the_semaphore() {
+    let machine = quiet_machine();
+    let mut b = SimBuilder::new(machine.clone(), PolicyKind::FairRr.build());
+    b.time_limit(VDur::seconds(10));
+    let mut ids = SimIds::default();
+    ids.sems.push(b.add_sem_limited(0, 8)); // SEMVMX stand-in
+    ids.sems.push(b.add_sem(0));
+    let ids = Arc::new(ids);
+    let costs = SimCosts::from_machine(&machine);
+    let channel = Channel::create(&ChannelConfig::new(1)).unwrap();
+
+    let (ch, ids2) = (channel.clone(), Arc::clone(&ids));
+    b.spawn("busy-consumer", move |sys| {
+        let os = SimOs::new(sys, ids2, costs, true, 0);
+        let q = ch.receive_queue();
+        // Busy enough that it never iterates the count down (§3).
+        for _ in 0..100 {
+            let _ = q.try_dequeue(&os);
+            sys.work(VDur::micros(5));
+        }
+    });
+    let (ch, ids2) = (channel.clone(), Arc::clone(&ids));
+    b.spawn("unguarded-producer", move |sys| {
+        let os = SimOs::new(sys, ids2, costs, true, 1);
+        let q = ch.receive_queue();
+        for i in 0..100u64 {
+            let _ = q.try_enqueue(&os, Message::echo(0, i as f64));
+            // BUG under test: V without the tas guard, every time.
+            os.sem_v(q.sem());
+        }
+    });
+    let report = b.run();
+    assert_eq!(
+        report.outcome,
+        Outcome::SemaphoreOverflow { sem: 0, limit: 8 },
+        "accumulating wake-ups must overflow, as in the authors' first version"
+    );
+}
+
+/// The correct (guarded) protocol under the same pressure never grows the
+/// semaphore beyond one pending credit.
+#[test]
+fn guarded_wakeups_never_accumulate() {
+    let mut r = rig();
+    let (ids, costs) = (Arc::clone(&r.ids), r.costs);
+    let ch = r.channel.clone();
+    r.b.spawn("consumer", move |sys| {
+        let os = SimOs::new(sys, ids, costs, true, 0);
+        let q = ch.receive_queue();
+        let mut got = 0;
+        while got < 200 {
+            if let Some(_m) = q.try_dequeue(&os) {
+                got += 1;
+                continue;
+            }
+            q.clear_awake(&os);
+            match q.try_dequeue(&os) {
+                Some(_m) => {
+                    if q.tas_awake(&os) {
+                        os.sem_p(q.sem());
+                    }
+                    got += 1;
+                }
+                None => {
+                    os.sem_p(q.sem());
+                    q.set_awake(&os);
+                }
+            }
+        }
+    });
+    let (ids, costs) = (Arc::clone(&r.ids), r.costs);
+    let ch = r.channel.clone();
+    r.b.spawn("producer", move |sys| {
+        let os = SimOs::new(sys, ids, costs, true, 1);
+        let q = ch.receive_queue();
+        for i in 0..200u64 {
+            while !q.try_enqueue(&os, Message::echo(0, i as f64)) {
+                sys.work(VDur::micros(5));
+            }
+            q.wake_consumer(&os);
+            if i % 3 == 0 {
+                sys.work(VDur::micros(7)); // vary the interleaving
+            }
+        }
+    });
+    let report = r.b.run();
+    assert!(report.outcome.is_completed(), "{:?}", report.outcome);
+    assert!(
+        report.sems[0].max_count <= 1,
+        "guarded protocol banked at most one credit (max {})",
+        report.sems[0].max_count
+    );
+}
