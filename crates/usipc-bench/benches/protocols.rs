@@ -6,47 +6,54 @@
 //! semaphores. Absolute numbers are host-specific; the interesting output
 //! is the *ordering* of the strategies and the SysV-style baseline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use usipc::harness::{run_native_experiment, Mechanism};
 use usipc::WaitStrategy;
+use usipc_bench::minibench::Minibench;
 
 const MSGS: u64 = 2_000;
 
-fn roundtrips(c: &mut Criterion) {
-    let mut g = c.benchmark_group("native_echo_1client");
-    g.throughput(Throughput::Elements(MSGS));
+fn roundtrips(mb: &mut Minibench) {
+    let mut g = mb.group("native_echo_1client");
+    g.throughput_elements(MSGS);
     g.sample_size(10);
     let cases: Vec<(&str, Mechanism)> = vec![
         ("BSS", Mechanism::UserLevel(WaitStrategy::Bss)),
         ("BSW", Mechanism::UserLevel(WaitStrategy::Bsw)),
         ("BSWY", Mechanism::UserLevel(WaitStrategy::Bswy)),
-        ("BSLS-10", Mechanism::UserLevel(WaitStrategy::Bsls { max_spin: 10 })),
+        (
+            "BSLS-10",
+            Mechanism::UserLevel(WaitStrategy::Bsls { max_spin: 10 }),
+        ),
         ("HANDOFF", Mechanism::UserLevel(WaitStrategy::HandoffBswy)),
         ("SysV", Mechanism::SysV),
     ];
     for (name, mech) in cases {
-        g.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| run_native_experiment(mech, 1, MSGS));
+        g.bench_function(name, || {
+            run_native_experiment(mech, 1, MSGS);
         });
     }
-    g.finish();
 }
 
-fn multi_client(c: &mut Criterion) {
-    let mut g = c.benchmark_group("native_echo_4clients");
-    g.throughput(Throughput::Elements(4 * MSGS / 4));
+fn multi_client(mb: &mut Minibench) {
+    let mut g = mb.group("native_echo_4clients");
+    g.throughput_elements(MSGS);
     g.sample_size(10);
     for (name, mech) in [
         ("BSW", Mechanism::UserLevel(WaitStrategy::Bsw)),
-        ("BSLS-10", Mechanism::UserLevel(WaitStrategy::Bsls { max_spin: 10 })),
+        (
+            "BSLS-10",
+            Mechanism::UserLevel(WaitStrategy::Bsls { max_spin: 10 }),
+        ),
         ("SysV", Mechanism::SysV),
     ] {
-        g.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| run_native_experiment(mech, 4, MSGS / 4));
+        g.bench_function(name, || {
+            run_native_experiment(mech, 4, MSGS / 4);
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, roundtrips, multi_client);
-criterion_main!(benches);
+fn main() {
+    let mut mb = Minibench::new();
+    roundtrips(&mut mb);
+    multi_client(&mut mb);
+}

@@ -7,85 +7,74 @@
 //! and retry behaviour under *preemption*, which is exactly the regime the
 //! paper's uniprocessor analysis cares about.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::sync::Arc;
+use usipc_bench::minibench::Minibench;
 use usipc_queue::{MpmcRing, MsQueue, ShmFifo, ShmQueue, SpscRing, TwoLockQueue};
 use usipc_shm::ShmArena;
 
 const OPS: u64 = 10_000;
 
-fn bench_uncontended<Q: ShmFifo>(c: &mut Criterion, name: &str) {
+fn bench_uncontended<Q: ShmFifo>(mb: &mut Minibench, name: &str) {
     let arena = ShmArena::new(1 << 20).unwrap();
     let q = Q::create(&arena, 1024).unwrap();
-    let mut g = c.benchmark_group("queue_pingpong_uncontended");
-    g.throughput(Throughput::Elements(OPS));
-    g.bench_function(BenchmarkId::from_parameter(name), |b| {
-        b.iter(|| {
-            for i in 0..OPS {
-                assert!(q.enqueue(&arena, i));
-                assert_eq!(q.dequeue(&arena), Some(i));
-            }
-        })
+    let mut g = mb.group("queue_pingpong_uncontended");
+    g.throughput_elements(OPS);
+    g.bench_function(name, || {
+        for i in 0..OPS {
+            assert!(q.enqueue(&arena, i));
+            assert_eq!(q.dequeue(&arena), Some(i));
+        }
     });
-    g.finish();
 }
 
-fn bench_spsc_threads<Q: ShmFifo>(c: &mut Criterion, name: &str) {
-    let mut g = c.benchmark_group("queue_spsc_cross_thread");
-    g.throughput(Throughput::Elements(OPS));
+fn bench_spsc_threads<Q: ShmFifo>(mb: &mut Minibench, name: &str) {
+    let mut g = mb.group("queue_spsc_cross_thread");
+    g.throughput_elements(OPS);
     g.sample_size(10);
-    g.bench_function(BenchmarkId::from_parameter(name), |b| {
-        b.iter(|| {
-            let arena = Arc::new(ShmArena::new(1 << 21).unwrap());
-            let q = Q::create(&arena, 256).unwrap();
-            let ap = Arc::clone(&arena);
-            let producer = std::thread::spawn(move || {
-                for i in 0..OPS {
-                    while !q.enqueue(&ap, i) {
-                        std::thread::yield_now();
-                    }
-                }
-            });
-            let mut expect = 0;
-            while expect < OPS {
-                if let Some(v) = q.dequeue(&arena) {
-                    assert_eq!(v, expect);
-                    expect += 1;
-                } else {
+    g.bench_function(name, || {
+        let arena = Arc::new(ShmArena::new(1 << 21).unwrap());
+        let q = Q::create(&arena, 256).unwrap();
+        let ap = Arc::clone(&arena);
+        let producer = std::thread::spawn(move || {
+            for i in 0..OPS {
+                while !q.enqueue(&ap, i) {
                     std::thread::yield_now();
                 }
             }
-            producer.join().unwrap();
-        })
-    });
-    g.finish();
-}
-
-fn bench_heap_two_lock(c: &mut Criterion) {
-    let q = TwoLockQueue::new();
-    let mut g = c.benchmark_group("queue_pingpong_uncontended");
-    g.throughput(Throughput::Elements(OPS));
-    g.bench_function(BenchmarkId::from_parameter("heap-two-lock"), |b| {
-        b.iter(|| {
-            for i in 0..OPS {
-                q.enqueue(i);
-                assert_eq!(q.dequeue(), Some(i));
+        });
+        let mut expect = 0;
+        while expect < OPS {
+            if let Some(v) = q.dequeue(&arena) {
+                assert_eq!(v, expect);
+                expect += 1;
+            } else {
+                std::thread::yield_now();
             }
-        })
+        }
+        producer.join().unwrap();
     });
-    g.finish();
 }
 
-fn queues(c: &mut Criterion) {
-    bench_uncontended::<ShmQueue>(c, "shm-two-lock");
-    bench_uncontended::<MsQueue>(c, "shm-ms-lockfree");
-    bench_uncontended::<SpscRing>(c, "shm-spsc-ring");
-    bench_uncontended::<MpmcRing>(c, "shm-mpmc-ring");
-    bench_heap_two_lock(c);
-    bench_spsc_threads::<ShmQueue>(c, "shm-two-lock");
-    bench_spsc_threads::<MsQueue>(c, "shm-ms-lockfree");
-    bench_spsc_threads::<SpscRing>(c, "shm-spsc-ring");
+fn bench_heap_two_lock(mb: &mut Minibench) {
+    let q = TwoLockQueue::new();
+    let mut g = mb.group("queue_pingpong_uncontended");
+    g.throughput_elements(OPS);
+    g.bench_function("heap-two-lock", || {
+        for i in 0..OPS {
+            q.enqueue(i);
+            assert_eq!(q.dequeue(), Some(i));
+        }
+    });
 }
 
-criterion_group!(benches, queues);
-criterion_main!(benches);
+fn main() {
+    let mut mb = Minibench::new();
+    bench_uncontended::<ShmQueue>(&mut mb, "shm-two-lock");
+    bench_uncontended::<MsQueue>(&mut mb, "shm-ms-lockfree");
+    bench_uncontended::<SpscRing>(&mut mb, "shm-spsc-ring");
+    bench_uncontended::<MpmcRing>(&mut mb, "shm-mpmc-ring");
+    bench_heap_two_lock(&mut mb);
+    bench_spsc_threads::<ShmQueue>(&mut mb, "shm-two-lock");
+    bench_spsc_threads::<MsQueue>(&mut mb, "shm-ms-lockfree");
+    bench_spsc_threads::<SpscRing>(&mut mb, "shm-spsc-ring");
+}

@@ -5,71 +5,58 @@
 //! experiment is practical. This bench tracks it so regressions in the
 //! baton path are caught.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use usipc_bench::minibench::Minibench;
 use usipc_sim::{MachineModel, PolicyKind, SimBuilder, VDur};
 
 const EVENTS: u64 = 5_000;
 
-fn engine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_engine");
-    g.throughput(Throughput::Elements(EVENTS));
+fn main() {
+    let mut mb = Minibench::new();
+    let mut g = mb.group("sim_engine");
+    g.throughput_elements(EVENTS);
     g.sample_size(10);
 
-    g.bench_function("work_ops_single_task", |b| {
-        b.iter(|| {
-            let mut sb =
-                SimBuilder::new(MachineModel::sgi_indy(), PolicyKind::FairRr.build());
-            sb.spawn("t", |sys| {
-                for _ in 0..EVENTS {
-                    sys.work(VDur::micros(1));
-                }
-            });
-            let r = sb.run();
-            assert!(r.outcome.is_completed());
-        })
-    });
-
-    g.bench_function("yield_pingpong_two_tasks", |b| {
-        b.iter(|| {
-            let mut sb =
-                SimBuilder::new(MachineModel::sgi_indy(), PolicyKind::FairRr.build());
-            for i in 0..2 {
-                sb.spawn(format!("t{i}"), |sys| {
-                    for _ in 0..EVENTS / 2 {
-                        sys.yield_now();
-                    }
-                });
+    g.bench_function("work_ops_single_task", || {
+        let mut sb = SimBuilder::new(MachineModel::sgi_indy(), PolicyKind::FairRr.build());
+        sb.spawn("t", |sys| {
+            for _ in 0..EVENTS {
+                sys.work(VDur::micros(1));
             }
-            let r = sb.run();
-            assert!(r.outcome.is_completed());
-        })
+        });
+        let r = sb.run();
+        assert!(r.outcome.is_completed());
     });
 
-    g.bench_function("sem_pingpong_two_tasks", |b| {
-        b.iter(|| {
-            let mut sb =
-                SimBuilder::new(MachineModel::sgi_indy(), PolicyKind::FairRr.build());
-            let a = sb.add_sem(0);
-            let z = sb.add_sem(0);
-            sb.spawn("ping", move |sys| {
-                for _ in 0..EVENTS / 4 {
-                    sys.sem_v(a);
-                    sys.sem_p(z);
+    g.bench_function("yield_pingpong_two_tasks", || {
+        let mut sb = SimBuilder::new(MachineModel::sgi_indy(), PolicyKind::FairRr.build());
+        for i in 0..2 {
+            sb.spawn(format!("t{i}"), |sys| {
+                for _ in 0..EVENTS / 2 {
+                    sys.yield_now();
                 }
             });
-            sb.spawn("pong", move |sys| {
-                for _ in 0..EVENTS / 4 {
-                    sys.sem_p(a);
-                    sys.sem_v(z);
-                }
-            });
-            let r = sb.run();
-            assert!(r.outcome.is_completed());
-        })
+        }
+        let r = sb.run();
+        assert!(r.outcome.is_completed());
     });
 
-    g.finish();
+    g.bench_function("sem_pingpong_two_tasks", || {
+        let mut sb = SimBuilder::new(MachineModel::sgi_indy(), PolicyKind::FairRr.build());
+        let a = sb.add_sem(0);
+        let z = sb.add_sem(0);
+        sb.spawn("ping", move |sys| {
+            for _ in 0..EVENTS / 4 {
+                sys.sem_v(a);
+                sys.sem_p(z);
+            }
+        });
+        sb.spawn("pong", move |sys| {
+            for _ in 0..EVENTS / 4 {
+                sys.sem_p(a);
+                sys.sem_v(z);
+            }
+        });
+        let r = sb.run();
+        assert!(r.outcome.is_completed());
+    });
 }
-
-criterion_group!(benches, engine);
-criterion_main!(benches);

@@ -64,7 +64,10 @@ fn main() {
     for id in &ids {
         let start = std::time::Instant::now();
         let Some(output) = run_experiment(id, opts) else {
-            eprintln!("unknown experiment `{id}` (available: {})", all_ids().join(", "));
+            eprintln!(
+                "unknown experiment `{id}` (available: {})",
+                all_ids().join(", ")
+            );
             std::process::exit(2);
         };
         println!("==============================================================");

@@ -21,7 +21,11 @@ pub(super) fn run(opts: RunOpts) -> ExperimentOutput {
         "Extension — SGI Indy: asynchronous batching (1 client, BSW discipline)",
         "batch",
         "messages/ms (and sem calls per message)",
-        vec!["throughput".into(), "sem calls/msg".into(), "latency µs/msg".into()],
+        vec![
+            "throughput".into(),
+            "sem calls/msg".into(),
+            "latency µs/msg".into(),
+        ],
     );
     for &batch in &batches {
         let r = run_async_sim_experiment(
@@ -32,11 +36,10 @@ pub(super) fn run(opts: RunOpts) -> ExperimentOutput {
         );
         let client = r.report.task("client").unwrap();
         let server = r.report.task("server").unwrap();
-        let sem_per_msg = (client.stats.sem_p
-            + client.stats.sem_v
-            + server.stats.sem_p
-            + server.stats.sem_v) as f64
-            / r.messages as f64;
+        let sem_per_msg =
+            (client.stats.sem_p + client.stats.sem_v + server.stats.sem_p + server.stats.sem_v)
+                as f64
+                / r.messages as f64;
         t.push_row(batch as f64, vec![r.throughput, sem_per_msg, r.latency_us]);
     }
 

@@ -34,7 +34,8 @@ pub(super) fn run(opts: RunOpts) -> ExperimentOutput {
         opts.msgs_per_client,
     );
 
-    let gain = |t: &crate::table::Table| t.cell(1.0, "BSS-fixed").unwrap() / t.cell(1.0, "BSS").unwrap();
+    let gain =
+        |t: &crate::table::Table| t.cell(1.0, "BSS-fixed").unwrap() / t.cell(1.0, "BSS").unwrap();
     let notes = vec![
         format!(
             "paper: fixed priorities buy ≈ +50% on the SGI; measured +{:.0}% at 1 client",

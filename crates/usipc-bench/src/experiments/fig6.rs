@@ -34,7 +34,8 @@ pub(super) fn run(opts: RunOpts) -> ExperimentOutput {
         opts.msgs_per_client,
     );
 
-    let ratio = |t: &crate::table::Table| t.cell(1.0, "BSW").unwrap() / t.cell(1.0, "SysV").unwrap();
+    let ratio =
+        |t: &crate::table::Table| t.cell(1.0, "BSW").unwrap() / t.cell(1.0, "SysV").unwrap();
     let notes = vec![
         format!(
             "paper: BSW ≈ SysV (\"no advantage ... at all\"); measured BSW/SysV = {:.2} (SGI), {:.2} (IBM) at 1 client",

@@ -19,7 +19,11 @@ pub(super) fn run(opts: RunOpts) -> ExperimentOutput {
             Column::new("BSWY-fixed", PolicyKind::Fixed, bswy),
             Column::new("BSWY", default, bswy),
             Column::new("BSW", default, Mechanism::UserLevel(WaitStrategy::Bsw)),
-            Column::new("BSS-fixed", PolicyKind::Fixed, Mechanism::UserLevel(WaitStrategy::Bss)),
+            Column::new(
+                "BSS-fixed",
+                PolicyKind::Fixed,
+                Mechanism::UserLevel(WaitStrategy::Bss),
+            ),
             Column::new("SysV", default, Mechanism::SysV),
         ]
     };

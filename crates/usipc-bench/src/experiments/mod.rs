@@ -1,16 +1,17 @@
 //! One module per paper artifact; see DESIGN.md §5 for the index.
 
+mod asynch;
 mod fig10;
 mod fig11;
 mod fig12;
 mod fig2;
 mod fig3;
 mod fig6;
-mod asynch;
 mod fig8;
 mod mixed;
 mod mlfq;
 mod stats;
+mod syscalls;
 mod table1;
 mod threaded;
 mod throttle;
@@ -54,7 +55,7 @@ impl Default for RunOpts {
 /// All experiment ids, in paper order.
 pub fn all_ids() -> &'static [&'static str] {
     &[
-        "table1", "fig2", "fig3", "fig6", "fig8", "fig10", "fig11", "fig12", "stats",
+        "table1", "fig2", "fig3", "fig6", "fig8", "fig10", "fig11", "fig12", "stats", "syscalls",
         "throttle", "threaded", "mlfq", "async", "mixed",
     ]
 }
@@ -71,6 +72,7 @@ pub fn run_experiment(id: &str, opts: RunOpts) -> Option<ExperimentOutput> {
         "fig11" => fig11::run(opts),
         "fig12" => fig12::run(opts),
         "stats" => stats::run(opts),
+        "syscalls" => syscalls::run(opts),
         "throttle" => throttle::run(opts),
         "threaded" => threaded::run(opts),
         "mlfq" => mlfq::run(opts),

@@ -80,7 +80,9 @@ pub(super) fn run(opts: RunOpts) -> ExperimentOutput {
         .sum();
     let block6 = blocks6 as f64 / (6 * (msgs / 4)) as f64;
     t.push_row(6.0, vec![0.10, block6]);
-    notes.push("claim 6: BSLS(20) 6-client block rate (paper ≈ 0.10; see claim 5 on determinism)".into());
+    notes.push(
+        "claim 6: BSLS(20) 6-client block rate (paper ≈ 0.10; see claim 5 on determinism)".into(),
+    );
 
     // Claim 7 (§3.1): BSW needs ~4 semaphore calls per round trip.
     let r7 = run_sim_experiment(

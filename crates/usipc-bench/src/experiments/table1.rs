@@ -13,8 +13,8 @@
 use super::{ExperimentOutput, RunOpts};
 use crate::table::Table;
 use std::sync::Arc;
-use usipc_sim::{MachineModel, PolicyKind, SimBuilder, VDur};
 use usipc_shm::ShmArena;
+use usipc_sim::{MachineModel, PolicyKind, SimBuilder, VDur};
 
 const ITERS: u64 = 2_000;
 

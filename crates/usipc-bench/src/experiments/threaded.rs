@@ -38,8 +38,7 @@ pub(super) fn run(opts: RunOpts) -> ExperimentOutput {
             .clients(n)
             .messages(opts.msgs_per_client),
         );
-        let duplex =
-            run_duplex_sim_experiment(&machine, policy, n, opts.msgs_per_client, 10);
+        let duplex = run_duplex_sim_experiment(&machine, policy, n, opts.msgs_per_client, 10);
         let bss = run_sim_experiment(
             &SimExperiment::new(
                 machine.clone(),

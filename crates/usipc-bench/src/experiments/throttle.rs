@@ -37,11 +37,7 @@ pub(super) fn run(opts: RunOpts) -> ExperimentOutput {
                 wake_batch: 2,
             },
         ),
-        Column::new(
-            "BSS",
-            policy,
-            Mechanism::UserLevel(WaitStrategy::Bss),
-        ),
+        Column::new("BSS", policy, Mechanism::UserLevel(WaitStrategy::Bss)),
     ];
     let t = throughput_table(
         "Ablation — SGI Challenge (8 CPUs): wake-up throttling vs plain BSLS",

@@ -1,7 +1,8 @@
 //! # usipc-bench — the experiment harness
 //!
 //! Regenerates every table and figure of Unrau & Krieger (ICPP 1998) on the
-//! scheduler simulator, and benchmarks the native backend with Criterion.
+//! scheduler simulator, and benchmarks the native backend with a small
+//! self-contained harness ([`minibench`]).
 //!
 //! ```text
 //! cargo run -p usipc-bench --release --bin figures -- all
@@ -16,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod minibench;
 pub mod table;
 
 pub use experiments::{all_ids, run_experiment, ExperimentOutput, RunOpts};

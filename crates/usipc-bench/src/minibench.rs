@@ -1,0 +1,126 @@
+//! A minimal self-timed benchmark harness (no external dependency, so the
+//! workspace builds with a cold registry).
+//!
+//! The API intentionally mirrors the subset of Criterion the benches used:
+//! named groups, per-group element throughput, a configurable sample
+//! count, and `bench_function(id, f)` where `f` runs one full measured
+//! iteration. Each benchmark reports the median, minimum and maximum
+//! nanoseconds per iteration over the samples, plus element throughput
+//! when configured.
+
+use std::time::Instant;
+
+/// Top-level harness; create one per bench binary and call
+/// [`Minibench::group`] for each benchmark family.
+#[derive(Debug, Default)]
+pub struct Minibench {
+    /// Results accumulated so far: `(group/id, median ns/iter)`.
+    pub results: Vec<(String, f64)>,
+}
+
+impl Minibench {
+    /// Creates an empty harness.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a named benchmark group.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        println!("\n== {name}");
+        Group {
+            harness: self,
+            name: name.to_string(),
+            elements: None,
+            samples: 20,
+        }
+    }
+}
+
+/// A family of benchmarks sharing a throughput unit and sample count.
+#[derive(Debug)]
+pub struct Group<'a> {
+    harness: &'a mut Minibench,
+    name: String,
+    elements: Option<u64>,
+    samples: usize,
+}
+
+impl Group<'_> {
+    /// Declares that one iteration processes `n` elements (enables the
+    /// elements-per-second column).
+    pub fn throughput_elements(&mut self, n: u64) -> &mut Self {
+        self.elements = Some(n);
+        self
+    }
+
+    /// Sets the number of measured samples (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1, "need at least one sample");
+        self.samples = n;
+        self
+    }
+
+    /// Measures `f` (one call = one iteration): one warm-up call, then
+    /// `samples` timed calls; prints and records the median.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut()) -> &mut Self {
+        f(); // warm-up (first-touch, lazy init, cache warming)
+        let mut ns: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_nanos() as f64
+            })
+            .collect();
+        ns.sort_by(|a, b| a.total_cmp(b));
+        let median = ns[ns.len() / 2];
+        let (min, max) = (ns[0], ns[ns.len() - 1]);
+        let label = format!("{}/{id}", self.name);
+        match self.elements {
+            Some(n) => {
+                let melems = n as f64 / (median / 1e3);
+                println!(
+                    "{label:<44} {:>12.0} ns/iter  [{:.0} .. {:.0}]  {melems:>9.2} Melem/s",
+                    median, min, max
+                );
+            }
+            None => {
+                println!(
+                    "{label:<44} {:>12.0} ns/iter  [{:.0} .. {:.0}]",
+                    median, min, max
+                );
+            }
+        }
+        self.harness.results.push((label, median));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_median_and_counts_iterations() {
+        let mut mb = Minibench::new();
+        let mut calls = 0u32;
+        mb.group("g").sample_size(5).bench_function("id", || {
+            calls += 1;
+        });
+        assert_eq!(calls, 6, "warm-up + 5 samples");
+        assert_eq!(mb.results.len(), 1);
+        assert_eq!(mb.results[0].0, "g/id");
+        assert!(mb.results[0].1 >= 0.0);
+    }
+
+    #[test]
+    fn throughput_column_does_not_change_accounting() {
+        let mut mb = Minibench::new();
+        mb.group("g")
+            .throughput_elements(1_000)
+            .sample_size(3)
+            .bench_function("a", || {
+                std::hint::black_box(42);
+            });
+        assert_eq!(mb.results.len(), 1);
+    }
+}

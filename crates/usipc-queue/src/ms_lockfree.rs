@@ -110,7 +110,8 @@ impl MsQueue {
         n.value.store(value, Ordering::Relaxed);
         // Keep the old tag when nulling the link: the tag must only grow.
         let old = n.next.load(Ordering::Relaxed);
-        n.next.store(old.bumped(usipc_shm::NULL_OFFSET), Ordering::Relaxed);
+        n.next
+            .store(old.bumped(usipc_shm::NULL_OFFSET), Ordering::Relaxed);
 
         loop {
             let tail = hdr.tail.load(Ordering::Acquire);

@@ -124,7 +124,11 @@ impl ShmQueue {
             let tail: NodePtr = ShmPtr::from_raw(hdr.tail.load(Ordering::Relaxed));
             // Release: publishes the payload store above to the consumer's
             // acquiring load of `next`.
-            arena.get(tail).value().next.store(node.raw(), Ordering::Release);
+            arena
+                .get(tail)
+                .value()
+                .next
+                .store(node.raw(), Ordering::Release);
             hdr.tail.store(node.raw(), Ordering::Relaxed);
             hdr.count.fetch_add(1, Ordering::Relaxed);
         });

@@ -72,7 +72,11 @@ impl SpinLock {
     /// bug); release builds simply store.
     #[inline]
     pub fn unlock(&self) {
-        debug_assert_eq!(self.0.load(Ordering::Relaxed), LOCKED, "unlock of free lock");
+        debug_assert_eq!(
+            self.0.load(Ordering::Relaxed),
+            LOCKED,
+            "unlock of free lock"
+        );
         self.0.store(UNLOCKED, Ordering::Release);
     }
 

@@ -145,12 +145,10 @@ impl ShmArena {
                     available: self.cap - cur,
                 });
             }
-            match self.next.compare_exchange_weak(
-                cur,
-                end,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .next
+                .compare_exchange_weak(cur, end, Ordering::AcqRel, Ordering::Relaxed)
+            {
                 Ok(_) => return Ok(aligned as RawOffset),
                 Err(actual) => cur = actual,
             }
@@ -239,9 +237,7 @@ impl ShmArena {
         }
         self.check::<T>(s.raw(), s.len());
         // SAFETY: as in `get`, for `len` consecutive elements.
-        unsafe {
-            core::slice::from_raw_parts(self.base.add(s.raw() as usize).cast::<T>(), s.len())
-        }
+        unsafe { core::slice::from_raw_parts(self.base.add(s.raw() as usize).cast::<T>(), s.len()) }
     }
 
     /// Publishes `p` as the arena's root object for attaching peers.

@@ -69,7 +69,19 @@ macro_rules! impl_shm_safe {
 }
 
 impl_shm_safe!(
-    u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool,
+    u8,
+    u16,
+    u32,
+    u64,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    isize,
+    f32,
+    f64,
+    bool,
     core::sync::atomic::AtomicU8,
     core::sync::atomic::AtomicU16,
     core::sync::atomic::AtomicU32,

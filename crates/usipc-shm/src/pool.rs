@@ -127,7 +127,12 @@ impl<T: ShmSafe> SlotPool<T> {
             let next = arena.get(node_ptr).next.load(Ordering::Relaxed);
             if hdr
                 .free
-                .compare_exchange_weak(top, top.bumped(next.off), Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange_weak(
+                    top,
+                    top.bumped(next.off),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
                 .is_ok()
             {
                 hdr.in_use.fetch_add(1, Ordering::Relaxed);
@@ -151,7 +156,12 @@ impl<T: ShmSafe> SlotPool<T> {
             node.next.store(top, Ordering::Relaxed);
             if hdr
                 .free
-                .compare_exchange_weak(top, top.bumped(slot.raw()), Ordering::Release, Ordering::Relaxed)
+                .compare_exchange_weak(
+                    top,
+                    top.bumped(slot.raw()),
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                )
                 .is_ok()
             {
                 hdr.in_use.fetch_sub(1, Ordering::Relaxed);

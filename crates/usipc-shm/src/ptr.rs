@@ -48,7 +48,12 @@ impl<T> core::hash::Hash for ShmPtr<T> {
 }
 impl<T> core::fmt::Debug for ShmPtr<T> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "ShmPtr<{}>(+{:#x})", core::any::type_name::<T>(), self.off)
+        write!(
+            f,
+            "ShmPtr<{}>(+{:#x})",
+            core::any::type_name::<T>(),
+            self.off
+        )
     }
 }
 
@@ -143,7 +148,11 @@ impl<T> ShmSlice<T> {
 
     /// Pointer to element `i` (panics if out of bounds).
     pub fn at(self, i: usize) -> ShmPtr<T> {
-        assert!(i < self.len as usize, "ShmSlice index {i} out of {}", self.len);
+        assert!(
+            i < self.len as usize,
+            "ShmSlice index {i} out of {}",
+            self.len
+        );
         let stride = core::mem::size_of::<T>();
         ShmPtr::from_raw(self.off + (i * stride) as RawOffset)
     }
@@ -309,7 +318,12 @@ mod tests {
         let a = TaggedAtomicPtr::new(p0);
         // Same offset, different tag: CAS against the stale view must fail.
         a.store(TaggedPtr::new(8, 1), Ordering::Relaxed);
-        let r = a.compare_exchange(p0, TaggedPtr::new(16, 1), Ordering::Relaxed, Ordering::Relaxed);
+        let r = a.compare_exchange(
+            p0,
+            TaggedPtr::new(16, 1),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
         assert!(r.is_err());
         assert_eq!(r.unwrap_err(), TaggedPtr::new(8, 1));
     }

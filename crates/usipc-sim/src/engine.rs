@@ -180,7 +180,11 @@ impl SimBuilder {
     }
 
     /// Adds a process; pids are assigned in spawn order starting at 0.
-    pub fn spawn(&mut self, name: impl Into<String>, body: impl FnOnce(&Sys) + Send + 'static) -> Pid {
+    pub fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        body: impl FnOnce(&Sys) + Send + 'static,
+    ) -> Pid {
         self.specs.push((name.into(), Box::new(body)));
         Pid(self.specs.len() as u32 - 1)
     }
@@ -570,10 +574,7 @@ impl Engine {
                 (self.kernel_serialized(self.machine.msg_op), true)
             }
             Request::Sleep(_) => (self.machine.syscall, true),
-            Request::Handoff(_) => (
-                self.machine.syscall + self.machine.sched_scan(ready),
-                true,
-            ),
+            Request::Handoff(_) => (self.machine.syscall + self.machine.sched_scan(ready), true),
             other => unreachable!("{other:?} is engine-internal"),
         };
         let t = &mut self.tasks[pid.idx()];
@@ -604,10 +605,7 @@ impl Engine {
         if self.tasks[pid.idx()].gen != gen {
             return;
         }
-        debug_assert!(matches!(
-            self.tasks[pid.idx()].state,
-            TaskState::Running(_)
-        ));
+        debug_assert!(matches!(self.tasks[pid.idx()].state, TaskState::Running(_)));
         // Aging: all on-CPU time (user work and kernel op time) degrades the
         // dynamic priority — this is what makes the yield loop itself age
         // the caller, producing IRIX's ~2.5 yields per switch.

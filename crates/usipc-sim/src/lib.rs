@@ -59,6 +59,8 @@ pub use msgq::{KMsgQueue, RecvOutcome, SendOutcome};
 pub use report::{Mark, Outcome, SemFinal, SimReport, TaskReport};
 pub use sched::{PolicyKind, Scheduler, YieldDecision};
 pub use sem::{DownResult, Semaphore};
-pub use syscall::{BarrierId, Handoff, KMsg, MsqId, Pid, Request, ResumeValue, SemId, Sys, TaskStats};
+pub use syscall::{
+    BarrierId, Handoff, KMsg, MsqId, Pid, Request, ResumeValue, SemId, Sys, TaskStats,
+};
 pub use time::{VDur, VTime};
 pub use trace::{render_interleaving, TraceEvent, TraceWhat};

@@ -264,7 +264,7 @@ mod tests {
         assert_eq!(p.pick(), Some(Pid(1)));
         p.on_run(Pid(1), VDur::micros(35));
         p.on_ready(Pid(1)); // requeued at level 1
-        // Fresh pid 0 at level 0:
+                            // Fresh pid 0 at level 0:
         p.on_ready(Pid(0));
         assert_eq!(p.pick(), Some(Pid(0)), "level 0 beats level 1");
         assert_eq!(

@@ -155,9 +155,7 @@ impl PolicyKind {
     /// Builds the policy object.
     pub fn build(self) -> Box<dyn Scheduler> {
         match self {
-            PolicyKind::Degrading { aging_step } => {
-                Box::new(DegradingPriority::new(aging_step))
-            }
+            PolicyKind::Degrading { aging_step } => Box::new(DegradingPriority::new(aging_step)),
             PolicyKind::FairRr => Box::new(FairRoundRobin::new()),
             PolicyKind::Fixed => Box::new(FixedPriority::new()),
             PolicyKind::LinuxOld { quantum } => Box::new(LinuxOldSched::new(quantum)),

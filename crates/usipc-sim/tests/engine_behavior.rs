@@ -4,9 +4,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use usipc_sim::sched::{DegradingPriority, FixedPriority};
-use usipc_sim::{
-    Handoff, MachineModel, Outcome, PolicyKind, Scheduler, SimBuilder, VDur, VTime,
-};
+use usipc_sim::{Handoff, MachineModel, Outcome, PolicyKind, Scheduler, SimBuilder, VDur, VTime};
 
 fn quiet_machine() -> MachineModel {
     // A machine with trivial overheads so tests can reason about exact times.
@@ -251,7 +249,10 @@ fn task_panic_is_captured() {
     });
     let r = b.run();
     match r.outcome {
-        Outcome::TaskPanicked { ref task, ref message } => {
+        Outcome::TaskPanicked {
+            ref task,
+            ref message,
+        } => {
             assert_eq!(task, "bomb");
             assert!(message.contains("boom"), "{message}");
         }
@@ -396,7 +397,10 @@ fn handoff_any_lets_others_run() {
 #[test]
 fn runs_are_deterministic() {
     fn one_run() -> (u64, u64, u64) {
-        let mut b = SimBuilder::new(MachineModel::sgi_indy(), PolicyKind::degrading_default().build());
+        let mut b = SimBuilder::new(
+            MachineModel::sgi_indy(),
+            PolicyKind::degrading_default().build(),
+        );
         let sem = b.add_sem(0);
         let q = b.add_msgq(4);
         b.spawn("a", move |sys| {
@@ -475,7 +479,9 @@ fn trace_records_the_timeline_when_enabled() {
     use usipc_sim::TraceWhat;
     let has = |f: &dyn Fn(&TraceWhat) -> bool| r.trace.iter().any(|e| f(&e.what));
     assert!(has(&|w| matches!(w, TraceWhat::Dispatched { .. })));
-    assert!(has(&|w| matches!(w, TraceWhat::OpStart { op } if op.contains("V(sem0)"))));
+    assert!(has(
+        &|w| matches!(w, TraceWhat::OpStart { op } if op.contains("V(sem0)"))
+    ));
     assert!(has(&|w| matches!(w, TraceWhat::Blocked)));
     assert!(has(&|w| matches!(w, TraceWhat::Woken)));
     assert!(has(&|w| matches!(w, TraceWhat::Exited)));

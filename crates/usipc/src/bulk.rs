@@ -128,13 +128,11 @@ impl BulkPool {
                 buf[..word_bytes.len()].copy_from_slice(word_bytes);
                 block.data[w].store(u64::from_le_bytes(buf), Ordering::Relaxed);
             }
-            let next = acquired
-                .get(i + 1)
-                .map(|p| p.raw())
-                .unwrap_or(NULL_OFFSET);
-            block
-                .header
-                .store(((chunk.len() as u64) << 32) | next as u64, Ordering::Relaxed);
+            let next = acquired.get(i + 1).map(|p| p.raw()).unwrap_or(NULL_OFFSET);
+            block.header.store(
+                ((chunk.len() as u64) << 32) | next as u64,
+                Ordering::Relaxed,
+            );
         }
         Some(BulkHandle::new(acquired[0].raw(), bytes.len() as u32))
     }

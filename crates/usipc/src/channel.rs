@@ -10,6 +10,7 @@
 //! the reply queue to be used for the response." That is exactly the layout
 //! of [`ChannelRoot`].
 
+use crate::metrics::ProtoEvent;
 use crate::msg::{Message, MsgSlot};
 use crate::platform::{client_sem, server_sem, Cost, OsServices};
 use crate::protocol::WaitStrategy;
@@ -33,10 +34,7 @@ unsafe impl ShmSafe for WaitableQueue {}
 
 impl WaitableQueue {
     /// Creates a queue (with its `awake` flag initially set) in `arena`.
-    pub(crate) fn create(
-        arena: &ShmArena,
-        capacity: usize,
-    ) -> Result<Self, ShmError> {
+    pub(crate) fn create(arena: &ShmArena, capacity: usize) -> Result<Self, ShmError> {
         Ok(WaitableQueue {
             queue: ShmQueue::create(arena, capacity)?,
             awake: AtomicU32::new(1),
@@ -101,9 +99,8 @@ impl Channel {
         assert!(cfg.queue_capacity >= 2, "queues need capacity >= 2");
         let queues = cfg.n_clients + 1;
         // Conservative arena sizing: queue nodes + pool slots + headers.
-        let bytes = 64 * 1024
-            + queues * (cfg.queue_capacity + 16) * 96
-            + queues * cfg.queue_capacity * 96;
+        let bytes =
+            64 * 1024 + queues * (cfg.queue_capacity + 16) * 96 + queues * cfg.queue_capacity * 96;
         let arena = Arc::new(ShmArena::new(bytes)?);
 
         // Every in-flight message holds a pool slot; the worst case is all
@@ -255,6 +252,7 @@ impl QueueRef<'_> {
         };
         self.arena.get(slot).value().store(m);
         if self.wq.queue.enqueue(self.arena, slot.raw() as u64) {
+            os.record(ProtoEvent::Enqueue);
             true
         } else {
             self.pool.free(self.arena, slot);
@@ -269,6 +267,7 @@ impl QueueRef<'_> {
         let slot: ShmPtr<usipc_shm::PoolSlot<MsgSlot>> = ShmPtr::from_raw(off as u32);
         let m = self.arena.get(slot).value().load();
         self.pool.free(self.arena, slot);
+        os.record(ProtoEvent::Dequeue);
         Some(m)
     }
 
@@ -334,9 +333,23 @@ impl<O: OsServices> ClientEndpoint<'_, O> {
 
     /// Synchronous `Send`: enqueue the request and wait for the reply under
     /// the endpoint's wait strategy.
+    ///
+    /// When the backend collects metrics, each call feeds the endpoint's
+    /// round-trip latency histogram (host time on native, virtual time on
+    /// the simulator).
     pub fn call(&self, mut msg: Message) -> Message {
         msg.channel = self.id;
-        self.strategy.send(self.ch, self.os, self.id, msg)
+        let start = match self.os.metrics() {
+            Some(_) => self.os.now_nanos(),
+            None => None,
+        };
+        let reply = self.strategy.send(self.ch, self.os, self.id, msg);
+        if let (Some(t0), Some(m)) = (start, self.os.metrics()) {
+            if let Some(t1) = self.os.now_nanos() {
+                m.record_latency_nanos(t1.saturating_sub(t0));
+            }
+        }
+        reply
     }
 
     /// Convenience: ECHO round trip, returning the echoed value.

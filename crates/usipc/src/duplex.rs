@@ -186,6 +186,7 @@ mod tests {
             msgq_capacity: 1,
             multiprocessor: false,
             full_backoff: std::time::Duration::from_millis(1),
+            collect_metrics: false,
         })
     }
 

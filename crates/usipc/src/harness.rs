@@ -10,6 +10,7 @@
 //! ([`run_native_experiment`]).
 
 use crate::channel::{Channel, ChannelConfig};
+use crate::metrics::{LatencySnapshot, MetricsRegistry, MetricsSnapshot};
 use crate::platform::OsServices;
 use crate::protocol::WaitStrategy;
 use crate::simulated::{SimCosts, SimIds, SimOs};
@@ -134,6 +135,14 @@ pub struct SimExperimentResult {
     pub throughput: f64,
     /// Mean round-trip latency per message in microseconds.
     pub latency_us: f64,
+    /// Protocol events recorded by the server task.
+    pub server_metrics: MetricsSnapshot,
+    /// Protocol events summed over every client task.
+    pub client_metrics: MetricsSnapshot,
+    /// Round-trip latency histogram merged over every client task
+    /// (virtual-time samples; empty for the SysV baseline, which bypasses
+    /// the channel layer).
+    pub client_latency: LatencySnapshot,
 }
 
 /// Runs one experiment cell on the simulator.
@@ -175,13 +184,15 @@ pub fn run_sim_experiment(exp: &SimExperiment) -> SimExperimentResult {
     let mechanism = exp.mechanism;
     let msgs = exp.msgs_per_client;
     let jitter = exp.service_jitter;
+    let metrics = Arc::new(MetricsRegistry::new());
 
     // Server: task 0 == Pid(0).
     {
         let ch = channel.clone();
         let ids = Arc::clone(&ids);
+        let sink = metrics.for_task(0);
         b.spawn("server", move |sys| {
-            let os = SimOs::new(sys, ids, costs, multiprocessor, 0);
+            let os = SimOs::new(sys, ids, costs, multiprocessor, 0).with_metrics(sink);
             match mechanism {
                 Mechanism::UserLevel(strategy) => {
                     let _ = crate::server::run_server(&ch, &os, strategy, |m| {
@@ -211,8 +222,9 @@ pub fn run_sim_experiment(exp: &SimExperiment) -> SimExperimentResult {
     for c in 0..n as u32 {
         let ch = channel.clone();
         let ids = Arc::clone(&ids);
+        let sink = metrics.for_task(1 + c);
         b.spawn(format!("client{c}"), move |sys| {
-            let os = SimOs::new(sys, ids, costs, multiprocessor, 1 + c);
+            let os = SimOs::new(sys, ids, costs, multiprocessor, 1 + c).with_metrics(sink);
             sys.barrier(start_barrier);
             sys.mark(MARK_FIRST_SEND);
             match mechanism {
@@ -265,6 +277,9 @@ pub fn run_sim_experiment(exp: &SimExperiment) -> SimExperimentResult {
         latency_us: elapsed.as_micros_f64() / messages.max(1) as f64,
         elapsed,
         messages,
+        server_metrics: metrics.task_snapshot(0),
+        client_metrics: metrics.aggregate(|t| t != 0),
+        client_latency: metrics.aggregate_latency(|t| t != 0),
         report,
     }
 }
@@ -301,12 +316,14 @@ pub fn run_duplex_sim_experiment(
     let start_barrier = b.add_barrier(n as u32);
     let ids = Arc::new(ids);
     let channel = DuplexChannel::create(n, 64).expect("duplex channel");
+    let metrics = Arc::new(MetricsRegistry::new());
 
     for c in 0..n as u32 {
         let ch = channel.clone();
         let ids = Arc::clone(&ids);
+        let sink = metrics.for_task(c);
         b.spawn(format!("srv{c}"), move |sys| {
-            let os = SimOs::new(sys, ids, costs, multiprocessor, c);
+            let os = SimOs::new(sys, ids, costs, multiprocessor, c).with_metrics(sink);
             let _ = ch.serve_connection(&os, c, max_spin, |m| m);
             sys.mark(MARK_SERVER_DONE);
         });
@@ -314,8 +331,9 @@ pub fn run_duplex_sim_experiment(
     for c in 0..n as u32 {
         let ch = channel.clone();
         let ids = Arc::clone(&ids);
+        let sink = metrics.for_task(n as u32 + c);
         b.spawn(format!("client{c}"), move |sys| {
-            let os = SimOs::new(sys, ids, costs, multiprocessor, n as u32 + c);
+            let os = SimOs::new(sys, ids, costs, multiprocessor, n as u32 + c).with_metrics(sink);
             sys.barrier(start_barrier);
             sys.mark(MARK_FIRST_SEND);
             for i in 0..msgs_per_client {
@@ -333,15 +351,21 @@ pub fn run_duplex_sim_experiment(
         report.outcome
     );
     let start = report.first_mark(MARK_FIRST_SEND).expect("first send mark");
-    let done = report.last_mark(MARK_SERVER_DONE).expect("server done mark");
+    let done = report
+        .last_mark(MARK_SERVER_DONE)
+        .expect("server done mark");
     let elapsed = done.since(start);
     let messages = msgs_per_client * n as u64;
     let ms = elapsed.as_nanos() as f64 / 1e6;
+    let servers = n as u32;
     SimExperimentResult {
         throughput: messages as f64 / ms,
         latency_us: elapsed.as_micros_f64() / messages.max(1) as f64,
         elapsed,
         messages,
+        server_metrics: metrics.aggregate(|t| t < servers),
+        client_metrics: metrics.aggregate(|t| t >= servers),
+        client_latency: metrics.aggregate_latency(|t| t >= servers),
         report,
     }
 }
@@ -379,11 +403,13 @@ pub fn run_async_sim_experiment(
     })
     .expect("channel creation");
 
+    let metrics = Arc::new(MetricsRegistry::new());
     {
         let ch = channel.clone();
         let ids = Arc::clone(&ids);
+        let sink = metrics.for_task(0);
         b.spawn("server", move |sys| {
-            let os = SimOs::new(sys, ids, costs, multiprocessor, 0);
+            let os = SimOs::new(sys, ids, costs, multiprocessor, 0).with_metrics(sink);
             let _ = crate::server::run_echo_server(&ch, &os, WaitStrategy::Bsw);
             sys.mark(MARK_SERVER_DONE);
         });
@@ -391,8 +417,9 @@ pub fn run_async_sim_experiment(
     {
         let ch = channel.clone();
         let ids = Arc::clone(&ids);
+        let sink = metrics.for_task(1);
         b.spawn("client", move |sys| {
-            let os = SimOs::new(sys, ids, costs, multiprocessor, 1);
+            let os = SimOs::new(sys, ids, costs, multiprocessor, 1).with_metrics(sink);
             sys.mark(MARK_FIRST_SEND);
             let mut ac = AsyncClient::new(&ch, &os, 0);
             let mut issued = 0u64;
@@ -421,7 +448,9 @@ pub fn run_async_sim_experiment(
         report.outcome
     );
     let start = report.first_mark(MARK_FIRST_SEND).expect("first send mark");
-    let done = report.last_mark(MARK_SERVER_DONE).expect("server done mark");
+    let done = report
+        .last_mark(MARK_SERVER_DONE)
+        .expect("server done mark");
     let elapsed = done.since(start);
     let ms = elapsed.as_nanos() as f64 / 1e6;
     SimExperimentResult {
@@ -429,6 +458,9 @@ pub fn run_async_sim_experiment(
         latency_us: elapsed.as_micros_f64() / msgs.max(1) as f64,
         elapsed,
         messages: msgs,
+        server_metrics: metrics.task_snapshot(0),
+        client_metrics: metrics.task_snapshot(1),
+        client_latency: metrics.task_latency(1),
         report,
     }
 }
@@ -532,9 +564,7 @@ pub fn run_mixed_sim_experiment(
                 }
             }
             match mechanism {
-                Mechanism::UserLevel(strategy) => {
-                    ch.client(&os, 0, strategy).disconnect()
-                }
+                Mechanism::UserLevel(strategy) => ch.client(&os, 0, strategy).disconnect(),
                 Mechanism::SysV => sysv_disconnect(&os, 0),
                 Mechanism::Throttled { max_spin, .. } => ch
                     .client(&os, 0, WaitStrategy::Bsls { max_spin })
@@ -559,7 +589,9 @@ pub fn run_mixed_sim_experiment(
         report.outcome
     );
     let start = report.first_mark(MARK_FIRST_SEND).expect("first send mark");
-    let done = report.last_mark(MARK_SERVER_DONE).expect("server done mark");
+    let done = report
+        .last_mark(MARK_SERVER_DONE)
+        .expect("server done mark");
     let elapsed = done.since(start);
     let ms = elapsed.as_nanos() as f64 / 1e6;
     let batch_cpu = report.task("batch").unwrap().stats.cpu_time;
@@ -580,6 +612,13 @@ pub struct NativeExperimentResult {
     pub messages: u64,
     /// Throughput in messages per millisecond.
     pub throughput: f64,
+    /// Protocol events recorded by the server thread.
+    pub server_metrics: MetricsSnapshot,
+    /// Protocol events summed over every client thread.
+    pub client_metrics: MetricsSnapshot,
+    /// Round-trip latency histogram merged over every client thread
+    /// (host-time samples; empty for the SysV baseline).
+    pub client_latency: LatencySnapshot,
 }
 
 /// Runs the echo workload on real threads (the adoptable backend).
@@ -656,9 +695,13 @@ pub fn run_native_experiment(
     server.join().expect("server thread");
     let elapsed = start.elapsed();
     let messages = msgs_per_client * n_clients as u64;
+    let reg = os.metrics().expect("for_clients enables metrics");
     NativeExperimentResult {
         throughput: messages as f64 / (elapsed.as_secs_f64() * 1e3),
         elapsed,
         messages,
+        server_metrics: reg.task_snapshot(0),
+        client_metrics: reg.aggregate(|t| t != 0),
+        client_latency: reg.aggregate_latency(|t| t != 0),
     }
 }

@@ -55,6 +55,7 @@ mod bulk;
 mod channel;
 mod duplex;
 pub mod harness;
+pub mod metrics;
 mod msg;
 mod native;
 pub mod platform;
@@ -66,11 +67,16 @@ pub mod sysv;
 pub use asynch::AsyncClient;
 pub use barrier::BarrierRef;
 pub use bulk::{BulkBlock, BulkHandle, BulkPool, BLOCK_PAYLOAD};
+pub use channel::{
+    Channel, ChannelConfig, ChannelRoot, ClientEndpoint, QueueRef, ServerEndpoint, WaitableQueue,
+};
 pub use duplex::{duplex_client_sem, duplex_server_sem, DuplexChannel, DuplexPair, DuplexRoot};
-pub use channel::{Channel, ChannelConfig, ChannelRoot, ClientEndpoint, QueueRef, ServerEndpoint, WaitableQueue};
+pub use metrics::{EndpointMetrics, LatencySnapshot, MetricsRegistry, MetricsSnapshot, ProtoEvent};
 pub use msg::{opcode, Message, MsgSlot};
 pub use native::{CountingSem, NativeConfig, NativeMsgq, NativeOs, NativeTask};
 pub use platform::{Cost, HandoffHint, OsServices};
 pub use protocol::WaitStrategy;
-pub use server::{run_calculator_server, run_echo_server, run_server, run_throttled_server, ServerRun};
+pub use server::{
+    run_calculator_server, run_echo_server, run_server, run_throttled_server, ServerRun,
+};
 pub use simulated::{SimCosts, SimIds, SimOs};

@@ -1,0 +1,513 @@
+//! Protocol-event metrics: lock-free per-endpoint counters and round-trip
+//! latency histograms.
+//!
+//! The paper's entire argument is an *accounting* argument — BSW loses
+//! because it pays "four system calls per round trip" (Fig. 6, Table 1),
+//! BSLS wins because a well-chosen `MAX_SPIN` makes clients block only ~3 %
+//! of the time (Fig. 10). This module makes that accounting live
+//! instrumentation instead of hand-counting: every protocol-visible event
+//! (queue ops, semaphore calls, yields, spins, blocks, stray wake-ups,
+//! hand-offs) increments a `Relaxed` atomic counter on the endpoint's
+//! [`EndpointMetrics`], and synchronous round trips feed a log₂-bucketed
+//! latency histogram.
+//!
+//! Cost model: recording one event is a single uncontended `fetch_add`
+//! with `Relaxed` ordering (one `lock xadd` on x86, no fence on ARM); when
+//! metrics are disabled the sink is `None` and the entire path folds to a
+//! branch on an `Option` discriminant. Counters are per-*task*, so there
+//! is no cross-thread cache-line ping-pong on the hot path.
+//!
+//! The cheap read side is [`MetricsSnapshot`]: a plain-`u64` copy of the
+//! counters at an instant, with [`MetricsSnapshot::diff`] for windowed
+//! accounting (e.g. "system calls per round trip over this barrage" =
+//! `end.diff(start).sem_ops() / messages`).
+
+use core::sync::atomic::{AtomicU64, Ordering};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A protocol-visible event, recorded through
+/// [`OsServices::record`](crate::platform::OsServices::record).
+///
+/// The first four mirror the [`Cost`](crate::platform::Cost) classes the
+/// protocols already charge to virtual time; the rest are the sleep/wake-up
+/// events the paper's analysis counts by hand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum ProtoEvent {
+    /// One user-level enqueue or dequeue *attempt* (`Cost::QueueOp`).
+    QueueOp,
+    /// One test-and-set (or store) on an `awake` flag (`Cost::Tas`).
+    TasOp,
+    /// One `empty(Q)` check in a limited-spin loop (`Cost::Poll`).
+    PollCheck,
+    /// One request processed by a server loop (`Cost::Request`).
+    RequestServed,
+    /// A successful enqueue onto a shared queue.
+    Enqueue,
+    /// A successful dequeue from a shared queue.
+    Dequeue,
+    /// A counting-semaphore `P` system call.
+    SemP,
+    /// A counting-semaphore `V` system call.
+    SemV,
+    /// A `sched_yield` system call.
+    Yield,
+    /// A `handoff` system call (or its yield fallback).
+    Handoff,
+    /// One `busy_wait`/`poll_queue` pacing step (a yield on uniprocessors,
+    /// a ~25 µs spin on multiprocessors).
+    SpinIteration,
+    /// A queue-full back-off (`sleep(1)` in the paper).
+    QueueFullBackoff,
+    /// The consumer committed to sleep: the `P` on the empty re-check of
+    /// the Fig. 5/7/9 wait loop. `blocks_entered / dequeues` is the
+    /// fall-through rate of §4.2 (Fig. 10's "blocked only 3 % of the
+    /// time").
+    BlockEntered,
+    /// A stray wake-up absorbed by the `tas`-guarded `P` (interleaving 3
+    /// of Fig. 4 — the credit that overflowed the authors' first version).
+    StrayWakeupAbsorbed,
+}
+
+/// Number of distinct [`ProtoEvent`] kinds.
+pub const N_EVENTS: usize = 14;
+
+const EVENTS: [ProtoEvent; N_EVENTS] = [
+    ProtoEvent::QueueOp,
+    ProtoEvent::TasOp,
+    ProtoEvent::PollCheck,
+    ProtoEvent::RequestServed,
+    ProtoEvent::Enqueue,
+    ProtoEvent::Dequeue,
+    ProtoEvent::SemP,
+    ProtoEvent::SemV,
+    ProtoEvent::Yield,
+    ProtoEvent::Handoff,
+    ProtoEvent::SpinIteration,
+    ProtoEvent::QueueFullBackoff,
+    ProtoEvent::BlockEntered,
+    ProtoEvent::StrayWakeupAbsorbed,
+];
+
+/// Number of log₂ latency buckets: bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` nanoseconds, the last bucket absorbs everything ≥ ~9 s.
+pub const N_LATENCY_BUCKETS: usize = 34;
+
+/// Lock-free event counters and a latency histogram for one endpoint
+/// (task). All writes are `Relaxed` `fetch_add`s; reads produce a
+/// [`MetricsSnapshot`].
+#[derive(Debug, Default)]
+pub struct EndpointMetrics {
+    counters: [AtomicU64; N_EVENTS],
+    latency: LatencyHistogram,
+}
+
+impl EndpointMetrics {
+    /// A fresh all-zero sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one event (a single `Relaxed` `fetch_add`).
+    #[inline]
+    pub fn record(&self, e: ProtoEvent) {
+        self.counters[e as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a synchronous round-trip latency.
+    #[inline]
+    pub fn record_latency_nanos(&self, nanos: u64) {
+        self.latency.record(nanos);
+    }
+
+    /// Point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::default();
+        for &e in &EVENTS {
+            *s.field_mut(e) = self.counters[e as usize].load(Ordering::Relaxed);
+        }
+        s
+    }
+
+    /// Point-in-time copy of the latency histogram.
+    pub fn latency_snapshot(&self) -> LatencySnapshot {
+        self.latency.snapshot()
+    }
+}
+
+/// A log₂-bucketed histogram of nanosecond samples (lock-free, `Relaxed`).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; N_LATENCY_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bucket_of(nanos: u64) -> usize {
+    // floor(log2(nanos)) clamped into range; 0 ns shares bucket 0 with 1 ns.
+    (63 - nanos.max(1).leading_zeros() as usize).min(N_LATENCY_BUCKETS - 1)
+}
+
+impl LatencyHistogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, nanos: u64) {
+        self.buckets[bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let mut s = LatencySnapshot {
+            buckets: [0; N_LATENCY_BUCKETS],
+            sum_nanos: self.sum.load(Ordering::Relaxed),
+        };
+        for (dst, src) in s.buckets.iter_mut().zip(&self.buckets) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        s
+    }
+}
+
+/// Plain-`u64` copy of a latency histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// `buckets[i]` counts samples in `[2^i, 2^(i+1))` ns.
+    pub buckets: [u64; N_LATENCY_BUCKETS],
+    /// Sum of all recorded samples (for exact means).
+    pub sum_nanos: u64,
+}
+
+impl Default for LatencySnapshot {
+    fn default() -> Self {
+        LatencySnapshot {
+            buckets: [0; N_LATENCY_BUCKETS],
+            sum_nanos: 0,
+        }
+    }
+}
+
+impl LatencySnapshot {
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Exact mean in microseconds (`NaN` when empty).
+    pub fn mean_us(&self) -> f64 {
+        self.sum_nanos as f64 / 1e3 / self.count() as f64
+    }
+
+    /// Upper-bound estimate of the `q`-quantile in microseconds (`NaN`
+    /// when empty): the top edge of the bucket containing the quantile
+    /// sample, i.e. accurate to the log₂ bucket width.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return f64::NAN;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return (1u64 << (i + 1)) as f64 / 1e3;
+            }
+        }
+        f64::NAN
+    }
+
+    /// Element-wise accumulation (merging per-task histograms).
+    pub fn merge(mut self, other: &LatencySnapshot) -> LatencySnapshot {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.sum_nanos += other.sum_nanos;
+        self
+    }
+}
+
+/// Point-in-time copy of an endpoint's counters: plain `u64`s, `Copy`,
+/// field-per-event. See [`ProtoEvent`] for what each field counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[allow(missing_docs)]
+pub struct MetricsSnapshot {
+    pub queue_ops: u64,
+    pub tas_ops: u64,
+    pub poll_checks: u64,
+    pub requests_served: u64,
+    pub enqueues: u64,
+    pub dequeues: u64,
+    pub sem_p: u64,
+    pub sem_v: u64,
+    pub yields: u64,
+    pub handoffs: u64,
+    pub spin_iterations: u64,
+    pub queue_full_backoffs: u64,
+    pub blocks_entered: u64,
+    pub stray_wakeups_absorbed: u64,
+}
+
+impl MetricsSnapshot {
+    fn field_mut(&mut self, e: ProtoEvent) -> &mut u64 {
+        match e {
+            ProtoEvent::QueueOp => &mut self.queue_ops,
+            ProtoEvent::TasOp => &mut self.tas_ops,
+            ProtoEvent::PollCheck => &mut self.poll_checks,
+            ProtoEvent::RequestServed => &mut self.requests_served,
+            ProtoEvent::Enqueue => &mut self.enqueues,
+            ProtoEvent::Dequeue => &mut self.dequeues,
+            ProtoEvent::SemP => &mut self.sem_p,
+            ProtoEvent::SemV => &mut self.sem_v,
+            ProtoEvent::Yield => &mut self.yields,
+            ProtoEvent::Handoff => &mut self.handoffs,
+            ProtoEvent::SpinIteration => &mut self.spin_iterations,
+            ProtoEvent::QueueFullBackoff => &mut self.queue_full_backoffs,
+            ProtoEvent::BlockEntered => &mut self.blocks_entered,
+            ProtoEvent::StrayWakeupAbsorbed => &mut self.stray_wakeups_absorbed,
+        }
+    }
+
+    fn field(&self, e: ProtoEvent) -> u64 {
+        let mut copy = *self;
+        *copy.field_mut(e)
+    }
+
+    /// `self - earlier`, field-wise: the events of a measurement window.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, if `earlier` is not actually earlier (counters are
+    /// monotone, so a negative delta is caller error).
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for &e in &EVENTS {
+            let (now, was) = (self.field(e), earlier.field(e));
+            debug_assert!(now >= was, "snapshot diff went backwards for {e:?}");
+            *out.field_mut(e) = now.wrapping_sub(was);
+        }
+        out
+    }
+
+    /// Field-wise sum (aggregating tasks).
+    pub fn add(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for &e in &EVENTS {
+            *out.field_mut(e) = self.field(e) + other.field(e);
+        }
+        out
+    }
+
+    /// Semaphore system calls (`P` + `V`) — the "four system calls per
+    /// round trip" currency of Fig. 6.
+    pub fn sem_ops(&self) -> u64 {
+        self.sem_p + self.sem_v
+    }
+
+    /// All scheduler-visible kernel crossings: semaphore ops, yields,
+    /// hand-offs and queue-full sleeps.
+    pub fn kernel_crossings(&self) -> u64 {
+        self.sem_ops() + self.yields + self.handoffs + self.queue_full_backoffs
+    }
+
+    /// Fraction of dequeues that committed to sleep first (the paper's
+    /// §4.2 "percent of time the client blocked"); `NaN` with no dequeues.
+    pub fn block_rate(&self) -> f64 {
+        self.blocks_entered as f64 / self.dequeues as f64
+    }
+}
+
+/// Per-task metrics sinks for one experiment: task id → shared
+/// [`EndpointMetrics`]. The map is locked only at task registration;
+/// recording never touches it.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    tasks: Mutex<HashMap<u32, Arc<EndpointMetrics>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The sink for `task_id`, created on first use.
+    pub fn for_task(&self, task_id: u32) -> Arc<EndpointMetrics> {
+        Arc::clone(self.tasks.lock().unwrap().entry(task_id).or_default())
+    }
+
+    /// Snapshot of one task's counters (zeros if the task never recorded).
+    pub fn task_snapshot(&self, task_id: u32) -> MetricsSnapshot {
+        self.tasks
+            .lock()
+            .unwrap()
+            .get(&task_id)
+            .map(|m| m.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Snapshot of one task's latency histogram.
+    pub fn task_latency(&self, task_id: u32) -> LatencySnapshot {
+        self.tasks
+            .lock()
+            .unwrap()
+            .get(&task_id)
+            .map(|m| m.latency_snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Field-wise sum over every task matching `keep`.
+    pub fn aggregate(&self, mut keep: impl FnMut(u32) -> bool) -> MetricsSnapshot {
+        self.tasks
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|(&id, _)| keep(id))
+            .fold(MetricsSnapshot::default(), |acc, (_, m)| {
+                acc.add(&m.snapshot())
+            })
+    }
+
+    /// Merged latency histogram over every task matching `keep`.
+    pub fn aggregate_latency(&self, mut keep: impl FnMut(u32) -> bool) -> LatencySnapshot {
+        self.tasks
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|(&id, _)| keep(id))
+            .fold(LatencySnapshot::default(), |acc, (_, m)| {
+                acc.merge(&m.latency_snapshot())
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_snapshot_roundtrip_covers_every_event() {
+        let m = EndpointMetrics::new();
+        for (i, &e) in EVENTS.iter().enumerate() {
+            for _ in 0..=i {
+                m.record(e);
+            }
+        }
+        let s = m.snapshot();
+        for (i, &e) in EVENTS.iter().enumerate() {
+            assert_eq!(s.field(e), i as u64 + 1, "{e:?}");
+        }
+    }
+
+    #[test]
+    fn diff_is_windowed_accounting() {
+        let m = EndpointMetrics::new();
+        m.record(ProtoEvent::SemP);
+        m.record(ProtoEvent::SemP);
+        let start = m.snapshot();
+        m.record(ProtoEvent::SemP);
+        m.record(ProtoEvent::SemV);
+        let window = m.snapshot().diff(&start);
+        assert_eq!(window.sem_p, 1);
+        assert_eq!(window.sem_v, 1);
+        assert_eq!(window.sem_ops(), 2);
+        assert_eq!(window.queue_ops, 0);
+    }
+
+    #[test]
+    fn add_aggregates_tasks() {
+        let a = MetricsSnapshot {
+            sem_p: 3,
+            yields: 1,
+            ..Default::default()
+        };
+        let b = MetricsSnapshot {
+            sem_p: 2,
+            handoffs: 4,
+            ..Default::default()
+        };
+        let sum = a.add(&b);
+        assert_eq!(sum.sem_p, 5);
+        assert_eq!(sum.yields, 1);
+        assert_eq!(sum.handoffs, 4);
+        assert_eq!(sum.kernel_crossings(), 10);
+    }
+
+    #[test]
+    fn latency_buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), N_LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn latency_mean_and_quantiles() {
+        let h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(1_000); // bucket 9: [512, 1024)
+        }
+        h.record(1 << 20); // ~1 ms outlier
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        let mean = s.mean_us();
+        assert!(mean > 1.0 && mean < 12.0, "{mean}");
+        // p50 lands in the 1 µs bucket; its upper edge is 1.024 µs.
+        assert_eq!(s.quantile_us(0.5), 1.024);
+        // p100 reaches the outlier's bucket edge (2^21 ns ≈ 2.1 ms).
+        assert!(s.quantile_us(1.0) > 2_000.0);
+    }
+
+    #[test]
+    fn latency_merge_accumulates() {
+        let a = LatencyHistogram::default();
+        let b = LatencyHistogram::default();
+        a.record(100);
+        b.record(100);
+        b.record(200);
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.sum_nanos, 400);
+    }
+
+    #[test]
+    fn empty_latency_is_nan_not_panic() {
+        let s = LatencySnapshot::default();
+        assert!(s.mean_us().is_nan());
+        assert!(s.quantile_us(0.5).is_nan());
+    }
+
+    #[test]
+    fn registry_hands_out_shared_sinks() {
+        let reg = MetricsRegistry::new();
+        let a = reg.for_task(3);
+        let b = reg.for_task(3);
+        a.record(ProtoEvent::Yield);
+        b.record(ProtoEvent::Yield);
+        assert_eq!(reg.task_snapshot(3).yields, 2);
+        assert_eq!(reg.task_snapshot(9).yields, 0, "unknown task reads zero");
+        let clients = reg.aggregate(|id| id != 0);
+        assert_eq!(clients.yields, 2);
+    }
+
+    #[test]
+    fn block_rate_is_fraction_of_dequeues() {
+        let s = MetricsSnapshot {
+            dequeues: 100,
+            blocks_entered: 3,
+            ..Default::default()
+        };
+        assert!((s.block_rate() - 0.03).abs() < 1e-12);
+    }
+}

@@ -6,13 +6,13 @@
 //! position-independent arena, so moving to real `shm_open`/`mmap`
 //! processes changes only who maps the memory. Sleep/wake-up uses
 //! condvar-based counting semaphores (the portable equivalent of the
-//! paper's System V semaphores; on Linux, `parking_lot` bottoms out in
-//! futexes).
+//! paper's System V semaphores; on Linux, `std::sync::Condvar` bottoms out
+//! in futexes).
 
+use crate::metrics::{EndpointMetrics, MetricsRegistry, ProtoEvent};
 use crate::platform::{Cost, HandoffHint, OsServices};
-use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 /// A counting semaphore with SysV `P`/`V` semantics.
 #[derive(Debug, Default)]
@@ -32,23 +32,28 @@ impl CountingSem {
 
     /// `P`: block until a credit is available, then take it.
     pub fn p(&self) {
-        let mut c = self.count.lock();
+        let mut c = self.count.lock().unwrap();
         while *c == 0 {
-            self.cv.wait(&mut c);
+            c = self.cv.wait(c).unwrap();
         }
         *c -= 1;
     }
 
     /// `V`: add a credit and wake one waiter.
     pub fn v(&self) {
-        let mut c = self.count.lock();
-        *c += 1;
+        // Drop the guard before notifying: a waiter woken while the lock is
+        // still held would immediately block on it again (a wasted
+        // wake-then-wait bounce on every V with a sleeper present).
+        {
+            let mut c = self.count.lock().unwrap();
+            *c += 1;
+        }
         self.cv.notify_one();
     }
 
     /// Current credit count (diagnostics; racy by nature).
     pub fn count(&self) -> u32 {
-        *self.count.lock()
+        *self.count.lock().unwrap()
     }
 }
 
@@ -75,23 +80,25 @@ impl NativeMsgq {
 
     /// Blocking send (`msgsnd`).
     pub fn send(&self, m: [u64; 4]) {
-        let mut q = self.inner.lock();
+        let mut q = self.inner.lock().unwrap();
         while q.len() >= self.capacity {
-            self.not_full.wait(&mut q);
+            q = self.not_full.wait(q).unwrap();
         }
         q.push_back(m);
+        drop(q);
         self.not_empty.notify_one();
     }
 
     /// Blocking receive (`msgrcv`).
     pub fn recv(&self) -> [u64; 4] {
-        let mut q = self.inner.lock();
+        let mut q = self.inner.lock().unwrap();
         loop {
             if let Some(m) = q.pop_front() {
+                drop(q);
                 self.not_full.notify_one();
                 return m;
             }
-            self.not_empty.wait(&mut q);
+            q = self.not_empty.wait(q).unwrap();
         }
     }
 }
@@ -111,6 +118,9 @@ pub struct NativeConfig {
     /// Queue-full back-off. The paper sleeps a full second; tests and
     /// benches usually shorten this.
     pub full_backoff: Duration,
+    /// Collect per-task protocol-event metrics (one `Relaxed` `fetch_add`
+    /// per event when on; a single `Option` branch per event when off).
+    pub collect_metrics: bool,
 }
 
 impl NativeConfig {
@@ -124,7 +134,14 @@ impl NativeConfig {
                 .map(|p| p.get() > 1)
                 .unwrap_or(false),
             full_backoff: Duration::from_millis(1),
+            collect_metrics: true,
         }
+    }
+
+    /// Same config with metrics collection disabled.
+    pub fn without_metrics(mut self) -> Self {
+        self.collect_metrics = false;
+        self
     }
 }
 
@@ -136,6 +153,7 @@ pub struct NativeOs {
     msgqs: Vec<NativeMsgq>,
     multiprocessor: bool,
     full_backoff: Duration,
+    metrics: Option<MetricsRegistry>,
 }
 
 impl NativeOs {
@@ -148,16 +166,30 @@ impl NativeOs {
                 .collect(),
             multiprocessor: cfg.multiprocessor,
             full_backoff: cfg.full_backoff,
+            metrics: cfg.collect_metrics.then(MetricsRegistry::new),
         })
     }
 
     /// A per-thread view implementing [`OsServices`].
     pub fn task(self: &Arc<Self>, task_id: u32) -> NativeTask {
         NativeTask {
+            metrics: self.metrics.as_ref().map(|r| r.for_task(task_id)),
             os: Arc::clone(self),
             task_id,
         }
     }
+
+    /// The backend's metrics registry (`None` when collection is off).
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_ref()
+    }
+}
+
+/// Nanoseconds since a process-wide epoch (first use). Monotonic, shared
+/// by every task so latency windows from different threads compare.
+fn host_nanos() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
 }
 
 /// One thread's handle onto [`NativeOs`].
@@ -165,20 +197,32 @@ impl NativeOs {
 pub struct NativeTask {
     os: Arc<NativeOs>,
     task_id: u32,
+    metrics: Option<Arc<EndpointMetrics>>,
 }
 
 impl OsServices for NativeTask {
     fn yield_now(&self) {
+        self.record(ProtoEvent::Yield);
         std::thread::yield_now();
     }
 
     fn busy_wait(&self) {
+        self.record(ProtoEvent::SpinIteration);
         if self.os.multiprocessor {
             // ~25 µs calibrated-by-intent spin (precision is irrelevant;
-            // only the order of magnitude matters).
+            // only the order of magnitude matters). The clock is read only
+            // once per batch of spin hints: on hosts without a vDSO,
+            // `Instant::now()` is itself a syscall, and reading it every
+            // iteration would turn the "spin" into a syscall loop.
+            const SPIN_BATCH: u32 = 64;
             let start = std::time::Instant::now();
-            while start.elapsed() < Duration::from_micros(25) {
-                core::hint::spin_loop();
+            loop {
+                for _ in 0..SPIN_BATCH {
+                    core::hint::spin_loop();
+                }
+                if start.elapsed() >= Duration::from_micros(25) {
+                    return;
+                }
             }
         } else {
             std::thread::yield_now();
@@ -190,22 +234,37 @@ impl OsServices for NativeTask {
     }
 
     fn sem_p(&self, sem: u32) {
+        self.record(ProtoEvent::SemP);
         self.os.sems[sem as usize].p();
     }
 
     fn sem_v(&self, sem: u32) {
+        self.record(ProtoEvent::SemV);
         self.os.sems[sem as usize].v();
     }
 
     fn sleep_full(&self) {
+        self.record(ProtoEvent::QueueFullBackoff);
         std::thread::sleep(self.os.full_backoff);
     }
 
-    fn charge(&self, _c: Cost) {}
+    fn charge(&self, c: Cost) {
+        // Real hardware pays the cost in the operation itself, so `charge`
+        // carries no time here — but it is the one place every protocol
+        // already reports its user-level operations, so it doubles as the
+        // event sink for them.
+        self.record(match c {
+            Cost::QueueOp => ProtoEvent::QueueOp,
+            Cost::Tas => ProtoEvent::TasOp,
+            Cost::Request => ProtoEvent::RequestServed,
+            Cost::Poll => ProtoEvent::PollCheck,
+        });
+    }
 
     fn handoff(&self, _h: HandoffHint) {
         // No host support for directed yield: degrade to sched_yield, which
         // is exactly the portability situation the paper laments in §6.
+        self.record(ProtoEvent::Handoff);
         std::thread::yield_now();
     }
 
@@ -227,6 +286,14 @@ impl OsServices for NativeTask {
 
     fn task_id(&self) -> u32 {
         self.task_id
+    }
+
+    fn metrics(&self) -> Option<&EndpointMetrics> {
+        self.metrics.as_deref()
+    }
+
+    fn now_nanos(&self) -> Option<u64> {
+        Some(host_nanos())
     }
 }
 
@@ -294,9 +361,11 @@ mod tests {
             msgq_capacity: 4,
             multiprocessor: false,
             full_backoff: Duration::from_millis(1),
+            collect_metrics: false,
         });
         let t = os.task(7);
         assert_eq!(t.task_id(), 7);
+        assert!(t.metrics().is_none(), "collection disabled");
         t.charge(Cost::QueueOp);
         t.yield_now();
         t.sem_v(1);
@@ -304,5 +373,35 @@ mod tests {
         t.msgsnd(0, [5, 0, 0, 0]);
         assert_eq!(t.msgrcv(0)[0], 5);
         t.handoff(HandoffHint::Any);
+    }
+
+    #[test]
+    fn native_task_counts_syscall_events() {
+        let os = NativeOs::new(NativeConfig::for_clients(1));
+        let t = os.task(1);
+        t.sem_v(1);
+        t.sem_p(1);
+        t.yield_now();
+        t.handoff(HandoffHint::Peer(0));
+        t.charge(Cost::QueueOp);
+        t.charge(Cost::Tas);
+        let s = os.metrics().unwrap().task_snapshot(1);
+        assert_eq!(s.sem_p, 1);
+        assert_eq!(s.sem_v, 1);
+        assert_eq!(s.yields, 1);
+        assert_eq!(s.handoffs, 1);
+        assert_eq!(s.queue_ops, 1);
+        assert_eq!(s.tas_ops, 1);
+        // Another task's counters are independent.
+        assert_eq!(os.metrics().unwrap().task_snapshot(0), Default::default());
+    }
+
+    #[test]
+    fn host_nanos_is_monotone() {
+        let os = NativeOs::new(NativeConfig::for_clients(0));
+        let t = os.task(0);
+        let a = t.now_nanos().unwrap();
+        let b = t.now_nanos().unwrap();
+        assert!(b >= a);
     }
 }

@@ -16,6 +16,14 @@
 //! constructor): semaphore `0` belongs to the server's receive queue and
 //! semaphore `1 + c` to client `c`'s reply queue; kernel message queue `0`
 //! is the SysV request queue and `1 + c` client `c`'s SysV reply queue.
+//!
+//! Every backend can optionally carry a per-task
+//! [`EndpointMetrics`](crate::metrics::EndpointMetrics) sink; the shared
+//! [`OsServices::record`] default forwards protocol events to it, so
+//! protocol code calls `os.record(..)` unconditionally and pays only an
+//! `Option` discriminant test when metrics are disabled.
+
+use crate::metrics::{EndpointMetrics, ProtoEvent};
 
 /// Cost classes protocols charge to virtual time (no-ops on real hardware,
 /// where the operation itself takes the time).
@@ -91,6 +99,28 @@ pub trait OsServices {
     /// This task's platform task number (used as a handoff target by
     /// peers; `u32::MAX` when unknown).
     fn task_id(&self) -> u32;
+
+    /// This task's metrics sink, if collection is enabled (`None` by
+    /// default: recording folds to one branch).
+    fn metrics(&self) -> Option<&EndpointMetrics> {
+        None
+    }
+
+    /// Records a protocol event on this task's sink (no-op when metrics
+    /// are disabled).
+    #[inline]
+    fn record(&self, e: ProtoEvent) {
+        if let Some(m) = self.metrics() {
+            m.record(e);
+        }
+    }
+
+    /// Monotonic timestamp in nanoseconds for round-trip latency
+    /// measurement: host time on native, *virtual* time on the simulator.
+    /// `None` when the backend cannot provide one.
+    fn now_nanos(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Semaphore index of the server receive queue.

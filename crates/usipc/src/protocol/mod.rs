@@ -21,6 +21,7 @@ pub mod bswy;
 pub mod handoff;
 
 use crate::channel::{Channel, QueueRef};
+use crate::metrics::ProtoEvent;
 use crate::msg::Message;
 use crate::platform::OsServices;
 
@@ -117,6 +118,7 @@ pub(crate) fn blocking_dequeue<O: OsServices>(
         q.clear_awake(os);
         match q.try_dequeue(os) {
             None => {
+                os.record(ProtoEvent::BlockEntered);
                 os.sem_p(q.sem());
                 q.set_awake(os);
                 // Loop: a wake-up promises work, but under multiple
@@ -128,6 +130,7 @@ pub(crate) fn blocking_dequeue<O: OsServices>(
                 // accumulate and overflow the semaphore (the bug the
                 // authors hit).
                 if q.tas_awake(os) {
+                    os.record(ProtoEvent::StrayWakeupAbsorbed);
                     os.sem_p(q.sem());
                 }
                 return m;

@@ -8,6 +8,7 @@
 //! client disconnects.
 
 use crate::channel::Channel;
+use crate::metrics::MetricsSnapshot;
 use crate::msg::{opcode, Message};
 use crate::platform::{Cost, OsServices};
 use crate::protocol::WaitStrategy;
@@ -19,6 +20,15 @@ pub struct ServerRun {
     pub processed: u64,
     /// DISCONNECTs observed (equals the client count on a clean run).
     pub disconnects: u32,
+    /// Protocol events recorded by the server task during this run (all
+    /// zero when the backend does not collect metrics).
+    pub metrics: MetricsSnapshot,
+}
+
+/// Snapshot of the calling task's counters, or zeros when collection is
+/// off — so `end.diff(&start)` windows a run either way.
+fn task_snapshot<O: OsServices>(os: &O) -> MetricsSnapshot {
+    os.metrics().map(|m| m.snapshot()).unwrap_or_default()
 }
 
 /// Runs a request/reply server until every client has disconnected.
@@ -36,6 +46,7 @@ pub fn run_server<O: OsServices>(
     ch.register_server_task(os.task_id());
     let mut live = ch.n_clients();
     let mut run = ServerRun::default();
+    let start = task_snapshot(os);
     let server = ch.server(os, strategy);
     while live > 0 {
         let m = server.receive();
@@ -51,6 +62,7 @@ pub fn run_server<O: OsServices>(
             server.reply(m.channel, ans);
         }
     }
+    run.metrics = task_snapshot(os).diff(&start);
     run
 }
 
@@ -91,10 +103,14 @@ pub fn run_throttled_server<O: OsServices>(
 ) -> ServerRun {
     use crate::protocol::{bsls, enqueue_or_sleep};
     use std::collections::VecDeque;
-    assert!(wake_batch >= 1, "wake_batch must be at least 1 for liveness");
+    assert!(
+        wake_batch >= 1,
+        "wake_batch must be at least 1 for liveness"
+    );
     ch.register_server_task(os.task_id());
     let mut live = ch.n_clients();
     let mut run = ServerRun::default();
+    let start = task_snapshot(os);
     let mut pending_wakes: VecDeque<u32> = VecDeque::new();
     while live > 0 || !pending_wakes.is_empty() {
         // Admission control: while the receive queue shows backlog, the
@@ -133,6 +149,7 @@ pub fn run_throttled_server<O: OsServices>(
             pending_wakes.push_back(m.channel);
         }
     }
+    run.metrics = task_snapshot(os).diff(&start);
     run
 }
 

@@ -2,6 +2,7 @@
 //! [`usipc-sim`](usipc_sim), under the scheduler models that regenerate the
 //! paper's figures.
 
+use crate::metrics::{EndpointMetrics, ProtoEvent};
 use crate::platform::{Cost, HandoffHint, OsServices};
 use std::sync::Arc;
 use usipc_sim::{Handoff, MsqId, Pid, SemId, Sys, VDur};
@@ -59,6 +60,7 @@ pub struct SimOs<'a> {
     costs: SimCosts,
     multiprocessor: bool,
     task_id: u32,
+    metrics: Option<Arc<EndpointMetrics>>,
 }
 
 impl<'a> SimOs<'a> {
@@ -79,7 +81,16 @@ impl<'a> SimOs<'a> {
             costs,
             multiprocessor,
             task_id,
+            metrics: None,
         }
+    }
+
+    /// Attaches a metrics sink (events recorded in *addition* to the
+    /// virtual-time charges, which are unchanged — the simulated schedule
+    /// is identical with and without metrics).
+    pub fn with_metrics(mut self, sink: Arc<EndpointMetrics>) -> Self {
+        self.metrics = Some(sink);
+        self
     }
 
     /// The underlying simulator handle (for marks and rusage in harnesses).
@@ -90,10 +101,12 @@ impl<'a> SimOs<'a> {
 
 impl OsServices for SimOs<'_> {
     fn yield_now(&self) {
+        self.record(ProtoEvent::Yield);
         self.sys.yield_now();
     }
 
     fn busy_wait(&self) {
+        self.record(ProtoEvent::SpinIteration);
         if self.multiprocessor {
             self.sys.work(self.costs.poll_delay);
         } else {
@@ -106,30 +119,35 @@ impl OsServices for SimOs<'_> {
     }
 
     fn sem_p(&self, sem: u32) {
+        self.record(ProtoEvent::SemP);
         self.sys.sem_p(self.ids.sems[sem as usize]);
     }
 
     fn sem_v(&self, sem: u32) {
+        self.record(ProtoEvent::SemV);
         self.sys.sem_v(self.ids.sems[sem as usize]);
     }
 
     fn sleep_full(&self) {
+        self.record(ProtoEvent::QueueFullBackoff);
         self.sys.sleep(VDur::seconds(1));
     }
 
     fn charge(&self, c: Cost) {
-        let d = match c {
-            Cost::QueueOp => self.costs.queue_op,
-            Cost::Tas => self.costs.tas_op,
-            Cost::Request => self.costs.request_work,
-            Cost::Poll => self.costs.poll_check,
+        let (d, e) = match c {
+            Cost::QueueOp => (self.costs.queue_op, ProtoEvent::QueueOp),
+            Cost::Tas => (self.costs.tas_op, ProtoEvent::TasOp),
+            Cost::Request => (self.costs.request_work, ProtoEvent::RequestServed),
+            Cost::Poll => (self.costs.poll_check, ProtoEvent::PollCheck),
         };
+        self.record(e);
         if !d.is_zero() {
             self.sys.work(d);
         }
     }
 
     fn handoff(&self, h: HandoffHint) {
+        self.record(ProtoEvent::Handoff);
         let target = match h {
             HandoffHint::Peer(t) => match self.ids.pids.get(t as usize) {
                 Some(&pid) => Handoff::To(pid),
@@ -157,5 +175,15 @@ impl OsServices for SimOs<'_> {
 
     fn task_id(&self) -> u32 {
         self.task_id
+    }
+
+    fn metrics(&self) -> Option<&EndpointMetrics> {
+        self.metrics.as_deref()
+    }
+
+    fn now_nanos(&self) -> Option<u64> {
+        // Virtual time: latency histograms on the simulator measure the
+        // modeled round trip, deterministically.
+        Some(self.sys.now().as_nanos())
     }
 }

@@ -4,9 +4,7 @@
 //! trigger point (standing in for the peer process).
 
 use std::cell::RefCell;
-use usipc::{
-    Channel, ChannelConfig, Cost, HandoffHint, Message, OsServices, WaitStrategy,
-};
+use usipc::{Channel, ChannelConfig, Cost, HandoffHint, Message, OsServices, WaitStrategy};
 
 #[derive(Debug, Clone, PartialEq)]
 enum Call {
@@ -184,14 +182,23 @@ fn bss_busy_waits_until_reply_arrives() {
     os.deliver(Trigger::OnBusyWait(3), &ch, 0, Message::echo(0, 9.0), false);
     let ans = WaitStrategy::Bss.send(&ch, &os, 0, Message::echo(0, 1.0));
     assert_eq!(ans.value, 9.0);
-    assert_eq!(os.calls(), vec![Call::BusyWait, Call::BusyWait, Call::BusyWait]);
+    assert_eq!(
+        os.calls(),
+        vec![Call::BusyWait, Call::BusyWait, Call::BusyWait]
+    );
 }
 
 #[test]
 fn bss_receive_spins_never_blocks() {
     let ch = channel();
     let os = MockOs::new();
-    os.deliver(Trigger::OnBusyWait(2), &ch, u32::MAX, Message::echo(1, 3.0), false);
+    os.deliver(
+        Trigger::OnBusyWait(2),
+        &ch,
+        u32::MAX,
+        Message::echo(1, 3.0),
+        false,
+    );
     let m = WaitStrategy::Bss.receive(&ch, &os);
     assert_eq!(m.value, 3.0);
     assert_eq!(os.count_of(|c| matches!(c, Call::SemP(_))), 0);
@@ -218,8 +225,16 @@ fn bsw_send_wakes_sleeping_server_exactly_once() {
     assert_eq!(os.count_of(|c| matches!(c, Call::SemV(0))), 1);
     // And the client slept on its own semaphore (1 + client 0 = 1).
     assert!(calls.contains(&Call::SemP(1)), "{calls:?}");
-    assert_eq!(os.count_of(|c| matches!(c, Call::BusyWait)), 0, "BSW never busy-waits");
-    assert_eq!(os.count_of(|c| matches!(c, Call::Yield)), 0, "BSW never yields");
+    assert_eq!(
+        os.count_of(|c| matches!(c, Call::BusyWait)),
+        0,
+        "BSW never busy-waits"
+    );
+    assert_eq!(
+        os.count_of(|c| matches!(c, Call::Yield)),
+        0,
+        "BSW never yields"
+    );
 }
 
 #[test]
@@ -291,7 +306,13 @@ fn bswy_send_skips_the_handoff_when_server_awake() {
 fn bswy_receive_yields_once_to_let_clients_run() {
     let ch = channel();
     let os = MockOs::new();
-    os.deliver(Trigger::OnSemP(1), &ch, u32::MAX, Message::echo(0, 6.0), true);
+    os.deliver(
+        Trigger::OnSemP(1),
+        &ch,
+        u32::MAX,
+        Message::echo(0, 6.0),
+        true,
+    );
     let m = WaitStrategy::Bswy.receive(&ch, &os);
     assert_eq!(m.value, 6.0);
     let calls = os.calls();
@@ -304,7 +325,13 @@ fn bswy_receive_yields_once_to_let_clients_run() {
 fn bswy_receive_returns_immediately_when_work_is_queued() {
     let ch = channel();
     let os = MockOs::new();
-    os.deliver(Trigger::Immediately, &ch, u32::MAX, Message::echo(1, 2.5), false);
+    os.deliver(
+        Trigger::Immediately,
+        &ch,
+        u32::MAX,
+        Message::echo(1, 2.5),
+        false,
+    );
     let m = WaitStrategy::Bswy.receive(&ch, &os);
     assert_eq!(m.value, 2.5);
     assert!(os.calls().is_empty(), "{:?}", os.calls());
@@ -325,18 +352,31 @@ fn bsls_polls_up_to_max_spin_then_blocks() {
         "spin budget honoured exactly: {:?}",
         os.calls()
     );
-    assert!(os.count_of(|c| matches!(c, Call::SemP(_))) >= 1, "then blocked");
+    assert!(
+        os.count_of(|c| matches!(c, Call::SemP(_))) >= 1,
+        "then blocked"
+    );
 }
 
 #[test]
 fn bsls_stops_polling_as_soon_as_the_reply_lands() {
     let ch = channel();
     let os = MockOs::new();
-    os.deliver(Trigger::OnPollPause(2), &ch, 0, Message::echo(0, 3.5), false);
+    os.deliver(
+        Trigger::OnPollPause(2),
+        &ch,
+        0,
+        Message::echo(0, 3.5),
+        false,
+    );
     let ans = WaitStrategy::Bsls { max_spin: 50 }.send(&ch, &os, 0, Message::echo(0, 1.0));
     assert_eq!(ans.value, 3.5);
     assert_eq!(os.count_of(|c| matches!(c, Call::PollPause)), 2);
-    assert_eq!(os.count_of(|c| matches!(c, Call::SemP(_))), 0, "no block needed");
+    assert_eq!(
+        os.count_of(|c| matches!(c, Call::SemP(_))),
+        0,
+        "no block needed"
+    );
 }
 
 #[test]
@@ -356,8 +396,8 @@ fn handoff_send_names_the_server() {
     ch.register_server_task(7);
     let os = MockOs::new();
     ch.receive_queue().clear_awake(&os); // server sleeping
-    // HandoffBswy never busy-waits (it hands off instead), so inject the
-    // reply at the block point.
+                                         // HandoffBswy never busy-waits (it hands off instead), so inject the
+                                         // reply at the block point.
     os.deliver(Trigger::OnSemP(1), &ch, 0, Message::echo(0, 4.0), true);
     let _ = WaitStrategy::HandoffBswy.send(&ch, &os, 0, Message::echo(0, 1.0));
     let handoffs: Vec<_> = os
@@ -375,7 +415,13 @@ fn handoff_send_names_the_server() {
 fn handoff_receive_uses_pid_any() {
     let ch = channel();
     let os = MockOs::new();
-    os.deliver(Trigger::OnSemP(1), &ch, u32::MAX, Message::echo(0, 6.0), true);
+    os.deliver(
+        Trigger::OnSemP(1),
+        &ch,
+        u32::MAX,
+        Message::echo(0, 6.0),
+        true,
+    );
     let _ = WaitStrategy::HandoffBswy.receive(&ch, &os);
     assert_eq!(
         os.calls()[0],
@@ -393,7 +439,11 @@ fn handoff_without_registration_falls_back_to_yield() {
     os.deliver(Trigger::OnSemP(1), &ch, 0, Message::echo(0, 4.0), true);
     let _ = WaitStrategy::HandoffBswy.send(&ch, &os, 0, Message::echo(0, 1.0));
     assert_eq!(os.count_of(|c| matches!(c, Call::Handoff(_))), 0);
-    assert!(os.count_of(|c| matches!(c, Call::Yield)) >= 1, "{:?}", os.calls());
+    assert!(
+        os.count_of(|c| matches!(c, Call::Yield)) >= 1,
+        "{:?}",
+        os.calls()
+    );
 }
 
 // ---- Reply (common) --------------------------------------------------

@@ -30,13 +30,9 @@ fn policies() -> Vec<PolicyKind> {
 fn every_strategy_completes_under_every_policy_one_client() {
     for policy in policies() {
         for s in strategies() {
-            let exp = SimExperiment::new(
-                MachineModel::sgi_indy(),
-                policy,
-                Mechanism::UserLevel(s),
-            )
-            .clients(1)
-            .messages(120);
+            let exp = SimExperiment::new(MachineModel::sgi_indy(), policy, Mechanism::UserLevel(s))
+                .clients(1)
+                .messages(120);
             let r = run_sim_experiment(&exp);
             assert_eq!(r.messages, 120, "{policy} {}", s.name());
             assert!(r.throughput > 0.0);
@@ -76,10 +72,7 @@ fn sysv_baseline_completes() {
 
 #[test]
 fn multiprocessor_strategies_complete() {
-    for s in [
-        WaitStrategy::Bss,
-        WaitStrategy::Bsls { max_spin: 10 },
-    ] {
+    for s in [WaitStrategy::Bss, WaitStrategy::Bsls { max_spin: 10 }] {
         let exp = SimExperiment::new(
             MachineModel::sgi_challenge8(),
             PolicyKind::degrading_default(),
@@ -335,10 +328,7 @@ fn throttled_server_starves_nobody_either() {
     assert_eq!(r.messages, 1000);
     for c in 0..10 {
         let t = r.report.task(&format!("client{c}")).unwrap();
-        assert!(
-            t.stats.exited_at.as_nanos() > 0,
-            "client{c} never finished"
-        );
+        assert!(t.stats.exited_at.as_nanos() > 0, "client{c} never finished");
     }
 }
 

@@ -13,9 +13,7 @@
 //! back.
 
 use std::sync::Arc;
-use usipc::{
-    Channel, ChannelConfig, Message, SimCosts, SimIds, SimOs, WaitStrategy,
-};
+use usipc::{Channel, ChannelConfig, Message, SimCosts, SimIds, SimOs, WaitStrategy};
 use usipc_sim::{render_interleaving, MachineModel, PolicyKind, SimBuilder, VDur};
 
 const ROUND_TRIPS: u64 = 3;
@@ -58,9 +56,7 @@ fn main() {
     assert!(report.outcome.is_completed(), "{:?}", report.outcome);
 
     let names: Vec<String> = report.tasks.iter().map(|t| t.name.clone()).collect();
-    println!(
-        "BSW protocol, {ROUND_TRIPS} round trips, SGI model, degrading priorities"
-    );
+    println!("BSW protocol, {ROUND_TRIPS} round trips, SGI model, degrading priorities");
     println!("({} timeline events)\n", report.trace.len());
     println!("{}", render_interleaving(&report.trace, &names, 24));
 

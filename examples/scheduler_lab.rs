@@ -66,6 +66,8 @@ fn main() {
     println!();
     println!("Things to notice (cf. the paper):");
     println!(" * degrading priorities: yields often return to the caller (~50% no-switch)");
-    println!(" * linux-1.0 stock: throughput collapses — yield is a no-op until the quantum drains");
+    println!(
+        " * linux-1.0 stock: throughput collapses — yield is a no-op until the quantum drains"
+    );
     println!(" * modified yield / fixed: BSWY (blocking!) approaches busy-waiting BSS");
 }

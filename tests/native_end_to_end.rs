@@ -103,7 +103,9 @@ fn async_batching_preserves_order_and_values() {
         issued += burst;
     }
     // Clean shutdown through the synchronous path.
-    channel.client(&client_os, 0, WaitStrategy::Bsw).disconnect();
+    channel
+        .client(&client_os, 0, WaitStrategy::Bsw)
+        .disconnect();
     server.join().unwrap();
 }
 

@@ -1,12 +1,39 @@
 //! Property-based tests on the core data structures and the simulator.
+//!
+//! Self-contained randomized testing: cases are generated from a
+//! deterministic SplitMix64 stream (no external property-testing
+//! dependency, so the suite builds with a cold registry). Every failure
+//! message includes the case seed, which reproduces the exact sequence.
 
-use proptest::prelude::*;
 use std::collections::VecDeque;
 use usipc::harness::{run_sim_experiment, Mechanism, SimExperiment};
 use usipc::{Message, WaitStrategy};
 use usipc_queue::{MpmcRing, MsQueue, ShmFifo, ShmQueue, SpscRing};
 use usipc_shm::{ShmArena, TaggedAtomicPtr, TaggedPtr};
 use usipc_sim::{MachineModel, PolicyKind, VDur};
+
+/// Deterministic 64-bit generator (SplitMix64): good enough dispersion for
+/// test-case generation, trivially reproducible from the printed seed.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
 
 /// One step of a single-threaded queue workout.
 #[derive(Debug, Clone, Copy)]
@@ -15,11 +42,17 @@ enum Op {
     Dequeue,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..1_000_000).prop_map(Op::Enqueue),
-        Just(Op::Dequeue),
-    ]
+fn random_ops(rng: &mut Rng) -> Vec<Op> {
+    let len = rng.range(0, 200) as usize;
+    (0..len)
+        .map(|_| {
+            if rng.next().is_multiple_of(2) {
+                Op::Enqueue(rng.range(0, 1_000_000))
+            } else {
+                Op::Dequeue
+            }
+        })
+        .collect()
 }
 
 /// Runs an op sequence against both the real queue and a VecDeque model
@@ -65,45 +98,53 @@ fn check_against_model<Q: ShmFifo>(capacity: usize, ops: &[Op]) {
     assert_eq!(q.dequeue(&arena), None);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn shm_two_lock_matches_model(
-        capacity in 1usize..12,
-        ops in proptest::collection::vec(op_strategy(), 0..200),
-    ) {
-        check_against_model::<ShmQueue>(capacity, &ops);
+/// 64 random (capacity, op-sequence) cases against the model.
+fn queue_matches_model<Q: ShmFifo>(tag: u64) {
+    for case in 0..64u64 {
+        let seed = tag ^ (case << 8);
+        let mut rng = Rng::new(seed);
+        let capacity = rng.range(1, 12) as usize;
+        let ops = random_ops(&mut rng);
+        // A panic inside carries the seed via this scope's message below.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            check_against_model::<Q>(capacity, &ops)
+        }));
+        if let Err(e) = r {
+            panic!(
+                "case seed {seed:#x} (capacity {capacity}, {} ops): {e:?}",
+                ops.len()
+            );
+        }
     }
+}
 
-    #[test]
-    fn ms_lockfree_matches_model(
-        capacity in 1usize..12,
-        ops in proptest::collection::vec(op_strategy(), 0..200),
-    ) {
-        check_against_model::<MsQueue>(capacity, &ops);
-    }
+#[test]
+fn shm_two_lock_matches_model() {
+    queue_matches_model::<ShmQueue>(0x5157_0001);
+}
 
-    #[test]
-    fn spsc_ring_matches_model(
-        capacity in 1usize..12,
-        ops in proptest::collection::vec(op_strategy(), 0..200),
-    ) {
-        check_against_model::<SpscRing>(capacity, &ops);
-    }
+#[test]
+fn ms_lockfree_matches_model() {
+    queue_matches_model::<MsQueue>(0x5157_0002);
+}
 
-    #[test]
-    fn mpmc_ring_matches_model(
-        capacity in 1usize..12,
-        ops in proptest::collection::vec(op_strategy(), 0..200),
-    ) {
-        check_against_model::<MpmcRing>(capacity, &ops);
-    }
+#[test]
+fn spsc_ring_matches_model() {
+    queue_matches_model::<SpscRing>(0x5157_0003);
+}
 
-    #[test]
-    fn arena_allocations_are_disjoint_and_stable(
-        sizes in proptest::collection::vec(1usize..128, 1..40),
-    ) {
+#[test]
+fn mpmc_ring_matches_model() {
+    queue_matches_model::<MpmcRing>(0x5157_0004);
+}
+
+#[test]
+fn arena_allocations_are_disjoint_and_stable() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(0xA4E_A000 ^ case);
+        let sizes: Vec<usize> = (0..rng.range(1, 40))
+            .map(|_| rng.range(1, 128) as usize)
+            .collect();
         let arena = ShmArena::new(1 << 20).unwrap();
         let mut claims: Vec<(u32, usize, u8)> = Vec::new();
         for (i, &n) in sizes.iter().enumerate() {
@@ -118,59 +159,68 @@ proptest! {
             .collect();
         ranges.sort_unstable();
         for w in ranges.windows(2) {
-            prop_assert!(w[0].1 <= w[1].0, "allocations overlap: {w:?}");
+            assert!(w[0].1 <= w[1].0, "case {case}: allocations overlap: {w:?}");
         }
         for &(off, n, fill) in &claims {
             let s = usipc_shm::ShmSlice::<u8>::from_raw(off, n as u32);
             for &b in arena.get_slice(s) {
-                prop_assert_eq!(b, fill);
+                assert_eq!(b, fill, "case {case}");
             }
-        }
-    }
-
-    #[test]
-    fn tagged_ptr_roundtrips(off in any::<u32>(), tag in any::<u32>()) {
-        let p = TaggedPtr::new(off, tag);
-        let cell = TaggedAtomicPtr::new(p);
-        prop_assert_eq!(cell.load(std::sync::atomic::Ordering::Relaxed), p);
-        let bumped = p.bumped(off ^ 0xffff);
-        prop_assert_eq!(bumped.tag, tag.wrapping_add(1));
-        prop_assert_eq!(bumped.off, off ^ 0xffff);
-    }
-
-    #[test]
-    fn message_kmsg_roundtrips(
-        opcode in any::<u32>(),
-        channel in any::<u32>(),
-        value in any::<f64>(),
-        aux in any::<u64>(),
-    ) {
-        let m = Message { opcode, channel, value, aux };
-        let back = Message::from_kmsg(m.to_kmsg());
-        prop_assert_eq!(back.opcode, opcode);
-        prop_assert_eq!(back.channel, channel);
-        prop_assert_eq!(back.aux, aux);
-        if value.is_nan() {
-            prop_assert!(back.value.is_nan());
-        } else {
-            prop_assert_eq!(back.value, value);
         }
     }
 }
 
-proptest! {
-    // Whole-simulation properties are costly (each case runs two complete
-    // simulations on a thread-per-process engine); keep the case count low
-    // — the deterministic integration tests cover the grid densely anyway.
-    #![proptest_config(ProptestConfig::with_cases(4))]
+#[test]
+fn tagged_ptr_roundtrips() {
+    let mut rng = Rng::new(0x007A_66ED);
+    for _ in 0..256 {
+        let off = rng.next() as u32;
+        let tag = rng.next() as u32;
+        let p = TaggedPtr::new(off, tag);
+        let cell = TaggedAtomicPtr::new(p);
+        assert_eq!(cell.load(std::sync::atomic::Ordering::Relaxed), p);
+        let bumped = p.bumped(off ^ 0xffff);
+        assert_eq!(bumped.tag, tag.wrapping_add(1));
+        assert_eq!(bumped.off, off ^ 0xffff);
+    }
+}
 
-    #[test]
-    fn any_strategy_any_shape_completes_and_is_deterministic(
-        strategy_idx in 0usize..6,
-        clients in 1usize..3,
-        msgs in 5u64..20,
-        machine_idx in 0usize..3,
-    ) {
+#[test]
+fn message_kmsg_roundtrips() {
+    let mut rng = Rng::new(0x004D_5347);
+    for case in 0..256 {
+        let opcode = rng.next() as u32;
+        let channel = rng.next() as u32;
+        // Include adversarial float bit patterns: NaNs, infinities,
+        // subnormals all come out of the raw bit stream.
+        let value = f64::from_bits(rng.next());
+        let aux = rng.next();
+        let m = Message {
+            opcode,
+            channel,
+            value,
+            aux,
+        };
+        let back = Message::from_kmsg(m.to_kmsg());
+        assert_eq!(back.opcode, opcode, "case {case}");
+        assert_eq!(back.channel, channel, "case {case}");
+        assert_eq!(back.aux, aux, "case {case}");
+        if value.is_nan() {
+            assert!(back.value.is_nan(), "case {case}");
+        } else {
+            assert_eq!(back.value, value, "case {case}");
+        }
+    }
+}
+
+// Whole-simulation properties are costly (each case runs two complete
+// simulations on a thread-per-process engine); keep the case count low —
+// the deterministic integration tests cover the grid densely anyway.
+
+#[test]
+fn any_strategy_any_shape_completes_and_is_deterministic() {
+    let mut rng = Rng::new(0x51_4D00);
+    for case in 0..4 {
         let strategy = [
             WaitStrategy::Bss,
             WaitStrategy::Bsw,
@@ -178,12 +228,15 @@ proptest! {
             WaitStrategy::Bsls { max_spin: 2 },
             WaitStrategy::Bsls { max_spin: 9 },
             WaitStrategy::HandoffBswy,
-        ][strategy_idx];
+        ][rng.range(0, 6) as usize];
+        let clients = rng.range(1, 3) as usize;
+        let msgs = rng.range(5, 20);
         let machine = [
             MachineModel::sgi_indy(),
             MachineModel::ibm_p4(),
             MachineModel::sgi_challenge8(),
-        ][machine_idx].clone();
+        ][rng.range(0, 3) as usize]
+            .clone();
         let exp = SimExperiment::new(
             machine,
             PolicyKind::degrading_default(),
@@ -194,16 +247,21 @@ proptest! {
         .jitter(VDur::micros((msgs % 7) * 10));
         let a = run_sim_experiment(&exp);
         let b = run_sim_experiment(&exp);
-        prop_assert_eq!(a.messages, msgs * clients as u64);
-        prop_assert_eq!(a.elapsed, b.elapsed, "determinism");
-        prop_assert_eq!(a.report.total_switches, b.report.total_switches);
+        assert_eq!(a.messages, msgs * clients as u64, "case {case}");
+        assert_eq!(a.elapsed, b.elapsed, "case {case}: determinism");
+        assert_eq!(
+            a.report.total_switches, b.report.total_switches,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn semaphore_credits_never_accumulate_in_bsw(
-        clients in 1usize..3,
-        msgs in 5u64..20,
-    ) {
+#[test]
+fn semaphore_credits_never_accumulate_in_bsw() {
+    let mut rng = Rng::new(0x42_5357);
+    for case in 0..4 {
+        let clients = rng.range(1, 3) as usize;
+        let msgs = rng.range(5, 20);
         let exp = SimExperiment::new(
             MachineModel::sgi_indy(),
             PolicyKind::degrading_default(),
@@ -213,12 +271,12 @@ proptest! {
         .messages(msgs);
         let r = run_sim_experiment(&exp);
         for (i, s) in r.report.sems.iter().enumerate() {
-            prop_assert!(
+            assert!(
                 s.max_count <= 2,
-                "sem {i} accumulated {} credits",
+                "case {case}: sem {i} accumulated {} credits",
                 s.max_count
             );
-            prop_assert_eq!(s.waiting, 0, "no one left blocked");
+            assert_eq!(s.waiting, 0, "case {case}: no one left blocked");
         }
     }
 }

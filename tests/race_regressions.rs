@@ -76,7 +76,9 @@ fn wakeup_before_sleep_is_not_lost() {
         // C.4 block(consumer): must consume the pending credit, not sleep.
         os.sem_p(q.sem());
         q.set_awake(&os);
-        let m = q.try_dequeue(&os).expect("message was enqueued in the window");
+        let m = q
+            .try_dequeue(&os)
+            .expect("message was enqueued in the window");
         assert_eq!(m.value, 42.0);
     });
     let (ids, costs) = (Arc::clone(&r.ids), r.costs);
@@ -157,7 +159,7 @@ fn stray_wakeup_is_absorbed_by_tas_guarded_p() {
         assert!(q.try_dequeue(&os).is_none());
         q.clear_awake(&os);
         sys.work(VDur::micros(50)); // producer enqueues + Vs in this window
-        // C.3 re-check: succeeds now.
+                                    // C.3 re-check: succeeds now.
         let m = q.try_dequeue(&os).expect("message arrived in the window");
         assert_eq!(m.value, 7.0);
         // Fig. 5's fix: tas returned 1 -> a producer posted a V; absorb it.
