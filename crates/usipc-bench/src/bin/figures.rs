@@ -1,8 +1,8 @@
 //! CLI driver: regenerate the paper's tables and figures.
 //!
 //! ```text
-//! figures [all | table1 fig2 fig3 fig6 fig8 fig10 fig11 fig12 stats]...
-//!         [--msgs N] [--clients N] [--out DIR]
+//! figures [all | table1 fig2 fig3 fig6 fig8 fig10 fig11 fig12 stats | explore]...
+//!         [--msgs N] [--clients N] [--depth N] [--out DIR]
 //! ```
 
 use std::path::PathBuf;
@@ -33,6 +33,12 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--mp-clients needs a number");
             }
+            "--depth" => {
+                opts.explore_depth = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--depth needs a number");
+            }
             "list" => {
                 for id in all_ids() {
                     println!("{id}");
@@ -45,7 +51,7 @@ fn main() {
             "all" => ids.extend(all_ids().iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: figures [list | all | {}]... [--msgs N] [--clients N] [--mp-clients N] [--out DIR]",
+                    "usage: figures [list | all | {}]... [--msgs N] [--clients N] [--mp-clients N] [--depth N] [--out DIR]",
                     all_ids().join(" | ")
                 );
                 return;

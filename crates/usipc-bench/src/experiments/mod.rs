@@ -1,6 +1,7 @@
 //! One module per paper artifact; see DESIGN.md §5 for the index.
 
 mod asynch;
+mod explore;
 mod fig10;
 mod fig11;
 mod fig12;
@@ -40,6 +41,9 @@ pub struct RunOpts {
     pub max_clients: usize,
     /// Largest multiprocessor client count (Fig. 11 and the MP ablations).
     pub mp_max_clients: usize,
+    /// DFS branching-depth bound for the `explore` experiment (CI uses a
+    /// small bound to stay within its time budget).
+    pub explore_depth: usize,
 }
 
 impl Default for RunOpts {
@@ -48,6 +52,7 @@ impl Default for RunOpts {
             msgs_per_client: 2_000,
             max_clients: 6,
             mp_max_clients: 12,
+            explore_depth: 7,
         }
     }
 }
@@ -56,7 +61,7 @@ impl Default for RunOpts {
 pub fn all_ids() -> &'static [&'static str] {
     &[
         "table1", "fig2", "fig3", "fig6", "fig8", "fig10", "fig11", "fig12", "stats", "syscalls",
-        "throttle", "threaded", "mlfq", "async", "mixed",
+        "throttle", "threaded", "mlfq", "async", "mixed", "explore",
     ]
 }
 
@@ -78,6 +83,7 @@ pub fn run_experiment(id: &str, opts: RunOpts) -> Option<ExperimentOutput> {
         "mlfq" => mlfq::run(opts),
         "async" => asynch::run(opts),
         "mixed" => mixed::run(opts),
+        "explore" => explore::run(opts),
         _ => return None,
     })
 }

@@ -9,6 +9,7 @@ fn small() -> RunOpts {
         msgs_per_client: 40,
         max_clients: 2,
         mp_max_clients: 3,
+        explore_depth: 7,
     }
 }
 

@@ -259,8 +259,30 @@ struct Engine {
     klock_free: VTime,
 }
 
+/// Task panics are caught and surfaced as [`Outcome::TaskPanicked`] (and the
+/// teardown unwind of a deadlocked task is absorbed entirely), so the default
+/// panic hook's stderr backtrace is pure noise — and the schedule explorer
+/// enumerates thousands of runs where a deadlock is the *expected* result.
+/// Suppress the hook for simulated-task threads only; everything else keeps
+/// the previous hook.
+fn silence_simulated_task_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let sim_task = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("sim-"));
+            if !sim_task {
+                prev(info);
+            }
+        }));
+    });
+}
+
 impl Engine {
     fn start(b: SimBuilder) -> Engine {
+        silence_simulated_task_panics();
         let ntasks = b.specs.len();
         assert!(ntasks > 0, "simulation needs at least one task");
         let (tx, rx) = mpsc::channel::<(Pid, Request)>();
@@ -545,6 +567,17 @@ impl Engine {
 
     /// Prices `req` and schedules its completion; `pid` must be Running.
     fn process(&mut self, pid: Pid, req: Request) {
+        // Controllable-scheduler preemption point: a policy may switch the
+        // running task out before *any* request is priced. Because every
+        // shared-memory effect of a resumed task is linearized at its
+        // preceding operation's completion, this single hook sits between
+        // every pair of adjacent memory effects and ahead of every kernel
+        // op — the windows of the Fig. 4 races the explorer enumerates.
+        if self.sched.has_ready() && self.sched.preempt_at_op(pid) {
+            self.tasks[pid.idx()].cont = Cont::Process(req);
+            self.leave_cpu(pid, TaskState::Ready, false);
+            return;
+        }
         if matches!(req, Request::Work(_)) {
             // Quantum exhausted with competition: preempt before running
             // this slice.

@@ -1,0 +1,697 @@
+//! Deterministic schedule-space exploration: enumerate the interleavings a
+//! scenario can exhibit and check protocol invariants in every one.
+//!
+//! The paper's Fig. 4 argues the BSW protocol is correct by walking four
+//! adversarial interleavings by hand. This module mechanizes that argument
+//! in the style of stateless model checking (CHESS, dBug, Shuttle): the
+//! simulation engine already serializes simulated processes and linearizes
+//! their shared-memory effects at operation boundaries, so a *controllable
+//! scheduler* ([`Scheduler::preempt_at_op`]) that decides, at every request,
+//! whether to preempt and whom to run next, turns the engine into an
+//! interleaving enumerator. Every `charge`d queue/flag operation and every
+//! kernel call is a decision point.
+//!
+//! Two modes:
+//!
+//! * **exhaustive DFS** up to a branching-depth bound (`depth`): the first
+//!   `depth` decision points are enumerated odometer-style; beyond the
+//!   horizon the schedule defaults to "keep running" (decision 0),
+//! * **seeded random walks** for deeper schedules than DFS can afford.
+//!
+//! Every run is replayable from its *decision string* — the sequence of
+//! choices taken at each decision point — so a counterexample is a
+//! deterministic reproducer, not a flaky report. See
+//! [`Explorer::replay`] and [`parse_decisions`].
+//!
+//! Invariants checked after each terminal state:
+//!
+//! * **no lost wake-up** — a deadlock or time-limit outcome means some task
+//!   blocked forever (Fig. 4, interleavings 1 and 4),
+//! * **no unbounded stray-credit accumulation** — each semaphore's
+//!   high-water mark stays within [`Explorer::sem_bound`] (interleavings 2
+//!   and 3; "this happened in our first version of the algorithm!", §3),
+//! * **no semaphore overflow** and **no task panic** (engine outcomes),
+//! * any **scenario-specific check** returned by the scenario builder
+//!   (e.g. "every request was answered exactly once").
+
+use crate::engine::SimBuilder;
+use crate::machine::MachineModel;
+use crate::report::{Outcome, SimReport};
+use crate::sched::{Scheduler, YieldDecision};
+use crate::syscall::Pid;
+use crate::time::VDur;
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+/// A per-run invariant check built by the scenario closure: it may capture
+/// state shared with the spawned tasks (completion counters, observed
+/// values) and verdict the finished run.
+pub type ScenarioCheck = Box<dyn FnOnce(&SimReport) -> Result<(), String>>;
+
+/// SplitMix64 — the same tiny generator the property harness uses; good
+/// enough to scatter random walks, and dependency-free.
+#[derive(Debug, Clone, Copy)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// The decision tape of one run: a replay prefix, the choices actually
+/// taken (with their arities, for the DFS odometer), and the branching
+/// horizon beyond which every decision defaults to 0 ("keep running").
+#[derive(Debug)]
+struct DecisionCore {
+    prefix: Vec<u32>,
+    taken: Vec<(u32, u32)>,
+    horizon: usize,
+    rng: Option<SplitMix64>,
+}
+
+impl DecisionCore {
+    /// Picks a choice in `0..arity` for the next decision point.
+    fn decide(&mut self, arity: u32) -> u32 {
+        debug_assert!(arity >= 2, "arity-1 situations consume no decision");
+        let k = self.taken.len();
+        let choice = if let Some(&c) = self.prefix.get(k) {
+            debug_assert!(c < arity, "replayed decision out of range");
+            c.min(arity - 1)
+        } else if k >= self.horizon {
+            0
+        } else if let Some(rng) = &mut self.rng {
+            (rng.next() % u64::from(arity)) as u32
+        } else {
+            0
+        };
+        self.taken.push((choice, arity));
+        choice
+    }
+}
+
+/// The controllable scheduler: a FIFO ready list where every point at which
+/// more than one continuation exists consumes one decision. Preemption and
+/// target selection collapse into a single decision (`1 + n_ready`
+/// choices: 0 = keep running, `1 + i` = preempt and dispatch `ready[i]`),
+/// so the decision tree contains no redundant self-preemptions.
+struct ExploreScheduler {
+    ready: Vec<Pid>,
+    forced: Option<Pid>,
+    core: Arc<Mutex<DecisionCore>>,
+}
+
+impl ExploreScheduler {
+    fn new(core: Arc<Mutex<DecisionCore>>) -> Self {
+        ExploreScheduler {
+            ready: Vec::new(),
+            forced: None,
+            core,
+        }
+    }
+
+    /// One decision over "continue" plus every ready task; stores the
+    /// forced victim for the subsequent `pick`.
+    fn decide_switch(&mut self) -> bool {
+        if self.ready.is_empty() {
+            return false;
+        }
+        let arity = 1 + self.ready.len() as u32;
+        let c = self.core.lock().unwrap().decide(arity);
+        if c == 0 {
+            false
+        } else {
+            self.forced = Some(self.ready[(c - 1) as usize]);
+            true
+        }
+    }
+}
+
+impl Scheduler for ExploreScheduler {
+    fn init(&mut self, _ntasks: usize) {}
+
+    fn on_ready(&mut self, pid: Pid) {
+        self.ready.push(pid);
+    }
+
+    fn pick(&mut self) -> Option<Pid> {
+        if let Some(f) = self.forced.take() {
+            if let Some(i) = self.ready.iter().position(|&p| p == f) {
+                return Some(self.ready.remove(i));
+            }
+        }
+        match self.ready.len() {
+            0 => None,
+            1 => Some(self.ready.remove(0)),
+            n => {
+                let c = self.core.lock().unwrap().decide(n as u32) as usize;
+                Some(self.ready.remove(c))
+            }
+        }
+    }
+
+    fn steal(&mut self, pid: Pid) -> bool {
+        if let Some(i) = self.ready.iter().position(|&p| p == pid) {
+            self.ready.remove(i);
+            if self.forced == Some(pid) {
+                self.forced = None;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn on_run(&mut self, _pid: Pid, _ran: VDur) {}
+
+    fn on_block(&mut self, _pid: Pid) {}
+
+    fn on_yield(&mut self, _pid: Pid) -> YieldDecision {
+        if self.decide_switch() {
+            YieldDecision::Switch
+        } else {
+            YieldDecision::Continue
+        }
+    }
+
+    fn ready_count(&self) -> usize {
+        self.ready.len()
+    }
+
+    fn preempt_at_op(&mut self, _running: Pid) -> bool {
+        self.decide_switch()
+    }
+
+    fn name(&self) -> &'static str {
+        "explore"
+    }
+}
+
+/// How the explorer walks the decision tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Odometer-style exhaustive DFS over the first `depth` decisions.
+    Dfs,
+    /// `walks` random schedules from per-walk seeds derived from `seed`.
+    Random {
+        /// Base seed printed with any counterexample.
+        seed: u64,
+        /// Number of walks.
+        walks: u64,
+    },
+}
+
+/// A schedule that violated an invariant, with everything needed to replay
+/// it deterministically.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// 1-based index of the violating run within the exploration.
+    pub schedule: u64,
+    /// The full decision vector of the run; feed it back through
+    /// [`Explorer::replay`] to reproduce the violation exactly.
+    pub decisions: Vec<u32>,
+    /// What went wrong.
+    pub violation: String,
+}
+
+impl Counterexample {
+    /// The printable replay token: decisions joined by `.` (`"-"` for the
+    /// empty vector). [`parse_decisions`] inverts it.
+    pub fn decision_string(&self) -> String {
+        if self.decisions.is_empty() {
+            "-".into()
+        } else {
+            self.decisions
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join(".")
+        }
+    }
+}
+
+impl core::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "schedule #{}: {} [replay decisions={}]",
+            self.schedule,
+            self.violation,
+            self.decision_string()
+        )
+    }
+}
+
+/// Parses a decision string produced by
+/// [`Counterexample::decision_string`] (`"0.2.1"`, or `"-"` for the empty
+/// vector). Returns `None` on malformed input.
+pub fn parse_decisions(s: &str) -> Option<Vec<u32>> {
+    let s = s.trim();
+    if s == "-" || s.is_empty() {
+        return Some(Vec::new());
+    }
+    s.split('.').map(|t| t.parse().ok()).collect()
+}
+
+/// Aggregate results of one exploration.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreReport {
+    /// Schedules executed.
+    pub schedules: u64,
+    /// Distinct terminal states observed (hash over outcome, semaphore
+    /// finals and the mark history — i.e. observably different runs).
+    pub distinct_states: u64,
+    /// Runs whose branching went past the depth horizon (their tail
+    /// defaulted to "keep running", so deeper races may exist).
+    pub truncated: u64,
+    /// Total invariant violations (every one counted, even beyond the
+    /// stored-counterexample cap).
+    pub violations: u64,
+    /// Up to [`MAX_COUNTEREXAMPLES`] stored violating schedules.
+    pub counterexamples: Vec<Counterexample>,
+    /// Whether the DFS enumerated the whole bounded space (always `false`
+    /// for random mode and when `max_schedules` stopped the walk).
+    pub exhausted: bool,
+}
+
+impl ExploreReport {
+    /// No invariant was violated in any explored schedule.
+    pub fn ok(&self) -> bool {
+        self.violations == 0
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} schedules, {} distinct states, {} violations{}{}",
+            self.schedules,
+            self.distinct_states,
+            self.violations,
+            if self.exhausted {
+                " (space exhausted)"
+            } else {
+                ""
+            },
+            match self.counterexamples.first() {
+                Some(c) => format!("; first counterexample: {c}"),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+/// Cap on stored (not counted) counterexamples per exploration.
+pub const MAX_COUNTEREXAMPLES: usize = 8;
+
+/// A configured schedule-space exploration. Build with [`Explorer::dfs`]
+/// or [`Explorer::random`], refine with the builder methods, then
+/// [`Explorer::run`] a scenario through it.
+///
+/// The scenario closure receives a fresh [`SimBuilder`] per run (machine
+/// and controllable scheduler pre-installed), spawns its tasks, and returns
+/// a [`ScenarioCheck`] for run-specific invariants.
+#[derive(Clone)]
+pub struct Explorer {
+    machine: MachineModel,
+    depth: usize,
+    time_limit: VDur,
+    max_schedules: u64,
+    sem_bound: Option<u32>,
+    mode: Mode,
+}
+
+impl Explorer {
+    /// Exhaustive DFS over the first `depth` decision points.
+    pub fn dfs(depth: usize) -> Self {
+        Explorer {
+            machine: MachineModel::explore(),
+            depth,
+            time_limit: VDur::millis(50),
+            max_schedules: 100_000,
+            sem_bound: None,
+            mode: Mode::Dfs,
+        }
+    }
+
+    /// `walks` seeded random walks, each up to `depth` random decisions.
+    pub fn random(depth: usize, seed: u64, walks: u64) -> Self {
+        Explorer {
+            mode: Mode::Random { seed, walks },
+            ..Explorer::dfs(depth)
+        }
+    }
+
+    /// Replaces the machine model (default: [`MachineModel::explore`]).
+    pub fn machine(mut self, m: MachineModel) -> Self {
+        self.machine = m;
+        self
+    }
+
+    /// Virtual-time budget per schedule (default 50 ms — generous for
+    /// race-scale scenarios, tight enough to catch livelock fast).
+    pub fn time_limit(mut self, limit: VDur) -> Self {
+        self.time_limit = limit;
+        self
+    }
+
+    /// Caps the number of schedules executed (default 100 000).
+    pub fn max_schedules(mut self, n: u64) -> Self {
+        self.max_schedules = n;
+        self
+    }
+
+    /// Requires every semaphore's high-water mark to stay ≤ `bound` in
+    /// every schedule — the protocol-specific stray-credit invariant
+    /// (BSW-family reply queues: 1).
+    pub fn sem_bound(mut self, bound: u32) -> Self {
+        self.sem_bound = Some(bound);
+        self
+    }
+
+    /// Explores the scenario's schedule space and reports.
+    pub fn run<S>(&self, mut scenario: S) -> ExploreReport
+    where
+        S: FnMut(&mut SimBuilder) -> ScenarioCheck,
+    {
+        let mut out = ExploreReport::default();
+        let mut states: HashSet<u64> = HashSet::new();
+        let record =
+            |out: &mut ExploreReport, taken: &[(u32, u32)], verdict: Result<(), String>| {
+                if taken.len() > self.depth {
+                    out.truncated += 1;
+                }
+                if let Err(v) = verdict {
+                    out.violations += 1;
+                    if out.counterexamples.len() < MAX_COUNTEREXAMPLES {
+                        out.counterexamples.push(Counterexample {
+                            schedule: out.schedules,
+                            decisions: taken.iter().map(|t| t.0).collect(),
+                            violation: v,
+                        });
+                    }
+                }
+            };
+        match self.mode {
+            Mode::Dfs => {
+                let mut prefix: Vec<u32> = Vec::new();
+                loop {
+                    let (sim, taken, verdict) = self.run_one(&mut scenario, &prefix, None);
+                    out.schedules += 1;
+                    states.insert(state_hash(&sim));
+                    record(&mut out, &taken, verdict);
+                    // Odometer: bump the deepest in-horizon decision that
+                    // still has an unexplored sibling.
+                    let next = (0..taken.len().min(self.depth)).rev().find_map(|i| {
+                        let (c, arity) = taken[i];
+                        (c + 1 < arity).then(|| {
+                            let mut p: Vec<u32> = taken[..i].iter().map(|t| t.0).collect();
+                            p.push(c + 1);
+                            p
+                        })
+                    });
+                    match next {
+                        Some(p) if out.schedules < self.max_schedules => prefix = p,
+                        Some(_) => break,
+                        None => {
+                            out.exhausted = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            Mode::Random { seed, walks } => {
+                for w in 0..walks.min(self.max_schedules) {
+                    let rng = SplitMix64::new(
+                        seed ^ w.wrapping_mul(0xA076_1D64_78BD_642F).wrapping_add(1),
+                    );
+                    let (sim, taken, verdict) = self.run_one(&mut scenario, &[], Some(rng));
+                    out.schedules += 1;
+                    states.insert(state_hash(&sim));
+                    record(&mut out, &taken, verdict);
+                }
+            }
+        }
+        out.distinct_states = states.len() as u64;
+        out
+    }
+
+    /// Replays one schedule from its decision vector (see
+    /// [`Counterexample::decisions`]); returns the full simulator report
+    /// and the invariant verdict. Decisions past the vector default to
+    /// "keep running", so a replay is exact for vectors recorded by this
+    /// explorer.
+    pub fn replay<S>(&self, decisions: &[u32], mut scenario: S) -> (SimReport, Result<(), String>)
+    where
+        S: FnMut(&mut SimBuilder) -> ScenarioCheck,
+    {
+        let mut ex = self.clone();
+        ex.depth = decisions.len();
+        let (sim, _taken, verdict) = ex.run_one(&mut scenario, decisions, None);
+        (sim, verdict)
+    }
+
+    fn run_one<S>(
+        &self,
+        scenario: &mut S,
+        prefix: &[u32],
+        rng: Option<SplitMix64>,
+    ) -> (SimReport, Vec<(u32, u32)>, Result<(), String>)
+    where
+        S: FnMut(&mut SimBuilder) -> ScenarioCheck,
+    {
+        let core = Arc::new(Mutex::new(DecisionCore {
+            prefix: prefix.to_vec(),
+            taken: Vec::new(),
+            horizon: self.depth,
+            rng,
+        }));
+        let sched = ExploreScheduler::new(Arc::clone(&core));
+        let mut b = SimBuilder::new(self.machine.clone(), Box::new(sched));
+        b.time_limit(self.time_limit);
+        let check = scenario(&mut b);
+        let sim = b.run();
+        let taken = std::mem::take(&mut core.lock().unwrap().taken);
+        let verdict = self.check_invariants(&sim).and_then(|()| check(&sim));
+        (sim, taken, verdict)
+    }
+
+    /// The scenario-independent invariants.
+    fn check_invariants(&self, r: &SimReport) -> Result<(), String> {
+        match &r.outcome {
+            Outcome::Completed => {}
+            Outcome::Deadlock(stuck) => {
+                return Err(format!("lost wake-up: deadlock [{}]", stuck.join("; ")));
+            }
+            Outcome::TimeLimit => {
+                return Err("virtual time limit exceeded (livelock or lost wake-up)".into());
+            }
+            Outcome::TaskPanicked { task, message } => {
+                return Err(format!("task '{task}' panicked: {message}"));
+            }
+            Outcome::SemaphoreOverflow { sem, limit } => {
+                return Err(format!("semaphore {sem} overflowed its limit {limit}"));
+            }
+        }
+        if let Some(bound) = self.sem_bound {
+            for (i, s) in r.sems.iter().enumerate() {
+                if s.max_count > bound {
+                    return Err(format!(
+                        "stray-credit accumulation: sem {i} high-water {} exceeds bound {bound}",
+                        s.max_count
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a over the observable terminal state: outcome, semaphore finals,
+/// and the full mark history (time-ordered codes with their recording
+/// pids). Two schedules hash equal iff they are observably equivalent.
+fn state_hash(r: &SimReport) -> u64 {
+    struct Fnv(u64);
+    impl Fnv {
+        fn eat(&mut self, x: u64) {
+            for b in x.to_le_bytes() {
+                self.0 ^= u64::from(b);
+                self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        fn eat_bytes(&mut self, s: &[u8]) {
+            for &b in s {
+                self.0 ^= u64::from(b);
+                self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+    }
+    let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    match &r.outcome {
+        Outcome::Completed => h.eat(1),
+        Outcome::Deadlock(stuck) => {
+            h.eat(2);
+            for s in stuck {
+                h.eat_bytes(s.as_bytes());
+            }
+        }
+        Outcome::TimeLimit => h.eat(3),
+        Outcome::TaskPanicked { task, message } => {
+            h.eat(4);
+            h.eat_bytes(task.as_bytes());
+            h.eat_bytes(message.as_bytes());
+        }
+        Outcome::SemaphoreOverflow { sem, limit } => {
+            h.eat(5);
+            h.eat(u64::from(*sem));
+            h.eat(u64::from(*limit));
+        }
+    }
+    for s in &r.sems {
+        h.eat(u64::from(s.count));
+        h.eat(u64::from(s.max_count));
+        h.eat(s.waiting as u64);
+    }
+    for m in &r.marks {
+        h.eat(u64::from(m.pid.0));
+        h.eat(m.code);
+    }
+    h.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syscall::SemId;
+    use core::sync::atomic::{AtomicU32, Ordering};
+
+    /// Producer Vs once; consumer Ps once. Correct under every schedule.
+    fn sem_handshake(b: &mut SimBuilder) -> ScenarioCheck {
+        let s: SemId = b.add_sem(0);
+        b.spawn("consumer", move |sys| {
+            sys.work(VDur::nanos(100));
+            sys.sem_p(s);
+        });
+        b.spawn("producer", move |sys| {
+            sys.work(VDur::nanos(100));
+            sys.sem_v(s);
+        });
+        Box::new(|_r| Ok(()))
+    }
+
+    #[test]
+    fn dfs_exhausts_and_finds_no_violation_in_correct_handshake() {
+        let r = Explorer::dfs(6).sem_bound(1).run(sem_handshake);
+        assert!(r.ok(), "{}", r.summary());
+        assert!(r.exhausted, "depth 6 covers this tiny scenario");
+        assert!(r.schedules > 1, "both orders explored");
+        assert!(r.distinct_states >= 1);
+    }
+
+    #[test]
+    fn dfs_finds_a_lost_wakeup_and_replay_reproduces_it() {
+        // The consumer Ps; nobody Vs. Every schedule deadlocks.
+        let broken = |b: &mut SimBuilder| -> ScenarioCheck {
+            let s = b.add_sem(0);
+            b.spawn("consumer", move |sys| {
+                sys.sem_p(s);
+            });
+            b.spawn("bystander", move |sys| {
+                sys.work(VDur::nanos(100));
+            });
+            Box::new(|_r| Ok(()))
+        };
+        let ex = Explorer::dfs(4);
+        let r = ex.run(broken);
+        assert!(!r.ok());
+        assert_eq!(r.violations, r.schedules, "all schedules deadlock");
+        let c = &r.counterexamples[0];
+        assert!(c.violation.contains("lost wake-up"), "{}", c.violation);
+        // The printed decision string round-trips and replays the failure.
+        let decisions = parse_decisions(&c.decision_string()).expect("well-formed");
+        assert_eq!(decisions, c.decisions);
+        let (sim, verdict) = ex.replay(&c.decisions, broken);
+        assert!(verdict.is_err());
+        assert!(matches!(sim.outcome, Outcome::Deadlock(_)));
+    }
+
+    #[test]
+    fn sem_bound_flags_credit_accumulation() {
+        // Two producers V unconditionally: max_count hits 2 in schedules
+        // where the consumer is slow.
+        let scenario = |b: &mut SimBuilder| -> ScenarioCheck {
+            let s = b.add_sem(0);
+            b.spawn("consumer", move |sys| {
+                sys.work(VDur::micros(1));
+                sys.sem_p(s);
+                sys.sem_p(s);
+            });
+            for p in 0..2 {
+                b.spawn(format!("producer{p}"), move |sys| {
+                    sys.sem_v(s);
+                });
+            }
+            Box::new(|_r| Ok(()))
+        };
+        let r = Explorer::dfs(6).sem_bound(1).run(scenario);
+        assert!(r.violations > 0, "{}", r.summary());
+        assert!(r.counterexamples[0].violation.contains("stray-credit"));
+    }
+
+    #[test]
+    fn random_mode_is_seed_deterministic() {
+        let run = || {
+            Explorer::random(8, 42, 32)
+                .run(sem_handshake)
+                .distinct_states
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn scenario_check_failures_are_counted() {
+        let scenario = |b: &mut SimBuilder| -> ScenarioCheck {
+            let s = b.add_sem(0);
+            let hits = Arc::new(AtomicU32::new(0));
+            let h = Arc::clone(&hits);
+            b.spawn("consumer", move |sys| {
+                sys.sem_p(s);
+                h.fetch_add(1, Ordering::Relaxed);
+            });
+            b.spawn("producer", move |sys| {
+                sys.sem_v(s);
+            });
+            Box::new(move |_r| {
+                let n = hits.load(Ordering::Relaxed);
+                if n == 1 {
+                    Err("scenario check exercised".into())
+                } else {
+                    Ok(())
+                }
+            })
+        };
+        let r = Explorer::dfs(4).run(scenario);
+        assert_eq!(r.violations, r.schedules, "check fires every run");
+    }
+
+    #[test]
+    fn decision_string_edge_cases() {
+        assert_eq!(parse_decisions("-"), Some(vec![]));
+        assert_eq!(parse_decisions(""), Some(vec![]));
+        assert_eq!(parse_decisions("0.2.1"), Some(vec![0, 2, 1]));
+        assert_eq!(parse_decisions("0.x"), None);
+        let c = Counterexample {
+            schedule: 1,
+            decisions: vec![],
+            violation: "v".into(),
+        };
+        assert_eq!(c.decision_string(), "-");
+    }
+}

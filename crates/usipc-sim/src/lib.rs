@@ -44,6 +44,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 mod engine;
+pub mod explore;
 mod machine;
 mod msgq;
 mod report;
@@ -54,6 +55,7 @@ mod time;
 pub mod trace;
 
 pub use engine::SimBuilder;
+pub use explore::{parse_decisions, Counterexample, ExploreReport, Explorer, ScenarioCheck};
 pub use machine::MachineModel;
 pub use msgq::{KMsgQueue, RecvOutcome, SendOutcome};
 pub use report::{Mark, Outcome, SemFinal, SimReport, TaskReport};

@@ -146,6 +146,37 @@ impl MachineModel {
         }
     }
 
+    /// The schedule-space explorer's machine: a uniprocessor where every
+    /// protocol-visible operation has a small *nonzero* cost.
+    ///
+    /// Nonzero costs matter because the protocol layer only issues a
+    /// simulator request for a charged operation when its cost is nonzero —
+    /// and each request is a preemption point for the explorer's
+    /// controllable scheduler. The quantum is effectively infinite so the
+    /// only preemptions are the explorer's own decisions, and the
+    /// block-resume penalty is zero so schedules differ only in ordering,
+    /// never in incidental cache effects.
+    pub fn explore() -> Self {
+        MachineModel {
+            name: "explore",
+            cpus: 1,
+            queue_op: VDur::nanos(100),
+            tas_op: VDur::nanos(50),
+            syscall: VDur::micros(1),
+            runq_scan_per_ready: VDur::ZERO,
+            ctx_switch: VDur::ZERO,
+            cache_reload_per_proc: VDur::ZERO,
+            cache_procs_max: 0,
+            block_resume_penalty: VDur::ZERO,
+            msg_op: VDur::micros(1),
+            sem_op: VDur::micros(1),
+            poll_op: VDur::micros(1),
+            request_work: VDur::nanos(100),
+            quantum: VDur::seconds(3600),
+            fixed_sched_discount: 1.0,
+        }
+    }
+
     /// 66 MHz 486, Linux 1.0.32 Slackware (§6).
     ///
     /// Calibrated to the in-text observation that with the modified

@@ -97,6 +97,19 @@ pub trait Scheduler: Send {
         let _ = running;
         false
     }
+    /// Whether `running` should be preempted *right now*, before its next
+    /// request is priced. The engine consults this at every request —
+    /// i.e. between every pair of adjacent shared-memory effects and before
+    /// every kernel operation — but only while another process is ready.
+    /// This is the hook the schedule-space explorer
+    /// ([`explore`](crate::explore)) uses to turn every `charge`d queue/flag
+    /// operation and every system call into a controllable preemption
+    /// point. Default: never, so ordinary policies see only quantum and
+    /// wake-up preemption.
+    fn preempt_at_op(&mut self, running: Pid) -> bool {
+        let _ = running;
+        false
+    }
     /// Policy name for reports.
     fn name(&self) -> &'static str;
 }

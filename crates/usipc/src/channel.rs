@@ -176,15 +176,32 @@ impl Channel {
 
     /// View of client `c`'s reply queue (see [`Self::receive_queue`] on raw
     /// access).
+    ///
+    /// # Panics
+    ///
+    /// If `c` is out of range. Server paths handling a *client-supplied*
+    /// channel number must use [`Self::try_reply_queue`] instead: the field
+    /// crosses the shared-memory trust boundary, and a hostile or corrupted
+    /// value must not take the server down.
     pub fn reply_queue(&self, c: u32) -> QueueRef<'_> {
+        self.try_reply_queue(c)
+            .unwrap_or_else(|| panic!("client {c} out of range"))
+    }
+
+    /// Fallible view of client `c`'s reply queue: `None` when `c` names no
+    /// queue. This is the only safe way to resolve a channel number read
+    /// out of a request message.
+    pub fn try_reply_queue(&self, c: u32) -> Option<QueueRef<'_>> {
         let root = self.root();
-        assert!(c < root.n_clients, "client {c} out of range");
-        QueueRef {
+        if c >= root.n_clients {
+            return None;
+        }
+        Some(QueueRef {
             arena: &self.arena,
             wq: self.arena.get(root.reply.at(c as usize)),
             pool: root.pool,
             sem: client_sem(c),
-        }
+        })
     }
 
     /// Builds a client endpoint.
@@ -386,8 +403,14 @@ impl<O: OsServices> ServerEndpoint<'_, O> {
         self.strategy.receive(self.ch, self.os)
     }
 
-    /// `Reply` to client `c`.
+    /// `Reply` to client `c`. When `c` names no reply queue — a malformed
+    /// client-supplied channel number — the reply is dropped and counted
+    /// ([`ProtoEvent::MalformedRequest`]) instead of panicking the server.
     pub fn reply(&self, c: u32, msg: Message) {
+        if c >= self.ch.n_clients() {
+            self.os.record(ProtoEvent::MalformedRequest);
+            return;
+        }
         self.strategy.reply(self.ch, self.os, c, msg)
     }
 

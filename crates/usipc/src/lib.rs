@@ -60,6 +60,7 @@ mod msg;
 mod native;
 pub mod platform;
 pub mod protocol;
+pub mod scenarios;
 mod server;
 mod simulated;
 pub mod sysv;

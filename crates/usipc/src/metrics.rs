@@ -68,10 +68,14 @@ pub enum ProtoEvent {
     /// A stray wake-up absorbed by the `tas`-guarded `P` (interleaving 3
     /// of Fig. 4 — the credit that overflowed the authors' first version).
     StrayWakeupAbsorbed,
+    /// A request dropped because its client-supplied `channel` named no
+    /// reply queue. Shared memory is a trust boundary: a buggy or hostile
+    /// client must not be able to crash the server.
+    MalformedRequest,
 }
 
 /// Number of distinct [`ProtoEvent`] kinds.
-pub const N_EVENTS: usize = 14;
+pub const N_EVENTS: usize = 15;
 
 const EVENTS: [ProtoEvent; N_EVENTS] = [
     ProtoEvent::QueueOp,
@@ -88,6 +92,7 @@ const EVENTS: [ProtoEvent; N_EVENTS] = [
     ProtoEvent::QueueFullBackoff,
     ProtoEvent::BlockEntered,
     ProtoEvent::StrayWakeupAbsorbed,
+    ProtoEvent::MalformedRequest,
 ];
 
 /// Number of log₂ latency buckets: bucket `i` holds samples in
@@ -255,6 +260,7 @@ pub struct MetricsSnapshot {
     pub queue_full_backoffs: u64,
     pub blocks_entered: u64,
     pub stray_wakeups_absorbed: u64,
+    pub malformed_requests: u64,
 }
 
 impl MetricsSnapshot {
@@ -274,6 +280,7 @@ impl MetricsSnapshot {
             ProtoEvent::QueueFullBackoff => &mut self.queue_full_backoffs,
             ProtoEvent::BlockEntered => &mut self.blocks_entered,
             ProtoEvent::StrayWakeupAbsorbed => &mut self.stray_wakeups_absorbed,
+            ProtoEvent::MalformedRequest => &mut self.malformed_requests,
         }
     }
 

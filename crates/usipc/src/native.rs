@@ -14,46 +14,131 @@ use crate::platform::{Cost, HandoffHint, OsServices};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-/// A counting semaphore with SysV `P`/`V` semantics.
-#[derive(Debug, Default)]
+/// A counting semaphore with SysV `P`/`V` semantics, a SEMVMX-style
+/// overflow limit, and high-water diagnostics.
+///
+/// The limit is not decoration: unbounded credit accumulation is exactly
+/// the failure the authors hit in their first protocol version (§3 — the
+/// stray `V`s of Fig. 4 interleavings 2/3 overflowed SEMVMX). The sim
+/// backend's [`usipc_sim::Semaphore`] has detected this from day one; this
+/// brings the native backend to parity so the same bug class cannot wrap a
+/// `u32` silently in production.
+#[derive(Debug)]
 pub struct CountingSem {
-    count: Mutex<u32>,
+    inner: Mutex<SemState>,
     cv: Condvar,
 }
 
+#[derive(Debug)]
+struct SemState {
+    count: u32,
+    limit: u32,
+    /// Highest credit count ever reached (the sim's `max_count` parity).
+    max_count: u32,
+    /// Threads currently blocked in `p`.
+    waiting: usize,
+}
+
+impl Default for CountingSem {
+    fn default() -> Self {
+        CountingSem::new(0)
+    }
+}
+
 impl CountingSem {
-    /// Creates a semaphore with an initial credit count.
+    /// Creates a semaphore with an initial credit count and the SysV
+    /// default limit ([`usipc_sim::Semaphore::DEFAULT_LIMIT`], SEMVMX).
     pub fn new(initial: u32) -> Self {
+        Self::with_limit(initial, usipc_sim::Semaphore::DEFAULT_LIMIT)
+    }
+
+    /// Creates a semaphore with an explicit overflow limit (tests use
+    /// small limits to provoke the overflow the authors hit).
+    pub fn with_limit(initial: u32, limit: u32) -> Self {
+        assert!(initial <= limit, "initial credit exceeds limit");
         CountingSem {
-            count: Mutex::new(initial),
+            inner: Mutex::new(SemState {
+                count: initial,
+                limit,
+                max_count: initial,
+                waiting: 0,
+            }),
             cv: Condvar::new(),
         }
     }
 
     /// `P`: block until a credit is available, then take it.
     pub fn p(&self) {
-        let mut c = self.count.lock().unwrap();
-        while *c == 0 {
-            c = self.cv.wait(c).unwrap();
+        let mut s = self.inner.lock().unwrap();
+        while s.count == 0 {
+            s.waiting += 1;
+            s = self.cv.wait(s).unwrap();
+            s.waiting -= 1;
         }
-        *c -= 1;
+        s.count -= 1;
     }
 
-    /// `V`: add a credit and wake one waiter.
-    pub fn v(&self) {
+    /// `V`: add a credit and wake one waiter; `Err(limit)` if the credit
+    /// would exceed the limit (the credit is *not* added — SysV `semop`
+    /// ERANGE semantics).
+    pub fn try_v(&self) -> Result<(), u32> {
         // Drop the guard before notifying: a waiter woken while the lock is
         // still held would immediately block on it again (a wasted
         // wake-then-wait bounce on every V with a sleeper present).
         {
-            let mut c = self.count.lock().unwrap();
-            *c += 1;
+            let mut s = self.inner.lock().unwrap();
+            if s.count >= s.limit {
+                return Err(s.limit);
+            }
+            s.count += 1;
+            s.max_count = s.max_count.max(s.count);
         }
         self.cv.notify_one();
+        Ok(())
+    }
+
+    /// `V`: add a credit and wake one waiter.
+    ///
+    /// # Panics
+    ///
+    /// On overflow past the limit. A protocol that Vs without the `tas`
+    /// guard accumulates stray credits without bound; dying loudly here is
+    /// the native equivalent of the sim's `Outcome::SemaphoreOverflow`.
+    pub fn v(&self) {
+        if let Err(limit) = self.try_v() {
+            panic!("semaphore overflow: credit limit {limit} exceeded");
+        }
     }
 
     /// Current credit count (diagnostics; racy by nature).
     pub fn count(&self) -> u32 {
-        *self.count.lock().unwrap()
+        self.inner.lock().unwrap().count
+    }
+
+    /// Highest credit count ever reached. A BSW-family reply queue must
+    /// stay ≤ 1; anything above means stray wake-ups are accumulating.
+    pub fn max_count(&self) -> u32 {
+        self.inner.lock().unwrap().max_count
+    }
+
+    /// The overflow limit.
+    pub fn limit(&self) -> u32 {
+        self.inner.lock().unwrap().limit
+    }
+
+    /// Threads currently blocked in [`Self::p`] (diagnostics; racy).
+    pub fn waiting(&self) -> usize {
+        self.inner.lock().unwrap().waiting
+    }
+
+    /// The sim-parity snapshot of this semaphore's final/current state.
+    pub fn final_state(&self) -> usipc_sim::SemFinal {
+        let s = self.inner.lock().unwrap();
+        usipc_sim::SemFinal {
+            count: s.count,
+            max_count: s.max_count,
+            waiting: s.waiting,
+        }
     }
 }
 
@@ -182,6 +267,19 @@ impl NativeOs {
     /// The backend's metrics registry (`None` when collection is off).
     pub fn metrics(&self) -> Option<&MetricsRegistry> {
         self.metrics.as_ref()
+    }
+
+    /// One semaphore's handle (diagnostics: count, limit, high-water mark).
+    pub fn sem(&self, sem: u32) -> &CountingSem {
+        &self.sems[sem as usize]
+    }
+
+    /// Per-semaphore final-state snapshots, index-aligned with the sim
+    /// report's `sems` — the native side of the `max_count` diagnostics
+    /// (a BSW reply queue whose high-water mark exceeds 1 is accumulating
+    /// stray credits).
+    pub fn sem_finals(&self) -> Vec<usipc_sim::SemFinal> {
+        self.sems.iter().map(|s| s.final_state()).collect()
     }
 }
 
@@ -323,6 +421,51 @@ mod tests {
         s.v();
         s.v();
         t.join().unwrap();
+    }
+
+    #[test]
+    fn counting_sem_tracks_high_water_and_limit() {
+        let s = CountingSem::with_limit(0, 2);
+        s.v();
+        s.v();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.max_count(), 2);
+        assert_eq!(s.limit(), 2);
+        // Third credit exceeds the limit and is refused, SysV ERANGE-style.
+        assert_eq!(s.try_v(), Err(2));
+        assert_eq!(s.count(), 2, "refused credit not added");
+        s.p();
+        s.p();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.max_count(), 2, "high-water mark survives drains");
+    }
+
+    #[test]
+    #[should_panic(expected = "semaphore overflow")]
+    fn counting_sem_v_panics_past_limit() {
+        let s = CountingSem::with_limit(1, 1);
+        s.v();
+    }
+
+    #[test]
+    fn counting_sem_default_limit_matches_sim() {
+        let s = CountingSem::new(0);
+        assert_eq!(s.limit(), usipc_sim::Semaphore::DEFAULT_LIMIT);
+        assert_eq!(s.waiting(), 0);
+    }
+
+    #[test]
+    fn native_os_surfaces_sem_finals() {
+        let os = NativeOs::new(NativeConfig::for_clients(1));
+        let t = os.task(1);
+        t.sem_v(1);
+        t.sem_v(1);
+        t.sem_p(1);
+        let finals = os.sem_finals();
+        assert_eq!(finals.len(), 2);
+        assert_eq!(finals[1].count, 1);
+        assert_eq!(finals[1].max_count, 2);
+        assert_eq!(os.sem(1).max_count(), 2);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! client disconnects.
 
 use crate::channel::Channel;
-use crate::metrics::MetricsSnapshot;
+use crate::metrics::{MetricsSnapshot, ProtoEvent};
 use crate::msg::{opcode, Message};
 use crate::platform::{Cost, OsServices};
 use crate::protocol::WaitStrategy;
@@ -20,6 +20,9 @@ pub struct ServerRun {
     pub processed: u64,
     /// DISCONNECTs observed (equals the client count on a clean run).
     pub disconnects: u32,
+    /// Requests dropped because their client-supplied `channel` named no
+    /// reply queue (see [`ProtoEvent::MalformedRequest`]).
+    pub malformed: u64,
     /// Protocol events recorded by the server task during this run (all
     /// zero when the backend does not collect metrics).
     pub metrics: MetricsSnapshot,
@@ -50,6 +53,14 @@ pub fn run_server<O: OsServices>(
     let server = ch.server(os, strategy);
     while live > 0 {
         let m = server.receive();
+        // `m.channel` crossed the shared-memory trust boundary: an
+        // out-of-range value names no reply queue, so drop and count it
+        // rather than let a buggy or hostile client kill the server.
+        if m.channel >= ch.n_clients() {
+            os.record(ProtoEvent::MalformedRequest);
+            run.malformed += 1;
+            continue;
+        }
         os.charge(Cost::Request);
         run.processed += 1;
         if m.opcode == opcode::DISCONNECT {
@@ -131,6 +142,11 @@ pub fn run_throttled_server<O: OsServices>(
             continue;
         }
         let m = bsls::receive(ch, os, max_spin);
+        if m.channel >= ch.n_clients() {
+            os.record(ProtoEvent::MalformedRequest);
+            run.malformed += 1;
+            continue;
+        }
         os.charge(Cost::Request);
         run.processed += 1;
         if m.opcode == opcode::DISCONNECT {

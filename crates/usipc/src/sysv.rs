@@ -7,6 +7,7 @@
 //! [`platform`](crate::platform): queue 0 carries requests, queue `1 + c`
 //! carries client `c`'s replies.
 
+use crate::metrics::ProtoEvent;
 use crate::msg::{opcode, Message};
 use crate::platform::{sysv_reply_q, sysv_request_q, Cost, OsServices};
 
@@ -32,6 +33,8 @@ pub fn sysv_disconnect<O: OsServices>(os: &O, client: u32) {
 pub struct SysvRun {
     /// Requests processed, including DISCONNECTs.
     pub processed: u64,
+    /// Requests dropped for an out-of-range `channel` (no such reply queue).
+    pub malformed: u64,
 }
 
 /// Runs the kernel-queue server until all `n_clients` disconnect.
@@ -44,6 +47,13 @@ pub fn run_sysv_server<O: OsServices>(
     let mut run = SysvRun::default();
     while live > 0 {
         let m = Message::from_kmsg(os.msgrcv(sysv_request_q()));
+        // Same trust boundary as the user-level servers: an out-of-range
+        // `channel` names no reply queue, so drop and count it.
+        if m.channel >= n_clients {
+            os.record(ProtoEvent::MalformedRequest);
+            run.malformed += 1;
+            continue;
+        }
         os.charge(Cost::Request);
         run.processed += 1;
         let ans = if m.opcode == opcode::DISCONNECT {

@@ -234,3 +234,57 @@ fn attach_finds_the_channel_through_the_published_root() {
     let empty = Arc::new(usipc_shm::ShmArena::new(4096).unwrap());
     assert!(Channel::attach(empty).is_none());
 }
+
+#[test]
+fn malformed_channel_index_is_dropped_not_a_panic() {
+    // The request queue lives in shared memory, so `msg.channel` is
+    // client-controlled data: a hostile or corrupted peer can name a reply
+    // queue that does not exist. The server must drop and count such
+    // requests — never index out of bounds — and keep serving honest
+    // clients afterwards.
+    let channel = Channel::create(&ChannelConfig::new(1)).unwrap();
+    let os = NativeOs::new(NativeConfig::for_clients(1));
+
+    // Plant the malformed request before the server starts so its first
+    // receive finds the queue non-empty (no wake-up protocol needed for a
+    // raw enqueue).
+    {
+        let t = os.task(0);
+        assert!(channel
+            .receive_queue()
+            .try_enqueue(&t, Message::echo(99, 13.0)));
+    }
+
+    let server = {
+        let ch = channel.clone();
+        let os = os.task(0);
+        std::thread::spawn(move || usipc::run_echo_server(&ch, &os, WaitStrategy::Bsw))
+    };
+    let client = {
+        let ch = channel.clone();
+        let os = os.task(1);
+        std::thread::spawn(move || {
+            let ep = ch.client(&os, 0, WaitStrategy::Bsw);
+            for i in 0..5 {
+                assert_eq!(ep.echo(f64::from(i)), f64::from(i), "honest client served");
+            }
+            ep.disconnect();
+        })
+    };
+    client.join().unwrap();
+    let run = server.join().unwrap();
+
+    assert_eq!(
+        run.malformed, 1,
+        "the bogus request was dropped and counted"
+    );
+    assert_eq!(
+        run.metrics.malformed_requests, 1,
+        "and recorded as a metric"
+    );
+    assert_eq!(
+        run.processed, 6,
+        "5 echoes + DISCONNECT, malformed excluded"
+    );
+    assert_eq!(run.disconnects, 1);
+}

@@ -5,6 +5,10 @@
 //! The simulator runs one process at a time and linearizes shared-memory
 //! effects at syscall completion, so a `work(d)` places the next memory
 //! operation at an exact virtual instant — the scalpel these tests need.
+//!
+//! Each hand-scripted schedule here is one point in the space that
+//! `tests/interleaving_explorer.rs` enumerates exhaustively; these stay as
+//! fast, readable documentation of the exact timing of each race.
 
 use std::sync::Arc;
 use usipc::{Channel, ChannelConfig, Message, OsServices, SimCosts, SimIds, SimOs};
