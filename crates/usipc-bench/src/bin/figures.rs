@@ -1,12 +1,12 @@
 //! CLI driver: regenerate the paper's tables and figures.
 //!
 //! ```text
-//! figures [all | table1 fig2 fig3 fig6 fig8 fig10 fig11 fig12 stats | explore]...
-//!         [--msgs N] [--clients N] [--depth N] [--out DIR]
+//! figures [all | table1 fig2 fig3 fig6 fig8 fig10 fig11 fig12 stats | explore | trace]...
+//!         [--msgs N] [--clients N] [--depth N] [--out DIR] [--trace DIR]
 //! ```
 
 use std::path::PathBuf;
-use usipc_bench::{all_ids, run_experiment, RunOpts};
+use usipc_bench::{all_ids, describe, run_experiment, RunOpts};
 
 fn main() {
     let mut ids: Vec<String> = Vec::new();
@@ -40,21 +40,33 @@ fn main() {
                     .expect("--depth needs a number");
             }
             "list" => {
+                let w = all_ids().iter().map(|s| s.len()).max().unwrap_or(0);
                 for id in all_ids() {
-                    println!("{id}");
+                    println!("{id:<w$}  {}", describe(id).unwrap_or(""));
                 }
                 return;
             }
             "--out" => {
                 out_dir = args.next().map(PathBuf::from).expect("--out needs a path");
             }
+            "--trace" => {
+                opts.trace_dir = Some(
+                    args.next()
+                        .map(PathBuf::from)
+                        .expect("--trace needs a path"),
+                );
+            }
             "all" => ids.extend(all_ids().iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: figures [list | all | {}]... [--msgs N] [--clients N] [--mp-clients N] [--depth N] [--out DIR]",
+                    "usage: figures [list | all | {}]... [--msgs N] [--clients N] [--mp-clients N] [--depth N] [--out DIR] [--trace DIR]",
                     all_ids().join(" | ")
                 );
                 return;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag `{flag}` (see `figures --help`)");
+                std::process::exit(2);
             }
             other => ids.push(other.to_string()),
         }
@@ -69,7 +81,7 @@ fn main() {
 
     for id in &ids {
         let start = std::time::Instant::now();
-        let Some(output) = run_experiment(id, opts) else {
+        let Some(output) = run_experiment(id, opts.clone()) else {
             eprintln!(
                 "unknown experiment `{id}` (available: {})",
                 all_ids().join(", ")

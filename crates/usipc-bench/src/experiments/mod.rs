@@ -16,6 +16,7 @@ mod syscalls;
 mod table1;
 mod threaded;
 mod throttle;
+mod tracecmp;
 
 use crate::table::Table;
 use usipc::harness::{run_sim_experiment, Mechanism, SimExperiment};
@@ -33,7 +34,7 @@ pub struct ExperimentOutput {
 }
 
 /// Tuning knobs shared by all experiments.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RunOpts {
     /// Round trips per client (the paper uses "many thousands").
     pub msgs_per_client: u64,
@@ -44,6 +45,9 @@ pub struct RunOpts {
     /// DFS branching-depth bound for the `explore` experiment (CI uses a
     /// small bound to stay within its time budget).
     pub explore_depth: usize,
+    /// Directory event traces are written to (`--trace DIR`); `None` uses
+    /// the `trace` experiment's default (`results/trace`).
+    pub trace_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for RunOpts {
@@ -53,6 +57,7 @@ impl Default for RunOpts {
             max_clients: 6,
             mp_max_clients: 12,
             explore_depth: 7,
+            trace_dir: None,
         }
     }
 }
@@ -61,8 +66,32 @@ impl Default for RunOpts {
 pub fn all_ids() -> &'static [&'static str] {
     &[
         "table1", "fig2", "fig3", "fig6", "fig8", "fig10", "fig11", "fig12", "stats", "syscalls",
-        "throttle", "threaded", "mlfq", "async", "mixed", "explore",
+        "throttle", "threaded", "mlfq", "async", "mixed", "explore", "trace",
     ]
+}
+
+/// One-line description of an experiment id (shown by `figures list`).
+pub fn describe(id: &str) -> Option<&'static str> {
+    Some(match id {
+        "table1" => "Table 1: measured times for primitive operations",
+        "fig2" => "Fig. 2: BSS vs System V message queues on the two uniprocessors",
+        "fig3" => "Fig. 3: the effect of fixed (non-degrading) priorities on BSS",
+        "fig6" => "Fig. 6: the basic blocking protocol (BSW) vs SysV",
+        "fig8" => "Fig. 8: Both Sides Wait and Yield under default and fixed priorities",
+        "fig10" => "Fig. 10: BSLS sensitivity to MAX_SPIN on the uniprocessor",
+        "fig11" => "Fig. 11: all protocols on the 8-processor SGI Challenge",
+        "fig12" => "Fig. 12: Linux with the modified sched_yield, plus the handoff syscall",
+        "stats" => "in-text instrumentation claims (blocks, yields, context switches)",
+        "syscalls" => "live system-call accounting: sem ops, kernel crossings, block rates",
+        "throttle" => "ablation: §5 overload-aware wake-up throttling server",
+        "threaded" => "ablation: §2.1 thread-per-client duplex server on the 8-way machine",
+        "mlfq" => "ablation: degrading-priority model vs a real multilevel feedback queue",
+        "async" => "extension: asynchronous request batching (§1 motivation)",
+        "mixed" => "the thesis: blocking IPC and batch throughput under multiprogramming",
+        "explore" => "machine-checking the Fig. 4 races with the schedule-space explorer",
+        "trace" => "unified event traces: five protocols on both backends, Chrome JSON + ASCII",
+        _ => return None,
+    })
 }
 
 /// Runs one experiment by id.
@@ -84,6 +113,7 @@ pub fn run_experiment(id: &str, opts: RunOpts) -> Option<ExperimentOutput> {
         "async" => asynch::run(opts),
         "mixed" => mixed::run(opts),
         "explore" => explore::run(opts),
+        "trace" => tracecmp::run(opts),
         _ => return None,
     })
 }

@@ -20,5 +20,5 @@ pub mod experiments;
 pub mod minibench;
 pub mod table;
 
-pub use experiments::{all_ids, run_experiment, ExperimentOutput, RunOpts};
+pub use experiments::{all_ids, describe, run_experiment, ExperimentOutput, RunOpts};
 pub use table::Table;

@@ -65,4 +65,4 @@ pub use syscall::{
     BarrierId, Handoff, KMsg, MsqId, Pid, Request, ResumeValue, SemId, Sys, TaskStats,
 };
 pub use time::{VDur, VTime};
-pub use trace::{render_interleaving, TraceEvent, TraceWhat};
+pub use trace::{render_columns, render_interleaving, TraceEvent, TraceWhat};

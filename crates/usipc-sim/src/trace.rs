@@ -69,9 +69,12 @@ pub(crate) fn render_request(r: &Request) -> String {
     }
 }
 
-/// Renders a trace as a per-task column chart in the spirit of the paper's
-/// Fig. 4 interleaving diagrams. `names` maps pid → display name.
-pub fn render_interleaving(events: &[TraceEvent], names: &[String], width: usize) -> String {
+/// Renders timestamped per-task rows as a column chart in the spirit of the
+/// paper's Fig. 4 interleaving diagrams: one column per task, one line per
+/// event. Each row is `(time_micros, column, label)`; `names` maps column →
+/// display name. Shared by [`render_interleaving`] and the unified
+/// cross-backend trace renderer in `usipc`.
+pub fn render_columns(rows: &[(f64, usize, String)], names: &[String], width: usize) -> String {
     use std::fmt::Write as _;
     let cols = names.len();
     let mut out = String::new();
@@ -82,21 +85,10 @@ pub fn render_interleaving(events: &[TraceEvent], names: &[String], width: usize
     let _ = writeln!(out);
     let total = 13 + cols * (width + 3);
     let _ = writeln!(out, "{}", "-".repeat(total));
-    for e in events {
-        let label = match &e.what {
-            TraceWhat::Dispatched { cpu } => format!("▶ on cpu{cpu}"),
-            TraceWhat::OpStart { op } => format!("{op} …"),
-            TraceWhat::OpDone { op } => format!("{op} ✓"),
-            TraceWhat::Preempted => "⏸ preempted".into(),
-            TraceWhat::YieldSwitch => "yield → switch".into(),
-            TraceWhat::YieldContinue => "yield → continue".into(),
-            TraceWhat::Blocked => "⏳ blocked".into(),
-            TraceWhat::Woken => "⏰ woken".into(),
-            TraceWhat::Exited => "■ exit".into(),
-        };
-        let _ = write!(out, "{:>12.2} ", e.at.as_micros_f64());
+    for (at, col, label) in rows {
+        let _ = write!(out, "{at:>12.2} ");
         for c in 0..cols {
-            if c == e.pid.idx() {
+            if c == *col {
                 let mut l = label.clone();
                 if l.chars().count() > width {
                     l = l.chars().take(width).collect();
@@ -109,6 +101,29 @@ pub fn render_interleaving(events: &[TraceEvent], names: &[String], width: usize
         let _ = writeln!(out);
     }
     out
+}
+
+/// Renders a trace as a per-task column chart in the spirit of the paper's
+/// Fig. 4 interleaving diagrams. `names` maps pid → display name.
+pub fn render_interleaving(events: &[TraceEvent], names: &[String], width: usize) -> String {
+    let rows: Vec<(f64, usize, String)> = events
+        .iter()
+        .map(|e| {
+            let label = match &e.what {
+                TraceWhat::Dispatched { cpu } => format!("▶ on cpu{cpu}"),
+                TraceWhat::OpStart { op } => format!("{op} …"),
+                TraceWhat::OpDone { op } => format!("{op} ✓"),
+                TraceWhat::Preempted => "⏸ preempted".into(),
+                TraceWhat::YieldSwitch => "yield → switch".into(),
+                TraceWhat::YieldContinue => "yield → continue".into(),
+                TraceWhat::Blocked => "⏳ blocked".into(),
+                TraceWhat::Woken => "⏰ woken".into(),
+                TraceWhat::Exited => "■ exit".into(),
+            };
+            (e.at.as_micros_f64(), e.pid.idx(), label)
+        })
+        .collect();
+    render_columns(&rows, names, width)
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@ use crate::metrics::ProtoEvent;
 use crate::msg::{Message, MsgSlot};
 use crate::platform::{client_sem, server_sem, Cost, OsServices};
 use crate::protocol::WaitStrategy;
+use crate::trace::{Span, TracePoint};
 use core::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use usipc_queue::ShmQueue;
@@ -360,7 +361,9 @@ impl<O: OsServices> ClientEndpoint<'_, O> {
             Some(_) => self.os.now_nanos(),
             None => None,
         };
+        self.os.trace(TracePoint::Begin(Span::RoundTrip));
         let reply = self.strategy.send(self.ch, self.os, self.id, msg);
+        self.os.trace(TracePoint::End(Span::RoundTrip));
         if let (Some(t0), Some(m)) = (start, self.os.metrics()) {
             if let Some(t1) = self.os.now_nanos() {
                 m.record_latency_nanos(t1.saturating_sub(t0));

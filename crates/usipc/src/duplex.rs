@@ -187,6 +187,7 @@ mod tests {
             multiprocessor: false,
             full_backoff: std::time::Duration::from_millis(1),
             collect_metrics: false,
+            trace_capacity: None,
         })
     }
 

@@ -15,6 +15,7 @@ use crate::platform::OsServices;
 use crate::protocol::WaitStrategy;
 use crate::simulated::{SimCosts, SimIds, SimOs};
 use crate::sysv::{sysv_disconnect, sysv_echo};
+use crate::trace::{TraceRegistry, UnifiedTrace};
 use crate::{NativeConfig, NativeOs};
 use std::sync::Arc;
 use usipc_sim::{MachineModel, PolicyKind, SimBuilder, SimReport, VDur};
@@ -73,6 +74,11 @@ pub struct SimExperiment {
     /// micro-benchmark; nonzero to model real service-time variability —
     /// which is what gives BSLS its nonzero fall-through rates (§4.2).
     pub service_jitter: VDur,
+    /// Per-task event-trace ring capacity; `None` disables tracing. When
+    /// set, the result carries a [`UnifiedTrace`] merging protocol events
+    /// with the engine's scheduling timeline. Tracing never perturbs the
+    /// virtual-time schedule (timestamps are zero-cost `Now` requests).
+    pub trace_capacity: Option<usize>,
 }
 
 impl SimExperiment {
@@ -86,6 +92,7 @@ impl SimExperiment {
             msgs_per_client: 2_000,
             queue_capacity: 64,
             service_jitter: VDur::ZERO,
+            trace_capacity: None,
         }
     }
 
@@ -104,6 +111,12 @@ impl SimExperiment {
     /// Sets the maximum per-request service jitter.
     pub fn jitter(mut self, j: VDur) -> Self {
         self.service_jitter = j;
+        self
+    }
+
+    /// Enables event tracing with the given per-task ring capacity.
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
         self
     }
 }
@@ -143,6 +156,9 @@ pub struct SimExperimentResult {
     /// (virtual-time samples; empty for the SysV baseline, which bypasses
     /// the channel layer).
     pub client_latency: LatencySnapshot,
+    /// The unified event trace (protocol events + bridged scheduler
+    /// timeline), present when the experiment enabled tracing.
+    pub trace: Option<UnifiedTrace>,
 }
 
 /// Runs one experiment cell on the simulator.
@@ -185,14 +201,22 @@ pub fn run_sim_experiment(exp: &SimExperiment) -> SimExperimentResult {
     let msgs = exp.msgs_per_client;
     let jitter = exp.service_jitter;
     let metrics = Arc::new(MetricsRegistry::new());
+    let traces = exp.trace_capacity.map(|cap| {
+        b.trace(true); // also capture the engine's scheduling timeline
+        Arc::new(TraceRegistry::new(cap))
+    });
 
     // Server: task 0 == Pid(0).
     {
         let ch = channel.clone();
         let ids = Arc::clone(&ids);
         let sink = metrics.for_task(0);
+        let ring = traces.as_ref().map(|t| t.for_task(0));
         b.spawn("server", move |sys| {
-            let os = SimOs::new(sys, ids, costs, multiprocessor, 0).with_metrics(sink);
+            let mut os = SimOs::new(sys, ids, costs, multiprocessor, 0).with_metrics(sink);
+            if let Some(r) = ring {
+                os = os.with_trace(r);
+            }
             match mechanism {
                 Mechanism::UserLevel(strategy) => {
                     let _ = crate::server::run_server(&ch, &os, strategy, |m| {
@@ -223,8 +247,12 @@ pub fn run_sim_experiment(exp: &SimExperiment) -> SimExperimentResult {
         let ch = channel.clone();
         let ids = Arc::clone(&ids);
         let sink = metrics.for_task(1 + c);
+        let ring = traces.as_ref().map(|t| t.for_task(1 + c));
         b.spawn(format!("client{c}"), move |sys| {
-            let os = SimOs::new(sys, ids, costs, multiprocessor, 1 + c).with_metrics(sink);
+            let mut os = SimOs::new(sys, ids, costs, multiprocessor, 1 + c).with_metrics(sink);
+            if let Some(r) = ring {
+                os = os.with_trace(r);
+            }
             sys.barrier(start_barrier);
             sys.mark(MARK_FIRST_SEND);
             match mechanism {
@@ -272,6 +300,15 @@ pub fn run_sim_experiment(exp: &SimExperiment) -> SimExperimentResult {
     let elapsed = done.since(start);
     let messages = msgs * n as u64;
     let ms = elapsed.as_nanos() as f64 / 1e6;
+    let trace = traces.map(|t| {
+        let mut names = vec![(0, "server".to_string())];
+        for c in 0..n as u32 {
+            names.push((1 + c, format!("client{c}")));
+        }
+        let mut u = t.collect(&names);
+        u.merge_sim(&report.trace);
+        u
+    });
     SimExperimentResult {
         throughput: messages as f64 / ms,
         latency_us: elapsed.as_micros_f64() / messages.max(1) as f64,
@@ -280,6 +317,7 @@ pub fn run_sim_experiment(exp: &SimExperiment) -> SimExperimentResult {
         server_metrics: metrics.task_snapshot(0),
         client_metrics: metrics.aggregate(|t| t != 0),
         client_latency: metrics.aggregate_latency(|t| t != 0),
+        trace,
         report,
     }
 }
@@ -366,6 +404,7 @@ pub fn run_duplex_sim_experiment(
         server_metrics: metrics.aggregate(|t| t < servers),
         client_metrics: metrics.aggregate(|t| t >= servers),
         client_latency: metrics.aggregate_latency(|t| t >= servers),
+        trace: None,
         report,
     }
 }
@@ -461,6 +500,7 @@ pub fn run_async_sim_experiment(
         server_metrics: metrics.task_snapshot(0),
         client_metrics: metrics.task_snapshot(1),
         client_latency: metrics.task_latency(1),
+        trace: None,
         report,
     }
 }
@@ -619,6 +659,8 @@ pub struct NativeExperimentResult {
     /// Round-trip latency histogram merged over every client thread
     /// (host-time samples; empty for the SysV baseline).
     pub client_latency: LatencySnapshot,
+    /// The unified event trace, present when the run enabled tracing.
+    pub trace: Option<UnifiedTrace>,
 }
 
 /// Runs the echo workload on real threads (the adoptable backend).
@@ -631,8 +673,26 @@ pub fn run_native_experiment(
     n_clients: usize,
     msgs_per_client: u64,
 ) -> NativeExperimentResult {
+    run_native_experiment_traced(mechanism, n_clients, msgs_per_client, None)
+}
+
+/// [`run_native_experiment`] with optional event tracing: `trace_capacity`
+/// records are kept per task (host-time stamps, oldest dropped on
+/// overflow) and collected into the result's [`UnifiedTrace`].
+///
+/// # Panics
+///
+/// On echo corruption or a poisoned thread.
+pub fn run_native_experiment_traced(
+    mechanism: Mechanism,
+    n_clients: usize,
+    msgs_per_client: u64,
+    trace_capacity: Option<usize>,
+) -> NativeExperimentResult {
     let channel = Channel::create(&ChannelConfig::new(n_clients)).expect("channel creation");
-    let os = NativeOs::new(NativeConfig::for_clients(n_clients));
+    let mut cfg = NativeConfig::for_clients(n_clients);
+    cfg.trace_capacity = trace_capacity;
+    let os = NativeOs::new(cfg);
     let barrier = Arc::new(std::sync::Barrier::new(n_clients + 1));
 
     let server = {
@@ -696,6 +756,13 @@ pub fn run_native_experiment(
     let elapsed = start.elapsed();
     let messages = msgs_per_client * n_clients as u64;
     let reg = os.metrics().expect("for_clients enables metrics");
+    let trace = os.traces().map(|t| {
+        let mut names = vec![(0, "server".to_string())];
+        for c in 0..n_clients as u32 {
+            names.push((1 + c, format!("client{c}")));
+        }
+        t.collect(&names)
+    });
     NativeExperimentResult {
         throughput: messages as f64 / (elapsed.as_secs_f64() * 1e3),
         elapsed,
@@ -703,5 +770,6 @@ pub fn run_native_experiment(
         server_metrics: reg.task_snapshot(0),
         client_metrics: reg.aggregate(|t| t != 0),
         client_latency: reg.aggregate_latency(|t| t != 0),
+        trace,
     }
 }

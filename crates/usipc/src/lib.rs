@@ -64,6 +64,7 @@ pub mod scenarios;
 mod server;
 mod simulated;
 pub mod sysv;
+pub mod trace;
 
 pub use asynch::AsyncClient;
 pub use barrier::BarrierRef;
@@ -81,3 +82,7 @@ pub use server::{
     run_calculator_server, run_echo_server, run_server, run_throttled_server, ServerRun,
 };
 pub use simulated::{SimCosts, SimIds, SimOs};
+pub use trace::{
+    bridge_sim_trace, SchedPoint, Span, TracePoint, TraceRecord, TraceRegistry, TraceRing,
+    UnifiedTrace,
+};

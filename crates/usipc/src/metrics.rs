@@ -77,23 +77,47 @@ pub enum ProtoEvent {
 /// Number of distinct [`ProtoEvent`] kinds.
 pub const N_EVENTS: usize = 15;
 
-const EVENTS: [ProtoEvent; N_EVENTS] = [
-    ProtoEvent::QueueOp,
-    ProtoEvent::TasOp,
-    ProtoEvent::PollCheck,
-    ProtoEvent::RequestServed,
-    ProtoEvent::Enqueue,
-    ProtoEvent::Dequeue,
-    ProtoEvent::SemP,
-    ProtoEvent::SemV,
-    ProtoEvent::Yield,
-    ProtoEvent::Handoff,
-    ProtoEvent::SpinIteration,
-    ProtoEvent::QueueFullBackoff,
-    ProtoEvent::BlockEntered,
-    ProtoEvent::StrayWakeupAbsorbed,
-    ProtoEvent::MalformedRequest,
-];
+impl ProtoEvent {
+    /// Every event kind, in discriminant order (`ALL[e as usize] == e`).
+    pub const ALL: [ProtoEvent; N_EVENTS] = [
+        ProtoEvent::QueueOp,
+        ProtoEvent::TasOp,
+        ProtoEvent::PollCheck,
+        ProtoEvent::RequestServed,
+        ProtoEvent::Enqueue,
+        ProtoEvent::Dequeue,
+        ProtoEvent::SemP,
+        ProtoEvent::SemV,
+        ProtoEvent::Yield,
+        ProtoEvent::Handoff,
+        ProtoEvent::SpinIteration,
+        ProtoEvent::QueueFullBackoff,
+        ProtoEvent::BlockEntered,
+        ProtoEvent::StrayWakeupAbsorbed,
+        ProtoEvent::MalformedRequest,
+    ];
+
+    /// Inverse of `e as usize` (used by the trace codec); `None` when `i`
+    /// names no event.
+    pub fn from_index(i: usize) -> Option<ProtoEvent> {
+        Self::ALL.get(i).copied()
+    }
+
+    /// Whether this event is a scheduler-visible kernel crossing (the
+    /// currency of [`MetricsSnapshot::kernel_crossings`]).
+    pub fn is_kernel_crossing(self) -> bool {
+        matches!(
+            self,
+            ProtoEvent::SemP
+                | ProtoEvent::SemV
+                | ProtoEvent::Yield
+                | ProtoEvent::Handoff
+                | ProtoEvent::QueueFullBackoff
+        )
+    }
+}
+
+const EVENTS: [ProtoEvent; N_EVENTS] = ProtoEvent::ALL;
 
 /// Number of log₂ latency buckets: bucket `i` holds samples in
 /// `[2^i, 2^(i+1))` nanoseconds, the last bucket absorbs everything ≥ ~9 s.
@@ -212,9 +236,12 @@ impl LatencySnapshot {
         self.sum_nanos as f64 / 1e3 / self.count() as f64
     }
 
-    /// Upper-bound estimate of the `q`-quantile in microseconds (`NaN`
-    /// when empty): the top edge of the bucket containing the quantile
-    /// sample, i.e. accurate to the log₂ bucket width.
+    /// Estimate of the `q`-quantile in microseconds (`NaN` when empty):
+    /// the *geometric midpoint* `2^(i+1/2)` of the bucket `[2^i, 2^(i+1))`
+    /// containing the quantile sample. Because the true sample lies
+    /// somewhere in that bucket, the estimate is within a factor of √2 of
+    /// it in either direction (the bucket's upper edge, by contrast,
+    /// overstates by up to 2×).
     pub fn quantile_us(&self, q: f64) -> f64 {
         let n = self.count();
         if n == 0 {
@@ -225,7 +252,7 @@ impl LatencySnapshot {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return (1u64 << (i + 1)) as f64 / 1e3;
+                return (1u64 << i) as f64 * core::f64::consts::SQRT_2 / 1e3;
             }
         }
         f64::NAN
@@ -285,8 +312,23 @@ impl MetricsSnapshot {
     }
 
     fn field(&self, e: ProtoEvent) -> u64 {
-        let mut copy = *self;
-        *copy.field_mut(e)
+        match e {
+            ProtoEvent::QueueOp => self.queue_ops,
+            ProtoEvent::TasOp => self.tas_ops,
+            ProtoEvent::PollCheck => self.poll_checks,
+            ProtoEvent::RequestServed => self.requests_served,
+            ProtoEvent::Enqueue => self.enqueues,
+            ProtoEvent::Dequeue => self.dequeues,
+            ProtoEvent::SemP => self.sem_p,
+            ProtoEvent::SemV => self.sem_v,
+            ProtoEvent::Yield => self.yields,
+            ProtoEvent::Handoff => self.handoffs,
+            ProtoEvent::SpinIteration => self.spin_iterations,
+            ProtoEvent::QueueFullBackoff => self.queue_full_backoffs,
+            ProtoEvent::BlockEntered => self.blocks_entered,
+            ProtoEvent::StrayWakeupAbsorbed => self.stray_wakeups_absorbed,
+            ProtoEvent::MalformedRequest => self.malformed_requests,
+        }
     }
 
     /// `self - earlier`, field-wise: the events of a measurement window.
@@ -470,10 +512,16 @@ mod tests {
         assert_eq!(s.count(), 100);
         let mean = s.mean_us();
         assert!(mean > 1.0 && mean < 12.0, "{mean}");
-        // p50 lands in the 1 µs bucket; its upper edge is 1.024 µs.
-        assert_eq!(s.quantile_us(0.5), 1.024);
-        // p100 reaches the outlier's bucket edge (2^21 ns ≈ 2.1 ms).
-        assert!(s.quantile_us(1.0) > 2_000.0);
+        // p50 lands in bucket 9 = [512, 1024) ns; the geometric midpoint is
+        // 512·√2 ≈ 724 ns = 0.724 µs, within √2 of the true 1.000 µs.
+        let p50 = s.quantile_us(0.5);
+        assert!((p50 - 0.724).abs() < 1e-3, "{p50}");
+        let sqrt2 = core::f64::consts::SQRT_2;
+        assert!((1.0 / sqrt2..=sqrt2).contains(&p50));
+        // p100 reaches the outlier's bucket [2^20, 2^21) ns; its midpoint
+        // 2^20·√2 ns ≈ 1.48 ms is within √2 of the true ~1.05 ms.
+        let p100 = s.quantile_us(1.0);
+        assert!(p100 > 1_000.0 && p100 < 2_100.0, "{p100}");
     }
 
     #[test]

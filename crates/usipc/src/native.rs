@@ -11,6 +11,7 @@
 
 use crate::metrics::{EndpointMetrics, MetricsRegistry, ProtoEvent};
 use crate::platform::{Cost, HandoffHint, OsServices};
+use crate::trace::{TraceRegistry, TraceRing};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -206,6 +207,10 @@ pub struct NativeConfig {
     /// Collect per-task protocol-event metrics (one `Relaxed` `fetch_add`
     /// per event when on; a single `Option` branch per event when off).
     pub collect_metrics: bool,
+    /// Per-task event-trace ring capacity in records; `None` disables
+    /// tracing (one `Option` branch per event). When on, each task keeps
+    /// its most recent `n` records, dropping the oldest on overflow.
+    pub trace_capacity: Option<usize>,
 }
 
 impl NativeConfig {
@@ -220,12 +225,20 @@ impl NativeConfig {
                 .unwrap_or(false),
             full_backoff: Duration::from_millis(1),
             collect_metrics: true,
+            trace_capacity: None,
         }
     }
 
     /// Same config with metrics collection disabled.
     pub fn without_metrics(mut self) -> Self {
         self.collect_metrics = false;
+        self
+    }
+
+    /// Same config with event tracing enabled at the given per-task ring
+    /// capacity.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
         self
     }
 }
@@ -239,6 +252,7 @@ pub struct NativeOs {
     multiprocessor: bool,
     full_backoff: Duration,
     metrics: Option<MetricsRegistry>,
+    traces: Option<TraceRegistry>,
 }
 
 impl NativeOs {
@@ -252,6 +266,7 @@ impl NativeOs {
             multiprocessor: cfg.multiprocessor,
             full_backoff: cfg.full_backoff,
             metrics: cfg.collect_metrics.then(MetricsRegistry::new),
+            traces: cfg.trace_capacity.map(TraceRegistry::new),
         })
     }
 
@@ -259,6 +274,7 @@ impl NativeOs {
     pub fn task(self: &Arc<Self>, task_id: u32) -> NativeTask {
         NativeTask {
             metrics: self.metrics.as_ref().map(|r| r.for_task(task_id)),
+            trace: self.traces.as_ref().map(|r| r.for_task(task_id)),
             os: Arc::clone(self),
             task_id,
         }
@@ -267,6 +283,11 @@ impl NativeOs {
     /// The backend's metrics registry (`None` when collection is off).
     pub fn metrics(&self) -> Option<&MetricsRegistry> {
         self.metrics.as_ref()
+    }
+
+    /// The backend's trace registry (`None` when tracing is off).
+    pub fn traces(&self) -> Option<&TraceRegistry> {
+        self.traces.as_ref()
     }
 
     /// One semaphore's handle (diagnostics: count, limit, high-water mark).
@@ -296,6 +317,7 @@ pub struct NativeTask {
     os: Arc<NativeOs>,
     task_id: u32,
     metrics: Option<Arc<EndpointMetrics>>,
+    trace: Option<Arc<TraceRing>>,
 }
 
 impl OsServices for NativeTask {
@@ -388,6 +410,10 @@ impl OsServices for NativeTask {
 
     fn metrics(&self) -> Option<&EndpointMetrics> {
         self.metrics.as_deref()
+    }
+
+    fn trace_sink(&self) -> Option<&TraceRing> {
+        self.trace.as_deref()
     }
 
     fn now_nanos(&self) -> Option<u64> {
@@ -505,6 +531,7 @@ mod tests {
             multiprocessor: false,
             full_backoff: Duration::from_millis(1),
             collect_metrics: false,
+            trace_capacity: None,
         });
         let t = os.task(7);
         assert_eq!(t.task_id(), 7);

@@ -24,6 +24,7 @@
 //! `Option` discriminant test when metrics are disabled.
 
 use crate::metrics::{EndpointMetrics, ProtoEvent};
+use crate::trace::{TracePoint, TraceRing};
 
 /// Cost classes protocols charge to virtual time (no-ops on real hardware,
 /// where the operation itself takes the time).
@@ -107,11 +108,31 @@ pub trait OsServices {
     }
 
     /// Records a protocol event on this task's sink (no-op when metrics
-    /// are disabled).
+    /// are disabled) and stamps it into the trace ring when tracing is
+    /// enabled.
     #[inline]
     fn record(&self, e: ProtoEvent) {
         if let Some(m) = self.metrics() {
             m.record(e);
+        }
+        self.trace(TracePoint::Proto(e));
+    }
+
+    /// This task's event-trace ring, if tracing is enabled (`None` by
+    /// default: tracing folds to one `Option` discriminant branch).
+    fn trace_sink(&self) -> Option<&TraceRing> {
+        None
+    }
+
+    /// Stamps a trace point into this task's ring (no-op when tracing is
+    /// disabled). Timestamps come from [`now_nanos`](Self::now_nanos) —
+    /// host time on native, *virtual* time on the simulator, where the
+    /// time request is absorbed inline at zero virtual cost so tracing
+    /// cannot perturb the schedule.
+    #[inline]
+    fn trace(&self, p: TracePoint) {
+        if let Some(t) = self.trace_sink() {
+            t.record(self.now_nanos().unwrap_or(0), p);
         }
     }
 

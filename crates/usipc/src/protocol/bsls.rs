@@ -12,15 +12,18 @@ use crate::channel::{Channel, QueueRef};
 use crate::msg::Message;
 use crate::platform::OsServices;
 use crate::protocol::{blocking_dequeue, enqueue_or_sleep};
+use crate::trace::{Span, TracePoint};
 
 /// The limited-spin prologue: `while (empty(Q) && spincnt++ < MAX_SPIN)
 /// poll_queue(Q);`.
 fn limited_spin<O: OsServices>(q: &QueueRef<'_>, os: &O, max_spin: u32) {
+    os.trace(TracePoint::Begin(Span::Spin));
     let mut spincnt = 0;
     while q.is_empty(os) && spincnt < max_spin {
         os.poll_pause();
         spincnt += 1;
     }
+    os.trace(TracePoint::End(Span::Spin));
 }
 
 /// Synchronous `Send`: enqueue, wake, spin up to `max_spin`, then block.

@@ -24,6 +24,7 @@ use crate::channel::{Channel, QueueRef};
 use crate::metrics::ProtoEvent;
 use crate::msg::Message;
 use crate::platform::OsServices;
+use crate::trace::{Span, TracePoint};
 
 /// Which sleep/wake-up protocol an endpoint runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,8 +120,10 @@ pub(crate) fn blocking_dequeue<O: OsServices>(
         match q.try_dequeue(os) {
             None => {
                 os.record(ProtoEvent::BlockEntered);
+                os.trace(TracePoint::Begin(Span::Block));
                 os.sem_p(q.sem());
                 q.set_awake(os);
+                os.trace(TracePoint::End(Span::Block));
                 // Loop: a wake-up promises work, but under multiple
                 // producers another consumer iteration may be needed.
             }

@@ -4,6 +4,7 @@
 
 use crate::metrics::{EndpointMetrics, ProtoEvent};
 use crate::platform::{Cost, HandoffHint, OsServices};
+use crate::trace::TraceRing;
 use std::sync::Arc;
 use usipc_sim::{Handoff, MsqId, Pid, SemId, Sys, VDur};
 
@@ -61,6 +62,7 @@ pub struct SimOs<'a> {
     multiprocessor: bool,
     task_id: u32,
     metrics: Option<Arc<EndpointMetrics>>,
+    trace: Option<Arc<TraceRing>>,
 }
 
 impl<'a> SimOs<'a> {
@@ -82,6 +84,7 @@ impl<'a> SimOs<'a> {
             multiprocessor,
             task_id,
             metrics: None,
+            trace: None,
         }
     }
 
@@ -90,6 +93,14 @@ impl<'a> SimOs<'a> {
     /// is identical with and without metrics).
     pub fn with_metrics(mut self, sink: Arc<EndpointMetrics>) -> Self {
         self.metrics = Some(sink);
+        self
+    }
+
+    /// Attaches an event-trace ring. Records are stamped with *virtual*
+    /// time via a zero-cost `Now` request, so the simulated schedule is
+    /// identical with and without tracing.
+    pub fn with_trace(mut self, ring: Arc<TraceRing>) -> Self {
+        self.trace = Some(ring);
         self
     }
 
@@ -179,6 +190,10 @@ impl OsServices for SimOs<'_> {
 
     fn metrics(&self) -> Option<&EndpointMetrics> {
         self.metrics.as_deref()
+    }
+
+    fn trace_sink(&self) -> Option<&TraceRing> {
+        self.trace.as_deref()
     }
 
     fn now_nanos(&self) -> Option<u64> {
