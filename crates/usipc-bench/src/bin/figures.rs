@@ -71,6 +71,10 @@ fn main() {
             other => ids.push(other.to_string()),
         }
     }
+    // `bench` drops its JSON baseline next to the CSVs unless told otherwise.
+    if opts.bench_dir.is_none() {
+        opts.bench_dir = Some(out_dir.clone());
+    }
     if ids.is_empty() {
         eprintln!(
             "no experiment named; try `figures all` (available: {})",

@@ -1,0 +1,213 @@
+//! `bench`: the native-backend protocol baseline.
+//!
+//! Runs BSS/BSW/BSWY/BSLS round trips on real threads and writes
+//! `BENCH_protocols.json` — round-trip latency quantiles (p50/p99 from the
+//! log₂ histograms, so within √2 of the true sample) plus the
+//! per-round-trip syscall accounting the paper argues in: protocol-level
+//! `P`/`V` counts (`sem_ops_per_rt`, exactly 4 for BSW), scheduler-visible
+//! kernel crossings, and the *actual* host kernel entries of the futex
+//! semaphore (`sem_kernel_waits/wakes_per_rt` — zero when the fast path
+//! holds). This file is the repo's first recorded perf trajectory; future
+//! PRs regress against it.
+
+use super::{ExperimentOutput, RunOpts};
+use crate::table::Table;
+use std::path::PathBuf;
+use usipc::harness::{run_native_experiment, Mechanism, NativeExperimentResult};
+use usipc::WaitStrategy;
+
+/// `MAX_SPIN` for the BSLS run (the paper's §4.2 sweet spot is workload
+/// dependent; 50 polls is the repo-wide default used by Fig. 10's midpoint).
+const BSLS_MAX_SPIN: u32 = 50;
+
+/// One measured protocol, reduced to the JSON/table fields.
+struct ProtocolBaseline {
+    name: &'static str,
+    detail: String,
+    round_trips: u64,
+    elapsed_ms: f64,
+    throughput: f64,
+    p50_us: f64,
+    p99_us: f64,
+    mean_us: f64,
+    sem_ops_per_rt: f64,
+    kernel_crossings_per_rt: f64,
+    sem_kernel_waits_per_rt: f64,
+    sem_kernel_wakes_per_rt: f64,
+    blocks_per_rt: f64,
+    stray_wakeups: u64,
+}
+
+fn measure(
+    name: &'static str,
+    strategy: WaitStrategy,
+    clients: usize,
+    msgs_per_client: u64,
+) -> ProtocolBaseline {
+    let run: NativeExperimentResult =
+        run_native_experiment(Mechanism::UserLevel(strategy), clients, msgs_per_client);
+    // Each client's disconnect is a full round trip too (metrics and the
+    // latency histogram include it), so divide by echoes + disconnects.
+    let rt = run.messages + clients as u64;
+    let totals = run.server_metrics.add(&run.client_metrics);
+    let per_rt = |v: u64| v as f64 / rt as f64;
+    ProtocolBaseline {
+        name,
+        detail: strategy.name(),
+        round_trips: rt,
+        elapsed_ms: run.elapsed.as_secs_f64() * 1e3,
+        throughput: run.throughput,
+        p50_us: run.client_latency.quantile_us(0.50),
+        p99_us: run.client_latency.quantile_us(0.99),
+        mean_us: run.client_latency.mean_us(),
+        sem_ops_per_rt: per_rt(totals.sem_ops()),
+        kernel_crossings_per_rt: per_rt(totals.kernel_crossings()),
+        sem_kernel_waits_per_rt: per_rt(totals.sem_kernel_waits),
+        sem_kernel_wakes_per_rt: per_rt(totals.sem_kernel_wakes),
+        blocks_per_rt: per_rt(totals.blocks_entered),
+        stray_wakeups: totals.stray_wakeups_absorbed,
+    }
+}
+
+/// JSON number: finite values with fixed precision, `null` otherwise (JSON
+/// has no NaN; an empty histogram must not produce an unparsable file).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn to_json(clients: usize, msgs_per_client: u64, rows: &[ProtocolBaseline]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"usipc-bench-protocols/v1\",\n");
+    s.push_str("  \"backend\": \"native\",\n");
+    s.push_str(&format!("  \"clients\": {clients},\n"));
+    s.push_str(&format!("  \"msgs_per_client\": {msgs_per_client},\n"));
+    s.push_str("  \"protocols\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        s.push_str(&format!("      \"detail\": \"{}\",\n", r.detail));
+        s.push_str(&format!("      \"round_trips\": {},\n", r.round_trips));
+        s.push_str(&format!("      \"elapsed_ms\": {},\n", num(r.elapsed_ms)));
+        s.push_str(&format!(
+            "      \"throughput_msgs_per_ms\": {},\n",
+            num(r.throughput)
+        ));
+        s.push_str(&format!("      \"p50_us\": {},\n", num(r.p50_us)));
+        s.push_str(&format!("      \"p99_us\": {},\n", num(r.p99_us)));
+        s.push_str(&format!("      \"mean_us\": {},\n", num(r.mean_us)));
+        s.push_str(&format!(
+            "      \"sem_ops_per_rt\": {},\n",
+            num(r.sem_ops_per_rt)
+        ));
+        s.push_str(&format!(
+            "      \"kernel_crossings_per_rt\": {},\n",
+            num(r.kernel_crossings_per_rt)
+        ));
+        s.push_str(&format!(
+            "      \"sem_kernel_waits_per_rt\": {},\n",
+            num(r.sem_kernel_waits_per_rt)
+        ));
+        s.push_str(&format!(
+            "      \"sem_kernel_wakes_per_rt\": {},\n",
+            num(r.sem_kernel_wakes_per_rt)
+        ));
+        s.push_str(&format!(
+            "      \"blocks_per_rt\": {},\n",
+            num(r.blocks_per_rt)
+        ));
+        s.push_str(&format!("      \"stray_wakeups\": {}\n", r.stray_wakeups));
+        s.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+pub(crate) fn run(opts: RunOpts) -> ExperimentOutput {
+    let protocols: [(&'static str, WaitStrategy); 4] = [
+        ("BSS", WaitStrategy::Bss),
+        ("BSW", WaitStrategy::Bsw),
+        ("BSWY", WaitStrategy::Bswy),
+        (
+            "BSLS",
+            WaitStrategy::Bsls {
+                max_spin: BSLS_MAX_SPIN,
+            },
+        ),
+    ];
+    let clients = 1; // single ping-pong pair: the latency baseline
+    let rows: Vec<ProtocolBaseline> = protocols
+        .iter()
+        .map(|&(name, strategy)| measure(name, strategy, clients, opts.msgs_per_client))
+        .collect();
+
+    let mut table = Table::new(
+        "native protocol baseline (1 client, round-trip latency + syscalls/RT)",
+        "protocol#",
+        "mixed",
+        vec![
+            "p50_us".into(),
+            "p99_us".into(),
+            "mean_us".into(),
+            "msgs/ms".into(),
+            "sem_ops/rt".into(),
+            "kwaits/rt".into(),
+            "kwakes/rt".into(),
+        ],
+    );
+    for (i, r) in rows.iter().enumerate() {
+        table.push_row(
+            i as f64,
+            vec![
+                r.p50_us,
+                r.p99_us,
+                r.mean_us,
+                r.throughput,
+                r.sem_ops_per_rt,
+                r.sem_kernel_waits_per_rt,
+                r.sem_kernel_wakes_per_rt,
+            ],
+        );
+    }
+
+    let mut notes: Vec<String> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            format!(
+                "protocol {i} = {}: p50 {:.1} µs, p99 {:.1} µs, {:.2} sem ops/RT, \
+                 {:.3} kernel waits/RT, {:.3} kernel wakes/RT, block rate {:.3}",
+                r.detail,
+                r.p50_us,
+                r.p99_us,
+                r.sem_ops_per_rt,
+                r.sem_kernel_waits_per_rt,
+                r.sem_kernel_wakes_per_rt,
+                r.blocks_per_rt,
+            )
+        })
+        .collect();
+
+    let dir = opts.bench_dir.unwrap_or_else(|| PathBuf::from("results"));
+    let json = to_json(clients, opts.msgs_per_client, &rows);
+    match std::fs::create_dir_all(&dir)
+        .and_then(|()| std::fs::write(dir.join("BENCH_protocols.json"), &json))
+    {
+        Ok(()) => notes.push(format!("→ {}", dir.join("BENCH_protocols.json").display())),
+        Err(e) => notes.push(format!("! BENCH_protocols.json write failed: {e}")),
+    }
+
+    ExperimentOutput {
+        id: "bench",
+        tables: vec![table],
+        notes,
+    }
+}

@@ -1,6 +1,7 @@
 //! One module per paper artifact; see DESIGN.md §5 for the index.
 
 mod asynch;
+mod bench;
 mod explore;
 mod fig10;
 mod fig11;
@@ -48,6 +49,10 @@ pub struct RunOpts {
     /// Directory event traces are written to (`--trace DIR`); `None` uses
     /// the `trace` experiment's default (`results/trace`).
     pub trace_dir: Option<std::path::PathBuf>,
+    /// Directory the `bench` experiment writes `BENCH_protocols.json` to;
+    /// `None` falls back to `results` (the `figures` CLI fills this with
+    /// its `--out` directory).
+    pub bench_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for RunOpts {
@@ -58,6 +63,7 @@ impl Default for RunOpts {
             mp_max_clients: 12,
             explore_depth: 7,
             trace_dir: None,
+            bench_dir: None,
         }
     }
 }
@@ -66,7 +72,7 @@ impl Default for RunOpts {
 pub fn all_ids() -> &'static [&'static str] {
     &[
         "table1", "fig2", "fig3", "fig6", "fig8", "fig10", "fig11", "fig12", "stats", "syscalls",
-        "throttle", "threaded", "mlfq", "async", "mixed", "explore", "trace",
+        "throttle", "threaded", "mlfq", "async", "mixed", "explore", "trace", "bench",
     ]
 }
 
@@ -90,6 +96,7 @@ pub fn describe(id: &str) -> Option<&'static str> {
         "mixed" => "the thesis: blocking IPC and batch throughput under multiprogramming",
         "explore" => "machine-checking the Fig. 4 races with the schedule-space explorer",
         "trace" => "unified event traces: five protocols on both backends, Chrome JSON + ASCII",
+        "bench" => "native protocol baseline: p50/p99 round-trip latency + syscalls/RT → BENCH_protocols.json",
         _ => return None,
     })
 }
@@ -114,6 +121,7 @@ pub fn run_experiment(id: &str, opts: RunOpts) -> Option<ExperimentOutput> {
         "mixed" => mixed::run(opts),
         "explore" => explore::run(opts),
         "trace" => tracecmp::run(opts),
+        "bench" => bench::run(opts),
         _ => return None,
     })
 }

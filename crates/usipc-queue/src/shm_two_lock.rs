@@ -100,6 +100,15 @@ impl ShmQueue {
         Ok(ShmQueue { header, pool })
     }
 
+    /// Arena bytes [`Self::create`] consumes for a queue of `capacity`
+    /// elements: the node pool (including its `POOL_SLACK` extra slots)
+    /// plus the header, each padded by its worst-case alignment slack.
+    pub fn bytes_needed(capacity: usize) -> usize {
+        SlotPool::<QNode>::bytes_needed(capacity + POOL_SLACK)
+            + core::mem::size_of::<QueueHeader>()
+            + core::mem::align_of::<QueueHeader>()
+    }
+
     /// Maximum number of elements.
     pub fn capacity(&self, arena: &ShmArena) -> usize {
         arena.get(self.header).capacity as usize

@@ -103,6 +103,17 @@ impl<T: ShmSafe> SlotPool<T> {
         Ok(SlotPool { header, slots })
     }
 
+    /// Arena bytes [`Self::create`] consumes for `capacity` slots: the slot
+    /// array plus the header, each padded by its worst-case alignment slack.
+    /// Lets callers size an arena from the actual types instead of magic
+    /// constants.
+    pub fn bytes_needed(capacity: usize) -> usize {
+        capacity * core::mem::size_of::<PoolSlot<T>>()
+            + core::mem::align_of::<PoolSlot<T>>()
+            + core::mem::size_of::<SlotPoolHeader>()
+            + core::mem::align_of::<SlotPoolHeader>()
+    }
+
     /// Total number of slots.
     pub fn capacity(&self, arena: &ShmArena) -> usize {
         arena.get(self.header).capacity as usize

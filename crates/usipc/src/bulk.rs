@@ -85,6 +85,15 @@ impl BulkHandle {
 }
 
 impl BulkPool {
+    /// Worst-case arena bytes [`create`](Self::create) consumes for a pool
+    /// of `blocks` blocks. Applications co-locating a bulk pool in a
+    /// channel's arena pass this as
+    /// [`ChannelConfig::extra_bytes`](crate::ChannelConfig) — the channel
+    /// itself is sized exactly, with no incidental slack to borrow.
+    pub fn bytes_needed(blocks: usize) -> usize {
+        SlotPool::<BulkBlock>::bytes_needed(blocks)
+    }
+
     /// Creates a pool of `blocks` blocks in the arena.
     ///
     /// # Errors

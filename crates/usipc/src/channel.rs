@@ -18,17 +18,25 @@ use crate::trace::{Span, TracePoint};
 use core::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use usipc_queue::ShmQueue;
-use usipc_shm::{ShmArena, ShmError, ShmPtr, ShmSafe, ShmSlice, SlotPool};
+use usipc_shm::{CacheAligned, ShmArena, ShmError, ShmPtr, ShmSafe, ShmSlice, SlotPool};
 
 /// A FIFO queue plus the sleep/wake-up state of its single consumer: the
 /// `awake` flag the protocols test-and-set. The counting semaphore the
 /// consumer sleeps on is kernel state, named by the position-derived
 /// convention of [`platform`](crate::platform) rather than stored here.
+///
+/// The `awake` flag gets its own cache line: every producer `tas`es it on
+/// every wake-up check while the consumer hammers the adjacent `ShmQueue`
+/// handle and, in the reply-queue array, the next client's state starts
+/// right after — without the padding each `tas` would ping-pong a line that
+/// innocent bystanders are reading. (`CacheAligned` also makes the struct
+/// 64-aligned, so consecutive elements of the reply `ShmSlice` never share
+/// a line either.)
 #[repr(C)]
 #[derive(Debug)]
 pub struct WaitableQueue {
     queue: ShmQueue,
-    awake: AtomicU32,
+    awake: CacheAligned<AtomicU32>,
 }
 
 unsafe impl ShmSafe for WaitableQueue {}
@@ -38,7 +46,7 @@ impl WaitableQueue {
     pub(crate) fn create(arena: &ShmArena, capacity: usize) -> Result<Self, ShmError> {
         Ok(WaitableQueue {
             queue: ShmQueue::create(arena, capacity)?,
-            awake: AtomicU32::new(1),
+            awake: CacheAligned::new(AtomicU32::new(1)),
         })
     }
 }
@@ -69,6 +77,12 @@ pub struct ChannelConfig {
     pub n_clients: usize,
     /// Capacity of each queue (requests outstanding before flow control).
     pub queue_capacity: usize,
+    /// Additional arena bytes reserved for structures the application
+    /// co-locates with the channel (e.g. a [`BulkPool`](crate::BulkPool),
+    /// sized via [`BulkPool::bytes_needed`](crate::BulkPool::bytes_needed)).
+    /// The channel's own allocations are sized exactly, so co-located data
+    /// must be declared here rather than borrowed from slack.
+    pub extra_bytes: usize,
 }
 
 impl ChannelConfig {
@@ -77,7 +91,15 @@ impl ChannelConfig {
         ChannelConfig {
             n_clients,
             queue_capacity: 64,
+            extra_bytes: 0,
         }
+    }
+
+    /// Reserves `bytes` of arena space for co-located application data.
+    #[must_use]
+    pub fn with_extra_bytes(mut self, bytes: usize) -> Self {
+        self.extra_bytes = bytes;
+        self
     }
 }
 
@@ -99,14 +121,22 @@ impl Channel {
         assert!(cfg.n_clients >= 1, "channel needs at least one client");
         assert!(cfg.queue_capacity >= 2, "queues need capacity >= 2");
         let queues = cfg.n_clients + 1;
-        // Conservative arena sizing: queue nodes + pool slots + headers.
-        let bytes =
-            64 * 1024 + queues * (cfg.queue_capacity + 16) * 96 + queues * cfg.queue_capacity * 96;
-        let arena = Arc::new(ShmArena::new(bytes)?);
-
         // Every in-flight message holds a pool slot; the worst case is all
         // queues simultaneously full.
         let pool_slots = queues * cfg.queue_capacity + 8;
+        // Arena sizing derived from the actual types, allocation by
+        // allocation (each helper already includes its own worst-case
+        // alignment slack): the message pool, one ShmQueue per queue, the
+        // reply-queue array, and the root. No magic constants — a large
+        // config neither exhausts the arena nor over-allocates.
+        let bytes = SlotPool::<MsgSlot>::bytes_needed(pool_slots)
+            + queues * ShmQueue::bytes_needed(cfg.queue_capacity)
+            + cfg.n_clients * core::mem::size_of::<WaitableQueue>()
+            + core::mem::align_of::<WaitableQueue>()
+            + core::mem::size_of::<ChannelRoot>()
+            + core::mem::align_of::<ChannelRoot>()
+            + cfg.extra_bytes;
+        let arena = Arc::new(ShmArena::new(bytes)?);
         let pool = SlotPool::create(&arena, pool_slots, |_| MsgSlot::default())?;
 
         let receive = WaitableQueue::create(&arena, cfg.queue_capacity)?;
@@ -425,5 +455,72 @@ impl<O: OsServices> ServerEndpoint<'_, O> {
     /// The OS services handle (for charging request work in handlers).
     pub fn os(&self) -> &O {
         self.os
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::{NativeConfig, NativeOs};
+    use usipc_shm::CACHE_LINE;
+
+    #[test]
+    fn awake_flag_owns_its_cache_line() {
+        assert_eq!(core::mem::align_of::<WaitableQueue>(), CACHE_LINE);
+        assert_eq!(
+            core::mem::offset_of!(WaitableQueue, awake) % CACHE_LINE,
+            0,
+            "awake must start a fresh line"
+        );
+        // Reply-array neighbours must not share the awake line either.
+        assert_eq!(core::mem::size_of::<WaitableQueue>() % CACHE_LINE, 0);
+    }
+
+    #[test]
+    fn arena_sizing_survives_worst_case_occupancy() {
+        // 64 clients × 256-deep queues: every queue simultaneously full is
+        // the worst case the sizing must cover.
+        let cfg = ChannelConfig {
+            queue_capacity: 256,
+            ..ChannelConfig::new(64)
+        };
+        let ch = Channel::create(&cfg).expect("arena sized for large configs");
+        let os = NativeOs::new(NativeConfig::for_clients(1)).task(0);
+        let mut queues = vec![ch.receive_queue()];
+        for c in 0..cfg.n_clients as u32 {
+            queues.push(ch.reply_queue(c));
+        }
+        for q in &queues {
+            for i in 0..cfg.queue_capacity {
+                assert!(
+                    q.try_enqueue(&os, Message::echo(0, i as f64)),
+                    "queue refused message {i} with the arena supposedly sized"
+                );
+            }
+        }
+        for q in &queues {
+            assert_eq!(q.queued_len(), cfg.queue_capacity);
+        }
+    }
+
+    #[test]
+    fn arena_sizing_is_not_a_gross_overestimate() {
+        for cfg in [
+            ChannelConfig::new(1),
+            ChannelConfig::new(6),
+            ChannelConfig {
+                queue_capacity: 256,
+                ..ChannelConfig::new(64)
+            },
+        ] {
+            let ch = Channel::create(&cfg).expect("create");
+            let (capacity, used) = (ch.arena().capacity(), ch.arena().used());
+            assert!(
+                capacity <= 2 * used,
+                "{} clients × {}: arena {capacity} B but only {used} B used",
+                cfg.n_clients,
+                cfg.queue_capacity
+            );
+        }
     }
 }

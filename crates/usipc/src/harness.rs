@@ -192,8 +192,8 @@ pub fn run_sim_experiment(exp: &SimExperiment) -> SimExperimentResult {
     let ids = Arc::new(ids);
 
     let channel = Channel::create(&ChannelConfig {
-        n_clients: n,
         queue_capacity: exp.queue_capacity,
+        ..ChannelConfig::new(n)
     })
     .expect("channel creation");
 
@@ -437,8 +437,8 @@ pub fn run_async_sim_experiment(
     }
     let ids = Arc::new(ids);
     let channel = Channel::create(&ChannelConfig {
-        n_clients: 1,
         queue_capacity: (batch as usize + 2).max(64),
+        ..ChannelConfig::new(1)
     })
     .expect("channel creation");
 

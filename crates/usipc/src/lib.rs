@@ -61,6 +61,7 @@ mod native;
 pub mod platform;
 pub mod protocol;
 pub mod scenarios;
+pub mod sem;
 mod server;
 mod simulated;
 pub mod sysv;
@@ -75,9 +76,10 @@ pub use channel::{
 pub use duplex::{duplex_client_sem, duplex_server_sem, DuplexChannel, DuplexPair, DuplexRoot};
 pub use metrics::{EndpointMetrics, LatencySnapshot, MetricsRegistry, MetricsSnapshot, ProtoEvent};
 pub use msg::{opcode, Message, MsgSlot};
-pub use native::{CountingSem, NativeConfig, NativeMsgq, NativeOs, NativeTask};
+pub use native::{NativeConfig, NativeMsgq, NativeOs, NativeTask};
 pub use platform::{Cost, HandoffHint, OsServices};
 pub use protocol::WaitStrategy;
+pub use sem::{CountingSem, PortableSem};
 pub use server::{
     run_calculator_server, run_echo_server, run_server, run_throttled_server, ServerRun,
 };

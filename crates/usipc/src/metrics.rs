@@ -72,10 +72,21 @@ pub enum ProtoEvent {
     /// reply queue. Shared memory is a trust boundary: a buggy or hostile
     /// client must not be able to crash the server.
     MalformedRequest,
+    /// An *actual* host-kernel sleep inside a semaphore `P` (a `futex_wait`
+    /// on the native futex path; a condvar wait on the portable fallback).
+    /// Zero on an uncontended `P`: the credit was taken entirely in user
+    /// space. Distinct from [`ProtoEvent::SemP`], which keeps the paper's
+    /// protocol-level "system calls per round trip" accounting; only the
+    /// native backend emits this.
+    SemKernelWait,
+    /// An *actual* host-kernel wake inside a semaphore `V` (`futex_wake` /
+    /// condvar notify with a sleeper registered). Zero on an uncontended
+    /// `V`. Native backend only; see [`ProtoEvent::SemKernelWait`].
+    SemKernelWake,
 }
 
 /// Number of distinct [`ProtoEvent`] kinds.
-pub const N_EVENTS: usize = 15;
+pub const N_EVENTS: usize = 17;
 
 impl ProtoEvent {
     /// Every event kind, in discriminant order (`ALL[e as usize] == e`).
@@ -95,6 +106,10 @@ impl ProtoEvent {
         ProtoEvent::BlockEntered,
         ProtoEvent::StrayWakeupAbsorbed,
         ProtoEvent::MalformedRequest,
+        // New kinds append here: the trace codec encodes events by index,
+        // so reordering would silently relabel old traces.
+        ProtoEvent::SemKernelWait,
+        ProtoEvent::SemKernelWake,
     ];
 
     /// Inverse of `e as usize` (used by the trace codec); `None` when `i`
@@ -105,6 +120,11 @@ impl ProtoEvent {
 
     /// Whether this event is a scheduler-visible kernel crossing (the
     /// currency of [`MetricsSnapshot::kernel_crossings`]).
+    ///
+    /// Deliberately counts the *protocol-level* crossings (`SemP`/`SemV`
+    /// model the paper's `semop` calls) and not `SemKernelWait`/`Wake`:
+    /// those measure how often the futex implementation actually entered
+    /// the host kernel, a property of the semaphore, not the protocol.
     pub fn is_kernel_crossing(self) -> bool {
         matches!(
             self,
@@ -288,6 +308,8 @@ pub struct MetricsSnapshot {
     pub blocks_entered: u64,
     pub stray_wakeups_absorbed: u64,
     pub malformed_requests: u64,
+    pub sem_kernel_waits: u64,
+    pub sem_kernel_wakes: u64,
 }
 
 impl MetricsSnapshot {
@@ -308,6 +330,8 @@ impl MetricsSnapshot {
             ProtoEvent::BlockEntered => &mut self.blocks_entered,
             ProtoEvent::StrayWakeupAbsorbed => &mut self.stray_wakeups_absorbed,
             ProtoEvent::MalformedRequest => &mut self.malformed_requests,
+            ProtoEvent::SemKernelWait => &mut self.sem_kernel_waits,
+            ProtoEvent::SemKernelWake => &mut self.sem_kernel_wakes,
         }
     }
 
@@ -328,6 +352,8 @@ impl MetricsSnapshot {
             ProtoEvent::BlockEntered => self.blocks_entered,
             ProtoEvent::StrayWakeupAbsorbed => self.stray_wakeups_absorbed,
             ProtoEvent::MalformedRequest => self.malformed_requests,
+            ProtoEvent::SemKernelWait => self.sem_kernel_waits,
+            ProtoEvent::SemKernelWake => self.sem_kernel_wakes,
         }
     }
 

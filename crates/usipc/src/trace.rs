@@ -401,6 +401,8 @@ fn proto_label(e: ProtoEvent) -> &'static str {
         ProtoEvent::BlockEntered => "block_entered",
         ProtoEvent::StrayWakeupAbsorbed => "stray_wakeup_absorbed",
         ProtoEvent::MalformedRequest => "malformed_request",
+        ProtoEvent::SemKernelWait => "sem_kernel_wait",
+        ProtoEvent::SemKernelWake => "sem_kernel_wake",
     }
 }
 

@@ -337,7 +337,10 @@ fn bulk_payloads_travel_with_messages() {
     // Variable-sized payloads (§2.1): the handle rides in the spare word,
     // the bytes live in a BulkPool in the same arena.
     use usipc::{BulkPool, Message};
-    let exp_arena = usipc::Channel::create(&usipc::ChannelConfig::new(1)).unwrap();
+    let exp_arena = usipc::Channel::create(
+        &usipc::ChannelConfig::new(1).with_extra_bytes(BulkPool::bytes_needed(32)),
+    )
+    .unwrap();
     let arena = exp_arena.arena();
     let pool = BulkPool::create(arena, 32).unwrap();
     let os = usipc::NativeOs::new(usipc::NativeConfig::for_clients(1));

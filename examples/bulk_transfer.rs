@@ -24,7 +24,11 @@ const OP_GET: u32 = opcode::USER_BASE + 1;
 const STRATEGY: WaitStrategy = WaitStrategy::Bsw;
 
 fn main() {
-    let channel = Channel::create(&ChannelConfig::new(1)).expect("create channel");
+    // The channel arena is sized exactly; co-located structures declare
+    // their footprint up front.
+    let channel =
+        Channel::create(&ChannelConfig::new(1).with_extra_bytes(BulkPool::bytes_needed(256)))
+            .expect("create channel");
     let pool = BulkPool::create(channel.arena(), 256).expect("bulk pool");
     let os = NativeOs::new(NativeConfig::for_clients(1));
 

@@ -112,8 +112,8 @@ fn async_batching_preserves_order_and_values() {
 #[test]
 fn async_flow_control_reports_full() {
     let channel = Channel::create(&ChannelConfig {
-        n_clients: 1,
         queue_capacity: 4,
+        ..ChannelConfig::new(1)
     })
     .unwrap();
     let os = NativeOs::new(NativeConfig::for_clients(1));
