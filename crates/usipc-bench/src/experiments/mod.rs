@@ -3,6 +3,7 @@
 mod asynch;
 mod bench;
 mod explore;
+mod faults;
 mod fig10;
 mod fig11;
 mod fig12;
@@ -72,7 +73,7 @@ impl Default for RunOpts {
 pub fn all_ids() -> &'static [&'static str] {
     &[
         "table1", "fig2", "fig3", "fig6", "fig8", "fig10", "fig11", "fig12", "stats", "syscalls",
-        "throttle", "threaded", "mlfq", "async", "mixed", "explore", "trace", "bench",
+        "throttle", "threaded", "mlfq", "async", "mixed", "explore", "trace", "bench", "faults",
     ]
 }
 
@@ -97,6 +98,7 @@ pub fn describe(id: &str) -> Option<&'static str> {
         "explore" => "machine-checking the Fig. 4 races with the schedule-space explorer",
         "trace" => "unified event traces: five protocols on both backends, Chrome JSON + ASCII",
         "bench" => "native protocol baseline: p50/p99 round-trip latency + syscalls/RT → BENCH_protocols.json",
+        "faults" => "robustness: fault-free deadline-path overhead + explorer no-deadlock kill sweep",
         _ => return None,
     })
 }
@@ -122,6 +124,7 @@ pub fn run_experiment(id: &str, opts: RunOpts) -> Option<ExperimentOutput> {
         "explore" => explore::run(opts),
         "trace" => tracecmp::run(opts),
         "bench" => bench::run(opts),
+        "faults" => faults::run(opts),
         _ => return None,
     })
 }

@@ -109,6 +109,11 @@ enum EvKind {
     DispatchDone(Pid, u64),
     OpDone(Pid, u64),
     Wake(Pid, u64),
+    /// Deadline of a [`Request::SemPTimeout`] that had to block: if the
+    /// task is still blocked on that semaphore (generation-checked, so a
+    /// `V` that won the race makes this a no-op), the waiter is cancelled
+    /// and resumed with `Flag(false)`.
+    SemTimeout(Pid, u64, SemId),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -401,6 +406,16 @@ impl Engine {
                         self.make_ready(pid);
                     }
                 }
+                EvKind::SemTimeout(pid, gen, s) => {
+                    if self.tasks[pid.idx()].gen == gen
+                        && self.tasks[pid.idx()].state == TaskState::Blocked(BlockedOn::Sem(s))
+                    {
+                        let cancelled = self.sems[s.0 as usize].cancel(pid);
+                        debug_assert!(cancelled, "timed-out waiter missing from sem queue");
+                        self.tasks[pid.idx()].cont = Cont::Fetch(ResumeValue::Flag(false));
+                        self.make_ready(pid);
+                    }
+                }
             }
         }
 
@@ -600,9 +615,10 @@ impl Engine {
                 self.machine.syscall + self.sched_cost(self.machine.sched_scan(ready)),
                 true,
             ),
-            Request::SemP(_) | Request::SemV(_) | Request::Barrier(_) => {
-                (self.kernel_serialized(self.machine.sem_op), true)
-            }
+            Request::SemP(_)
+            | Request::SemPTimeout(..)
+            | Request::SemV(_)
+            | Request::Barrier(_) => (self.kernel_serialized(self.machine.sem_op), true),
             Request::MsgSnd(..) | Request::MsgRcv(_) => {
                 (self.kernel_serialized(self.machine.msg_op), true)
             }
@@ -616,7 +632,7 @@ impl Engine {
         }
         match &req {
             Request::Yield => t.stats.yields += 1,
-            Request::SemP(_) => t.stats.sem_p += 1,
+            Request::SemP(_) | Request::SemPTimeout(..) => t.stats.sem_p += 1,
             Request::SemV(_) => t.stats.sem_v += 1,
             Request::MsgSnd(..) | Request::MsgRcv(_) => t.stats.msg_ops += 1,
             Request::Handoff(_) => t.stats.handoffs += 1,
@@ -695,6 +711,19 @@ impl Engine {
                     t.stats.blocks += 1;
                     t.cont = Cont::Fetch(ResumeValue::Unit);
                     self.leave_cpu(pid, TaskState::Blocked(BlockedOn::Sem(s)), true);
+                }
+            },
+            Request::SemPTimeout(s, d) => match self.sems[s.0 as usize].down(pid) {
+                DownResult::Acquired => self.resume_fetch(pid, ResumeValue::Flag(true)),
+                DownResult::MustBlock => {
+                    let t = &mut self.tasks[pid.idx()];
+                    t.stats.blocks += 1;
+                    // A V that arrives first resumes the waiter with this
+                    // success value; the expiry path replaces it.
+                    t.cont = Cont::Fetch(ResumeValue::Flag(true));
+                    self.leave_cpu(pid, TaskState::Blocked(BlockedOn::Sem(s)), true);
+                    let gen = self.tasks[pid.idx()].gen;
+                    self.schedule(self.now + d, EvKind::SemTimeout(pid, gen, s));
                 }
             },
             Request::SemV(s) => match self.sems[s.0 as usize].up() {

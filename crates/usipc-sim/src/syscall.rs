@@ -67,6 +67,10 @@ pub enum Request {
     Yield,
     /// Semaphore down (`P`): may block.
     SemP(SemId),
+    /// Semaphore down with a deadline: blocks for at most the given span,
+    /// resuming with [`ResumeValue::Flag`] (`true` = credit taken, `false`
+    /// = expired without consuming a credit).
+    SemPTimeout(SemId, VDur),
     /// Semaphore up (`V`): never blocks.
     SemV(SemId),
     /// Kernel `msgsnd`: may block when the queue is full.
@@ -126,6 +130,8 @@ pub struct TaskStats {
 pub enum ResumeValue {
     /// Plain completion.
     Unit,
+    /// Outcome of a [`Request::SemPTimeout`]: `true` = credit taken.
+    Flag(bool),
     /// `msgrcv` payload.
     Msg(KMsg),
     /// `now()` reading.
@@ -207,6 +213,17 @@ impl Sys {
     /// Semaphore down (may block in virtual time).
     pub fn sem_p(&self, s: SemId) {
         self.call(Request::SemP(s));
+    }
+
+    /// Semaphore down with a deadline: blocks for at most `d` of virtual
+    /// time. Returns `true` iff a credit was taken; on `false` no credit
+    /// was consumed (the same contract as `FutexSem::p_timeout` in the
+    /// native backend).
+    pub fn sem_p_timeout(&self, s: SemId, d: VDur) -> bool {
+        match self.call(Request::SemPTimeout(s, d)) {
+            ResumeValue::Flag(taken) => taken,
+            other => unreachable!("sem_p_timeout resumed with {other:?}"),
+        }
     }
 
     /// Semaphore up.

@@ -59,6 +59,7 @@ pub(crate) fn render_request(r: &Request) -> String {
         Request::Work(d) => format!("work({d})"),
         Request::Yield => "yield".into(),
         Request::SemP(s) => format!("P(sem{})", s.0),
+        Request::SemPTimeout(s, d) => format!("P(sem{},{d})", s.0),
         Request::SemV(s) => format!("V(sem{})", s.0),
         Request::MsgSnd(q, _) => format!("msgsnd(q{})", q.0),
         Request::MsgRcv(q) => format!("msgrcv(q{})", q.0),

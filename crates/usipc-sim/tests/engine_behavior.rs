@@ -600,3 +600,64 @@ fn mlfq_wakeup_preempts_a_demoted_grinder() {
         "the grinder must have been preempted at least once"
     );
 }
+
+#[test]
+fn sem_p_timeout_expiry_consumes_nothing_and_banks_the_late_v() {
+    let mut b = SimBuilder::new(quiet_machine(), PolicyKind::FairRr.build());
+    let sem = b.add_sem(0);
+    b.spawn("waiter", move |sys| {
+        assert!(
+            !sys.sem_p_timeout(sem, VDur::millis(5)),
+            "no V in flight: the deadline must expire"
+        );
+    });
+    b.spawn("late-v", move |sys| {
+        sys.sleep(VDur::millis(20)); // well past the waiter's deadline
+        sys.sem_v(sem);
+    });
+    let r = b.run();
+    assert!(r.outcome.is_completed(), "{:?}", r.outcome);
+    // The expired P consumed nothing; the late V's credit stays banked.
+    assert_eq!(r.sems[0].count, 1);
+    assert_eq!(r.sems[0].waiting, 0, "cancelled waiter left the sem queue");
+}
+
+#[test]
+fn sem_p_timeout_woken_by_v_before_expiry_takes_the_credit() {
+    let mut b = SimBuilder::new(quiet_machine(), PolicyKind::FairRr.build());
+    let sem = b.add_sem(0);
+    b.spawn("waiter", move |sys| {
+        assert!(
+            sys.sem_p_timeout(sem, VDur::seconds(10)),
+            "the V lands long before the deadline"
+        );
+        assert!(
+            sys.now() < VTime::ZERO + VDur::seconds(1),
+            "woken, not expired"
+        );
+    });
+    b.spawn("v", move |sys| {
+        sys.sleep(VDur::millis(1));
+        sys.sem_v(sem);
+    });
+    let r = b.run();
+    assert!(r.outcome.is_completed(), "{:?}", r.outcome);
+    assert_eq!(r.sems[0].count, 0, "credit consumed by the timed P");
+    let waiter = r.task("waiter").unwrap();
+    assert_eq!(waiter.stats.blocks, 1, "the timed P really blocked first");
+}
+
+#[test]
+fn sem_p_timeout_with_banked_credit_is_immediate() {
+    let mut b = SimBuilder::new(quiet_machine(), PolicyKind::FairRr.build());
+    let sem = b.add_sem(1);
+    b.spawn("t", move |sys| {
+        assert!(sys.sem_p_timeout(sem, VDur::ZERO), "banked credit: no wait");
+    });
+    let r = b.run();
+    assert!(r.outcome.is_completed(), "{:?}", r.outcome);
+    assert_eq!(r.sems[0].count, 0);
+    let t = r.task("t").unwrap();
+    assert_eq!(t.stats.blocks, 0, "never blocked");
+    assert_eq!(t.stats.sem_p, 1, "still a priced P syscall");
+}

@@ -37,6 +37,28 @@ use usipc_shm::{CacheAligned, ShmArena, ShmError, ShmPtr, ShmSafe, ShmSlice, Slo
 pub struct WaitableQueue {
     queue: ShmQueue,
     awake: CacheAligned<AtomicU32>,
+    fault: CacheAligned<FaultHeader>,
+}
+
+/// The failure-model words of one queue (see DESIGN.md, "Failure model").
+/// They live on their own cache line so that fault bookkeeping — touched
+/// only on slow paths and by heartbeats — never contends with the `awake`
+/// flag the fast path test-and-sets.
+#[repr(C)]
+#[derive(Debug)]
+pub struct FaultHeader {
+    /// Sticky poison flag: once set it is never cleared, so a fallible
+    /// caller that observes it can trust the channel is dead for good.
+    poison: AtomicU32,
+    /// Consumer liveness: `1` while the consumer is considered alive,
+    /// `0` once its death has been marked (by its own unwind guard on
+    /// native, or by a fault plan in the simulator).
+    consumer_live: AtomicU32,
+    /// Consumer heartbeat epoch: bumped by the consumer each time it
+    /// passes through its receive loop. A survivor that watches this word
+    /// across a deadline period can bound detection latency even when
+    /// death was never marked explicitly.
+    heartbeat: AtomicU32,
 }
 
 unsafe impl ShmSafe for WaitableQueue {}
@@ -47,6 +69,11 @@ impl WaitableQueue {
         Ok(WaitableQueue {
             queue: ShmQueue::create(arena, capacity)?,
             awake: CacheAligned::new(AtomicU32::new(1)),
+            fault: CacheAligned::new(FaultHeader {
+                poison: AtomicU32::new(0),
+                consumer_live: AtomicU32::new(1),
+                heartbeat: AtomicU32::new(0),
+            }),
         })
     }
 }
@@ -235,6 +262,21 @@ impl Channel {
         })
     }
 
+    /// The server's death rites: marks the receive queue's consumer (the
+    /// server) dead and poisons **every** queue of the channel, so each
+    /// client — whether mid-enqueue, blocked on its reply semaphore, or
+    /// yet to call — fails fast with
+    /// [`IpcError::PeerDead`](crate::fault::IpcError::PeerDead) instead of
+    /// waiting on a server that is gone. Called from the server's
+    /// [`ServerDeathWatch`](crate::fault::ServerDeathWatch) unwind guard
+    /// on native and from kill-injection points in the simulator.
+    pub fn tombstone_server<O: OsServices>(&self, os: &O) {
+        self.receive_queue().mark_consumer_dead(os);
+        for c in 0..self.n_clients() {
+            self.reply_queue(c).poison(os);
+        }
+    }
+
     /// Builds a client endpoint.
     pub fn client<'a, O: OsServices>(
         &'a self,
@@ -362,6 +404,71 @@ impl QueueRef<'_> {
     pub fn queued_len(&self) -> usize {
         self.wq.queue.len(self.arena)
     }
+
+    // --- failure model (DESIGN.md, "Failure model") -----------------------
+    //
+    // None of these appear on the infallible fast path: poisoning is
+    // checked at fallible-call entry and on slow paths only (block commit,
+    // queue-full back-off), so the BSW four-sem-ops-per-round-trip
+    // accounting is untouched.
+
+    /// Whether the channel has been poisoned. A plain shared-memory load —
+    /// no kernel entry, no virtual-time charge.
+    pub fn is_poisoned(&self) -> bool {
+        self.wq.fault.poison.load(Ordering::Acquire) != 0
+    }
+
+    /// Poisons the queue: sets the sticky flag, force-wakes the consumer
+    /// (awake flag raised *and* an unconditional `V`, so a consumer
+    /// committed to blocking cannot sleep through its peer's death), and
+    /// drains in-flight messages back to the slot pool so no capacity
+    /// leaks. Idempotent; only the first call records
+    /// [`ProtoEvent::ChannelPoisoned`] and pays the broadcast.
+    pub fn poison<O: OsServices>(&self, os: &O) {
+        if self.wq.fault.poison.swap(1, Ordering::AcqRel) != 0 {
+            return;
+        }
+        os.record(ProtoEvent::ChannelPoisoned);
+        // Broadcast wake-up: raise `awake` so no future clear-and-recheck
+        // commits to sleep, then post a credit for any waiter already in
+        // the kernel. The possible stray credit is absorbed by the
+        // protocols' tas/recheck path.
+        self.wq.awake.store(1, Ordering::SeqCst);
+        os.sem_v(self.sem);
+        self.drain(os);
+    }
+
+    /// Frees every queued message back to the slot pool (poisoned-channel
+    /// cleanup; the messages are lost, which is exactly the semantics of a
+    /// dead peer).
+    pub fn drain<O: OsServices>(&self, os: &O) {
+        while self.try_dequeue(os).is_some() {}
+    }
+
+    /// Marks this queue's consumer dead (called from the dying task's
+    /// unwind guard on native, or by a fault scenario in the simulator)
+    /// and poisons the queue on its behalf so survivors fail fast.
+    pub fn mark_consumer_dead<O: OsServices>(&self, os: &O) {
+        self.wq.fault.consumer_live.store(0, Ordering::Release);
+        self.poison(os);
+    }
+
+    /// Whether the consumer of this queue is still considered alive.
+    pub fn consumer_alive(&self) -> bool {
+        self.wq.fault.consumer_live.load(Ordering::Acquire) != 0
+    }
+
+    /// Consumer heartbeat: bump the epoch word (called once per receive
+    /// pass; a relaxed store on an otherwise-private line).
+    pub fn beat(&self) {
+        self.wq.fault.heartbeat.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current heartbeat epoch (watch across a deadline period to detect
+    /// a wedged-but-unmarked peer).
+    pub fn heartbeat(&self) -> u32 {
+        self.wq.fault.heartbeat.load(Ordering::Acquire)
+    }
 }
 
 /// Client-side endpoint: synchronous `Send` (and the asynchronous
@@ -400,6 +507,78 @@ impl<O: OsServices> ClientEndpoint<'_, O> {
             }
         }
         reply
+    }
+
+    /// Fallible synchronous `Send`, bounded by `timeout` and aware of the
+    /// failure model (DESIGN.md, "Failure model"):
+    ///
+    /// * a poisoned channel is rejected **immediately** — one shared-memory
+    ///   load, no kernel entry, no queue traffic ([`IpcError::Poisoned`]);
+    /// * expiry while the request is still queued-or-unqueued returns
+    ///   [`IpcError::QueueFull`] — nothing is in flight, retry freely;
+    /// * expiry while waiting for the reply means the request *may* be in
+    ///   flight: a late reply would desynchronize the queue, so the client
+    ///   poisons its own reply channel (sticky) and returns
+    ///   [`IpcError::Timeout`] — or [`IpcError::PeerDead`] when the
+    ///   server's liveness word shows it died, in which case the shared
+    ///   receive queue is poisoned too so every client fails fast.
+    pub fn call_deadline(
+        &self,
+        mut msg: Message,
+        timeout: core::time::Duration,
+    ) -> Result<Message, crate::fault::IpcError> {
+        use crate::fault::IpcError;
+        msg.channel = self.id;
+        let srv = self.ch.receive_queue();
+        let rq = self.ch.reply_queue(self.id);
+        if srv.is_poisoned() || rq.is_poisoned() {
+            return Err(IpcError::Poisoned);
+        }
+        let start = match self.os.metrics() {
+            Some(_) => self.os.now_nanos(),
+            None => None,
+        };
+        self.os.trace(TracePoint::Begin(Span::RoundTrip));
+        let out = self
+            .strategy
+            .send_deadline(self.ch, self.os, self.id, msg, timeout);
+        self.os.trace(TracePoint::End(Span::RoundTrip));
+        match out {
+            Ok(reply) => {
+                if let (Some(t0), Some(m)) = (start, self.os.metrics()) {
+                    if let Some(t1) = self.os.now_nanos() {
+                        m.record_latency_nanos(t1.saturating_sub(t0));
+                    }
+                }
+                Ok(reply)
+            }
+            Err(IpcError::Timeout) => {
+                // The reply never came. Distinguish a dead server from a
+                // slow one via the liveness word, then poison what is now
+                // indeterminate: always our own reply channel, and the
+                // shared receive queue too when the server is gone.
+                if !srv.consumer_alive() {
+                    self.os.record(ProtoEvent::PeerDeathDetected);
+                    rq.poison(self.os);
+                    srv.poison(self.os);
+                    Err(IpcError::PeerDead)
+                } else {
+                    rq.poison(self.os);
+                    Err(IpcError::Timeout)
+                }
+            }
+            Err(IpcError::Poisoned) => {
+                // Poison raced in mid-call. If it stems from a marked
+                // death, report the root cause.
+                if !srv.consumer_alive() {
+                    self.os.record(ProtoEvent::PeerDeathDetected);
+                    Err(IpcError::PeerDead)
+                } else {
+                    Err(IpcError::Poisoned)
+                }
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Convenience: ECHO round trip, returning the echoed value.
@@ -445,6 +624,64 @@ impl<O: OsServices> ServerEndpoint<'_, O> {
             return;
         }
         self.strategy.reply(self.ch, self.os, c, msg)
+    }
+
+    /// Fallible `Receive`, bounded by `timeout`. Expiry is *normal* — no
+    /// client happened to call — and poisons nothing; resilient servers
+    /// use the period to scan client liveness
+    /// ([`Self::reap_dead_clients`]). Also bumps the receive queue's
+    /// heartbeat word so watchers can tell a waiting server from a wedged
+    /// one.
+    pub fn receive_deadline(
+        &self,
+        timeout: core::time::Duration,
+    ) -> Result<Message, crate::fault::IpcError> {
+        self.ch.receive_queue().beat();
+        self.strategy.receive_deadline(self.ch, self.os, timeout)
+    }
+
+    /// Fallible `Reply` to client `c`: fails fast with
+    /// [`IpcError`](crate::fault::IpcError) instead of backing off forever
+    /// against a reply queue whose client died. Detecting a dead client
+    /// here poisons (only) that client's reply queue.
+    pub fn reply_deadline(
+        &self,
+        c: u32,
+        msg: Message,
+        timeout: core::time::Duration,
+    ) -> Result<(), crate::fault::IpcError> {
+        use crate::fault::IpcError;
+        let Some(rq) = self.ch.try_reply_queue(c) else {
+            self.os.record(ProtoEvent::MalformedRequest);
+            return Err(IpcError::QueueFull);
+        };
+        if !rq.consumer_alive() {
+            self.os.record(ProtoEvent::PeerDeathDetected);
+            rq.poison(self.os);
+            return Err(IpcError::PeerDead);
+        }
+        if rq.is_poisoned() {
+            return Err(IpcError::Poisoned);
+        }
+        self.strategy
+            .reply_deadline(self.ch, self.os, c, msg, timeout)
+    }
+
+    /// Scans every client's liveness word, poisoning (and draining) the
+    /// reply queues of clients that died. Returns how many *newly* dead
+    /// clients were reaped. Cheap — one shared-memory load per client —
+    /// so resilient servers run it once per receive timeout.
+    pub fn reap_dead_clients(&self) -> u32 {
+        let mut reaped = 0;
+        for c in 0..self.ch.n_clients() {
+            let rq = self.ch.reply_queue(c);
+            if !rq.consumer_alive() && !rq.is_poisoned() {
+                self.os.record(ProtoEvent::PeerDeathDetected);
+                rq.poison(self.os);
+                reaped += 1;
+            }
+        }
+        reaped
     }
 
     /// The channel this endpoint serves.

@@ -13,9 +13,13 @@
 //! server thread for client `c` sleeps on `2c`, client `c` on `2c + 1`.
 
 use crate::channel::{QueueRef, WaitableQueue};
+use crate::fault::IpcError;
 use crate::msg::{opcode, Message, MsgSlot};
 use crate::platform::{Cost, OsServices};
-use crate::protocol::{blocking_dequeue, enqueue_or_sleep};
+use crate::protocol::{
+    blocking_dequeue, blocking_dequeue_deadline, enqueue_or_sleep, enqueue_or_sleep_deadline,
+    Deadline,
+};
 use std::sync::Arc;
 use usipc_shm::{ShmArena, ShmError, ShmPtr, ShmSafe, ShmSlice, SlotPool};
 
@@ -130,6 +134,52 @@ impl DuplexChannel {
         blocking_dequeue(&reply, os, || {})
     }
 
+    /// Fallible synchronous call on connection `c`, bounded by `timeout`
+    /// (same failure model as
+    /// [`ClientEndpoint::call_deadline`](crate::ClientEndpoint::call_deadline):
+    /// a poisoned connection is rejected without entering the kernel;
+    /// a reply that never comes poisons this connection's reply queue —
+    /// and both queues when the serving thread's death was marked).
+    pub fn call_deadline<O: OsServices>(
+        &self,
+        os: &O,
+        c: u32,
+        mut msg: Message,
+        max_spin: u32,
+        timeout: core::time::Duration,
+    ) -> Result<Message, IpcError> {
+        msg.channel = c;
+        let rq = self.request_queue(c);
+        let reply = self.reply_queue(c);
+        if rq.is_poisoned() || reply.is_poisoned() {
+            return Err(IpcError::Poisoned);
+        }
+        let deadline = Deadline::new(os, timeout);
+        enqueue_or_sleep_deadline(&rq, os, msg, &deadline)?;
+        rq.wake_consumer(os);
+        let mut spincnt = 0;
+        while spincnt < max_spin && reply.is_empty(os) {
+            os.poll_pause();
+            spincnt += 1;
+        }
+        match blocking_dequeue_deadline(&reply, os, &deadline, || {}) {
+            Ok(m) => Ok(m),
+            Err(IpcError::Timeout) => {
+                if !rq.consumer_alive() {
+                    os.record(crate::metrics::ProtoEvent::PeerDeathDetected);
+                    reply.poison(os);
+                    rq.poison(os);
+                    Err(IpcError::PeerDead)
+                } else {
+                    reply.poison(os);
+                    Err(IpcError::Timeout)
+                }
+            }
+            Err(IpcError::Poisoned) if !rq.consumer_alive() => Err(IpcError::PeerDead),
+            Err(e) => Err(e),
+        }
+    }
+
     /// Convenience: ECHO round trip on connection `c`.
     pub fn echo<O: OsServices>(&self, os: &O, c: u32, value: f64, max_spin: u32) -> f64 {
         self.call(os, c, Message::echo(c, value), max_spin).value
@@ -170,6 +220,71 @@ impl DuplexChannel {
             ans.channel = c;
             enqueue_or_sleep(&reply, os, ans);
             reply.wake_consumer(os);
+        }
+    }
+
+    /// A server thread's loop that **survives its client dying**: every
+    /// wait is bounded by `heartbeat`, and each expiry checks the
+    /// client's liveness word. A detected death poisons both queues of
+    /// the connection (freeing their slots) and returns
+    /// [`IpcError::PeerDead`] with the count of messages served so far in
+    /// tow via `Err` — the thread exits instead of blocking forever on a
+    /// request that will never come.
+    pub fn serve_connection_resilient<O: OsServices>(
+        &self,
+        os: &O,
+        c: u32,
+        max_spin: u32,
+        heartbeat: core::time::Duration,
+        mut handler: impl FnMut(Message) -> Message,
+    ) -> Result<u64, IpcError> {
+        let rq = self.request_queue(c);
+        let reply = self.reply_queue(c);
+        let mut processed = 0;
+        loop {
+            rq.beat();
+            let mut spincnt = 0;
+            while spincnt < max_spin && rq.is_empty(os) {
+                os.poll_pause();
+                spincnt += 1;
+            }
+            let deadline = Deadline::new(os, heartbeat);
+            let m = match blocking_dequeue_deadline(&rq, os, &deadline, || {}) {
+                Ok(m) => m,
+                Err(IpcError::Timeout) => {
+                    if !reply.consumer_alive() {
+                        os.record(crate::metrics::ProtoEvent::PeerDeathDetected);
+                        reply.poison(os);
+                        rq.poison(os);
+                        return Err(IpcError::PeerDead);
+                    }
+                    continue; // idle heartbeat: client alive, keep waiting
+                }
+                Err(e) => return Err(e),
+            };
+            os.charge(Cost::Request);
+            processed += 1;
+            if m.opcode == opcode::DISCONNECT {
+                enqueue_or_sleep(&reply, os, m);
+                reply.wake_consumer(os);
+                return Ok(processed);
+            }
+            let mut ans = handler(m);
+            ans.channel = c;
+            let reply_deadline = Deadline::new(os, heartbeat);
+            match enqueue_or_sleep_deadline(&reply, os, ans, &reply_deadline) {
+                Ok(()) => reply.wake_consumer(os),
+                Err(_) => {
+                    // Reply queue poisoned or wedged full past the
+                    // deadline: the client is gone or unrecoverable.
+                    if !reply.consumer_alive() {
+                        os.record(crate::metrics::ProtoEvent::PeerDeathDetected);
+                    }
+                    reply.poison(os);
+                    rq.poison(os);
+                    return Err(IpcError::PeerDead);
+                }
+            }
         }
     }
 }

@@ -749,10 +749,11 @@ pub fn run_native_experiment_traced(
 
     barrier.wait();
     let start = std::time::Instant::now();
-    for c in clients {
-        c.join().expect("client thread");
+    let mut named = vec![("server".to_string(), 0u32, server)];
+    for (c, h) in clients.into_iter().enumerate() {
+        named.push((format!("client{c}"), 1 + c as u32, h));
     }
-    server.join().expect("server thread");
+    watchdog_join(named, WATCHDOG_JOIN, os.traces());
     let elapsed = start.elapsed();
     let messages = msgs_per_client * n_clients as u64;
     let reg = os.metrics().expect("for_clients enables metrics");
@@ -771,5 +772,354 @@ pub fn run_native_experiment_traced(
         client_metrics: reg.aggregate(|t| t != 0),
         client_latency: reg.aggregate_latency(|t| t != 0),
         trace,
+    }
+}
+
+/// How long [`watchdog_join`] waits before declaring the experiment
+/// wedged. Generous — a healthy cell finishes in well under a second —
+/// but bounded, so a protocol bug (or an injected fault the failure model
+/// failed to contain) produces a diagnosable panic instead of a hung
+/// process that CI has to `SIGKILL` reportlessly.
+const WATCHDOG_JOIN: std::time::Duration = std::time::Duration::from_secs(30);
+
+/// Joins experiment threads with a watchdog: waits up to `timeout` for
+/// all of them, propagating any thread's panic verbatim. If some never
+/// finish, panics with a report naming each wedged thread and — when
+/// tracing is enabled — the last trace point it recorded before going
+/// quiet, which is usually enough to identify the lost sleep/wake-up race
+/// without re-running under a debugger.
+fn watchdog_join(
+    named: Vec<(String, u32, std::thread::JoinHandle<()>)>,
+    timeout: std::time::Duration,
+    traces: Option<&TraceRegistry>,
+) {
+    let deadline = std::time::Instant::now() + timeout;
+    let mut pending = named;
+    loop {
+        let mut still = Vec::with_capacity(pending.len());
+        for (name, id, h) in pending {
+            if h.is_finished() {
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            } else {
+                still.push((name, id, h));
+            }
+        }
+        pending = still;
+        if pending.is_empty() {
+            return;
+        }
+        if std::time::Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let mut report = format!(
+        "watchdog: {} thread(s) still running after {timeout:?}:",
+        pending.len()
+    );
+    let collected = traces.map(|t| {
+        let names: Vec<(u32, String)> = pending.iter().map(|(n, id, _)| (*id, n.clone())).collect();
+        t.collect(&names)
+    });
+    for (name, id, _) in &pending {
+        let last = collected
+            .as_ref()
+            .and_then(|ut| ut.records.iter().rev().find(|r| r.task_id == *id));
+        match last {
+            Some(r) => {
+                report += &format!(
+                    "\n  {name} wedged; last trace point {:?} at {} ns",
+                    r.point, r.ts_nanos
+                );
+            }
+            None => report += &format!("\n  {name} wedged (no trace records; rerun with tracing)"),
+        }
+    }
+    panic!("{report}");
+}
+
+/// Outcome of one client thread in a fault-injection run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientFaultOutcome {
+    /// Completed every echo and disconnected cleanly.
+    Completed,
+    /// The failure model surfaced: the client stopped after `completed`
+    /// echoes with `error` (e.g. [`IpcError::PeerDead`](crate::IpcError::PeerDead)
+    /// once the killed server was detected).
+    Failed {
+        /// Echo round trips that succeeded before the error.
+        completed: u64,
+        /// The error that ended the session.
+        error: crate::IpcError,
+    },
+    /// This client was the fault plan's victim and was killed.
+    Killed,
+}
+
+/// Results of one native fault-injection experiment.
+#[derive(Debug)]
+pub struct NativeFaultResult {
+    /// Server outcome: `Ok` when the resilient loop returned, `Err` with
+    /// the panic message when the server was the victim.
+    pub server: Result<crate::ServerRun, String>,
+    /// Per-client outcome, indexed by client id.
+    pub clients: Vec<ClientFaultOutcome>,
+    /// Whether each client's reply queue ended poisoned.
+    pub reply_poisoned: Vec<bool>,
+    /// Whether the shared receive queue ended poisoned.
+    pub receive_poisoned: bool,
+    /// Server-task protocol events over the run.
+    pub server_metrics: MetricsSnapshot,
+    /// Per-client protocol events over the run.
+    pub client_metrics: Vec<MetricsSnapshot>,
+    /// The unified event trace, present when the run enabled tracing —
+    /// the timeline showing the injected kill, the survivor's detection
+    /// and the poison broadcast.
+    pub trace: Option<UnifiedTrace>,
+}
+
+/// Runs the echo workload on real threads while a [`FaultPlan`] kills one
+/// of them mid-protocol (a panic unwinds the victim, its
+/// [`DeathWatch`](crate::DeathWatch) tombstones the queue it consumes),
+/// and reports what the failure model did about it.
+///
+/// Task numbering follows the harness convention: the plan's victim `0`
+/// is the server, `1 + c` client `c`. The server runs
+/// [`run_resilient_server`](crate::run_resilient_server) with `heartbeat`
+/// as its liveness-scan period; clients call with `call_deadline` bounded
+/// by `deadline`. The join is bounded: a fault that escapes the failure
+/// model and wedges a thread panics via the watchdog instead of hanging
+/// the harness.
+pub fn run_native_fault_experiment(
+    strategy: WaitStrategy,
+    n_clients: usize,
+    msgs_per_client: u64,
+    plan: Arc<crate::FaultPlan>,
+    heartbeat: std::time::Duration,
+    deadline: std::time::Duration,
+) -> NativeFaultResult {
+    run_native_fault_experiment_traced(
+        strategy,
+        n_clients,
+        msgs_per_client,
+        plan,
+        heartbeat,
+        deadline,
+        None,
+    )
+}
+
+/// [`run_native_fault_experiment`] with optional event tracing, so the
+/// kill → detection → poison sequence can be inspected in Perfetto (see
+/// EXPERIMENTS.md's `figures faults` walkthrough).
+pub fn run_native_fault_experiment_traced(
+    strategy: WaitStrategy,
+    n_clients: usize,
+    msgs_per_client: u64,
+    plan: Arc<crate::FaultPlan>,
+    heartbeat: std::time::Duration,
+    deadline: std::time::Duration,
+    trace_capacity: Option<usize>,
+) -> NativeFaultResult {
+    use crate::fault::{DeathWatch, FaultAction};
+    let channel = Channel::create(&ChannelConfig::new(n_clients)).expect("channel creation");
+    let mut cfg = NativeConfig::for_clients(n_clients);
+    cfg.trace_capacity = trace_capacity;
+    let os = NativeOs::new(cfg);
+    let barrier = Arc::new(std::sync::Barrier::new(n_clients + 1));
+
+    let server = {
+        let ch = channel.clone();
+        let os = os.task(0);
+        let plan = Arc::clone(&plan);
+        std::thread::spawn(move || {
+            // Tombstone the whole channel if this thread dies: every
+            // client fails fast instead of riding out its deadline.
+            let _watch = crate::fault::ServerDeathWatch::arm(&ch, &os);
+            crate::server::run_resilient_server(&ch, &os, strategy, heartbeat, |m| {
+                match plan.fire(0) {
+                    Some(FaultAction::Kill) => {
+                        os.record(crate::metrics::ProtoEvent::FaultInjected);
+                        panic!("injected fault: server killed at op {}", plan.at_op)
+                    }
+                    Some(FaultAction::DelayNanos(ns)) => {
+                        os.record(crate::metrics::ProtoEvent::FaultInjected);
+                        std::thread::sleep(std::time::Duration::from_nanos(ns))
+                    }
+                    Some(FaultAction::DropWakeup) | None => {}
+                }
+                m
+            })
+        })
+    };
+
+    let clients: Vec<_> = (0..n_clients as u32)
+        .map(|c| {
+            let ch = channel.clone();
+            let os = os.task(1 + c);
+            let plan = Arc::clone(&plan);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || -> ClientFaultOutcome {
+                let _watch = DeathWatch::arm(ch.reply_queue(c), &os);
+                let ep = ch.client(&os, c, strategy);
+                barrier.wait();
+                for i in 0..msgs_per_client {
+                    match plan.fire(1 + c) {
+                        Some(FaultAction::Kill) => {
+                            os.record(crate::metrics::ProtoEvent::FaultInjected);
+                            panic!("injected fault: client {c} killed at op {}", plan.at_op)
+                        }
+                        Some(FaultAction::DelayNanos(ns)) => {
+                            os.record(crate::metrics::ProtoEvent::FaultInjected);
+                            std::thread::sleep(std::time::Duration::from_nanos(ns))
+                        }
+                        Some(FaultAction::DropWakeup) | None => {}
+                    }
+                    match ep.call_deadline(crate::Message::echo(c, i as f64), deadline) {
+                        Ok(reply) => assert_eq!(reply.value, i as f64, "echo corrupted"),
+                        Err(error) => {
+                            return ClientFaultOutcome::Failed {
+                                completed: i,
+                                error,
+                            }
+                        }
+                    }
+                }
+                match ep.call_deadline(crate::Message::disconnect(c), deadline) {
+                    Ok(_) => ClientFaultOutcome::Completed,
+                    Err(error) => ClientFaultOutcome::Failed {
+                        completed: msgs_per_client,
+                        error,
+                    },
+                }
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let deadline_join =
+        std::time::Instant::now() + WATCHDOG_JOIN + deadline * (msgs_per_client as u32).max(1);
+    let clients: Vec<ClientFaultOutcome> = clients
+        .into_iter()
+        .enumerate()
+        .map(|(c, h)| {
+            while !h.is_finished() && std::time::Instant::now() < deadline_join {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            assert!(
+                h.is_finished(),
+                "watchdog: client {c} wedged — fault escaped the failure model"
+            );
+            h.join().unwrap_or(ClientFaultOutcome::Killed)
+        })
+        .collect();
+    while !server.is_finished() && std::time::Instant::now() < deadline_join {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert!(
+        server.is_finished(),
+        "watchdog: server wedged — fault escaped the failure model"
+    );
+    let server = server.join().map_err(|p| {
+        p.downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| p.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "server panicked".into())
+    });
+
+    let reg = os.metrics().expect("for_clients enables metrics");
+    let trace = os.traces().map(|t| {
+        let mut names = vec![(0, "server".to_string())];
+        for c in 0..n_clients as u32 {
+            names.push((1 + c, format!("client{c}")));
+        }
+        t.collect(&names)
+    });
+    NativeFaultResult {
+        server,
+        trace,
+        reply_poisoned: (0..n_clients as u32)
+            .map(|c| channel.reply_queue(c).is_poisoned())
+            .collect(),
+        receive_poisoned: channel.receive_queue().is_poisoned(),
+        server_metrics: reg.task_snapshot(0),
+        client_metrics: (0..n_clients as u32)
+            .map(|c| reg.task_snapshot(1 + c))
+            .collect(),
+        clients,
+    }
+}
+
+/// The fault-free *fallible* twin of [`run_native_experiment`]: the same
+/// echo barrage on real threads, but every client call goes through
+/// [`call_deadline`](crate::ClientEndpoint::call_deadline) and the server
+/// runs [`run_resilient_server`](crate::run_resilient_server) with a
+/// heartbeat. Nothing faults, so any latency difference against the
+/// infallible twin *is* the robustness overhead — the number the
+/// `figures faults` experiment regresses on.
+///
+/// # Panics
+///
+/// On echo corruption, any client-visible [`IpcError`](crate::IpcError),
+/// or a wedged thread (watchdog).
+pub fn run_native_deadline_experiment(
+    strategy: WaitStrategy,
+    n_clients: usize,
+    msgs_per_client: u64,
+    heartbeat: std::time::Duration,
+    deadline: std::time::Duration,
+) -> NativeExperimentResult {
+    let channel = Channel::create(&ChannelConfig::new(n_clients)).expect("channel creation");
+    let os = NativeOs::new(NativeConfig::for_clients(n_clients));
+    let barrier = Arc::new(std::sync::Barrier::new(n_clients + 1));
+
+    let server = {
+        let ch = channel.clone();
+        let os = os.task(0);
+        std::thread::spawn(move || {
+            let _ = crate::server::run_resilient_server(&ch, &os, strategy, heartbeat, |m| m);
+        })
+    };
+
+    let clients: Vec<_> = (0..n_clients as u32)
+        .map(|c| {
+            let ch = channel.clone();
+            let os = os.task(1 + c);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let ep = ch.client(&os, c, strategy);
+                for i in 0..msgs_per_client {
+                    let reply = ep
+                        .call_deadline(crate::Message::echo(c, i as f64), deadline)
+                        .expect("fault-free deadline call failed");
+                    assert_eq!(reply.value, i as f64, "echo corrupted");
+                }
+                ep.call_deadline(crate::Message::disconnect(c), deadline)
+                    .expect("fault-free disconnect failed");
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let start = std::time::Instant::now();
+    let mut named = vec![("server".to_string(), 0u32, server)];
+    for (c, h) in clients.into_iter().enumerate() {
+        named.push((format!("client{c}"), 1 + c as u32, h));
+    }
+    watchdog_join(named, WATCHDOG_JOIN, os.traces());
+    let elapsed = start.elapsed();
+    let messages = msgs_per_client * n_clients as u64;
+    let reg = os.metrics().expect("for_clients enables metrics");
+    NativeExperimentResult {
+        throughput: messages as f64 / (elapsed.as_secs_f64() * 1e3),
+        elapsed,
+        messages,
+        server_metrics: reg.task_snapshot(0),
+        client_metrics: reg.aggregate(|t| t != 0),
+        client_latency: reg.aggregate_latency(|t| t != 0),
+        trace: None,
     }
 }

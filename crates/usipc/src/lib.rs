@@ -54,6 +54,7 @@ mod barrier;
 mod bulk;
 mod channel;
 mod duplex;
+pub mod fault;
 pub mod harness;
 pub mod metrics;
 mod msg;
@@ -74,6 +75,7 @@ pub use channel::{
     Channel, ChannelConfig, ChannelRoot, ClientEndpoint, QueueRef, ServerEndpoint, WaitableQueue,
 };
 pub use duplex::{duplex_client_sem, duplex_server_sem, DuplexChannel, DuplexPair, DuplexRoot};
+pub use fault::{DeathWatch, FaultAction, FaultPlan, IpcError, ServerDeathWatch};
 pub use metrics::{EndpointMetrics, LatencySnapshot, MetricsRegistry, MetricsSnapshot, ProtoEvent};
 pub use msg::{opcode, Message, MsgSlot};
 pub use native::{NativeConfig, NativeMsgq, NativeOs, NativeTask};
@@ -81,7 +83,8 @@ pub use platform::{Cost, HandoffHint, OsServices};
 pub use protocol::WaitStrategy;
 pub use sem::{CountingSem, PortableSem};
 pub use server::{
-    run_calculator_server, run_echo_server, run_server, run_throttled_server, ServerRun,
+    run_calculator_server, run_echo_server, run_resilient_server, run_server, run_throttled_server,
+    ServerRun,
 };
 pub use simulated::{SimCosts, SimIds, SimOs};
 pub use trace::{

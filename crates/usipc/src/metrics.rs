@@ -83,10 +83,23 @@ pub enum ProtoEvent {
     /// condvar notify with a sleeper registered). Zero on an uncontended
     /// `V`. Native backend only; see [`ProtoEvent::SemKernelWait`].
     SemKernelWake,
+    /// A deadline-aware wait expired without taking a credit (a
+    /// `sem_p_deadline` that returned `false`). The fault layer's
+    /// first-line detection signal.
+    TimedOut,
+    /// A fault-injection plan fired (task killed, wake-up dropped, or
+    /// delay inserted) — emitted by the harness, never by real protocols.
+    FaultInjected,
+    /// A survivor detected its peer dead (liveness word flipped, or a
+    /// deadline expired against a dead peer).
+    PeerDeathDetected,
+    /// A channel queue was poisoned (sticky one-way flag set, waiters
+    /// broadcast-woken, in-flight slots drained).
+    ChannelPoisoned,
 }
 
 /// Number of distinct [`ProtoEvent`] kinds.
-pub const N_EVENTS: usize = 17;
+pub const N_EVENTS: usize = 21;
 
 impl ProtoEvent {
     /// Every event kind, in discriminant order (`ALL[e as usize] == e`).
@@ -110,6 +123,10 @@ impl ProtoEvent {
         // so reordering would silently relabel old traces.
         ProtoEvent::SemKernelWait,
         ProtoEvent::SemKernelWake,
+        ProtoEvent::TimedOut,
+        ProtoEvent::FaultInjected,
+        ProtoEvent::PeerDeathDetected,
+        ProtoEvent::ChannelPoisoned,
     ];
 
     /// Inverse of `e as usize` (used by the trace codec); `None` when `i`
@@ -310,6 +327,10 @@ pub struct MetricsSnapshot {
     pub malformed_requests: u64,
     pub sem_kernel_waits: u64,
     pub sem_kernel_wakes: u64,
+    pub timed_out: u64,
+    pub faults_injected: u64,
+    pub peer_deaths_detected: u64,
+    pub channels_poisoned: u64,
 }
 
 impl MetricsSnapshot {
@@ -332,6 +353,10 @@ impl MetricsSnapshot {
             ProtoEvent::MalformedRequest => &mut self.malformed_requests,
             ProtoEvent::SemKernelWait => &mut self.sem_kernel_waits,
             ProtoEvent::SemKernelWake => &mut self.sem_kernel_wakes,
+            ProtoEvent::TimedOut => &mut self.timed_out,
+            ProtoEvent::FaultInjected => &mut self.faults_injected,
+            ProtoEvent::PeerDeathDetected => &mut self.peer_deaths_detected,
+            ProtoEvent::ChannelPoisoned => &mut self.channels_poisoned,
         }
     }
 
@@ -354,6 +379,10 @@ impl MetricsSnapshot {
             ProtoEvent::MalformedRequest => self.malformed_requests,
             ProtoEvent::SemKernelWait => self.sem_kernel_waits,
             ProtoEvent::SemKernelWake => self.sem_kernel_wakes,
+            ProtoEvent::TimedOut => self.timed_out,
+            ProtoEvent::FaultInjected => self.faults_injected,
+            ProtoEvent::PeerDeathDetected => self.peer_deaths_detected,
+            ProtoEvent::ChannelPoisoned => self.channels_poisoned,
         }
     }
 

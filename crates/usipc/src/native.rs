@@ -256,6 +256,18 @@ impl OsServices for NativeTask {
         }
     }
 
+    fn sem_p_deadline(&self, sem: u32, timeout: Duration) -> bool {
+        self.record(ProtoEvent::SemP);
+        let (taken, entered) = self.os.sems[sem as usize].p_timeout_counted(timeout);
+        for _ in 0..entered {
+            self.record(ProtoEvent::SemKernelWait);
+        }
+        if !taken {
+            self.record(ProtoEvent::TimedOut);
+        }
+        taken
+    }
+
     fn sem_v(&self, sem: u32) {
         self.record(ProtoEvent::SemV);
         match self.os.sems[sem as usize].try_v_counted() {

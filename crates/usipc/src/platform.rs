@@ -75,6 +75,21 @@ pub trait OsServices {
     /// Counting-semaphore up on the conventional semaphore index.
     fn sem_v(&self, sem: u32);
 
+    /// Counting-semaphore down with a deadline: blocks for at most
+    /// `timeout`, returning `true` iff a credit was taken. On `false`
+    /// (expiry) **no credit was consumed** — a `V` racing the deadline
+    /// keeps its credit banked (see `FutexSem::p_timeout` /
+    /// `Sys::sem_p_timeout` for the per-backend contract).
+    ///
+    /// The default falls back to the infallible wait and returns `true`,
+    /// so wrapper implementations that only forward the classic surface
+    /// keep working — at the cost of losing deadline support.
+    fn sem_p_deadline(&self, sem: u32, timeout: core::time::Duration) -> bool {
+        let _ = timeout;
+        self.sem_p(sem);
+        true
+    }
+
     /// The queue-full back-off (`sleep(1)` in the paper).
     fn sleep_full(&self);
 

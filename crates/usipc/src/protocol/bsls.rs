@@ -55,3 +55,55 @@ pub fn reply<O: OsServices>(ch: &Channel, os: &O, client: u32, msg: Message) {
     enqueue_or_sleep(&rq, os, msg);
     rq.wake_consumer(os);
 }
+
+use crate::fault::IpcError;
+use crate::protocol::{blocking_dequeue_deadline, enqueue_or_sleep_deadline, Deadline};
+use core::time::Duration;
+
+/// Fallible `Send`: the Fig. 9 protocol — limited spin, then a bounded
+/// block — under an overall `timeout`.
+pub fn send_deadline<O: OsServices>(
+    ch: &Channel,
+    os: &O,
+    client: u32,
+    msg: Message,
+    max_spin: u32,
+    timeout: Duration,
+) -> Result<Message, IpcError> {
+    let deadline = Deadline::new(os, timeout);
+    let srv = ch.receive_queue();
+    enqueue_or_sleep_deadline(&srv, os, msg, &deadline)?;
+    srv.wake_consumer(os);
+    let rq = ch.reply_queue(client);
+    limited_spin(&rq, os, max_spin);
+    blocking_dequeue_deadline(&rq, os, &deadline, || os.busy_wait())
+}
+
+/// Fallible `Receive`: spin up to `max_spin`, then block for at most the
+/// rest of `timeout`.
+pub fn receive_deadline<O: OsServices>(
+    ch: &Channel,
+    os: &O,
+    max_spin: u32,
+    timeout: Duration,
+) -> Result<Message, IpcError> {
+    let deadline = Deadline::new(os, timeout);
+    let srv = ch.receive_queue();
+    limited_spin(&srv, os, max_spin);
+    blocking_dequeue_deadline(&srv, os, &deadline, || {})
+}
+
+/// Fallible `Reply`: identical to BSW's.
+pub fn reply_deadline<O: OsServices>(
+    ch: &Channel,
+    os: &O,
+    client: u32,
+    msg: Message,
+    timeout: Duration,
+) -> Result<(), IpcError> {
+    let deadline = Deadline::new(os, timeout);
+    let rq = ch.reply_queue(client);
+    enqueue_or_sleep_deadline(&rq, os, msg, &deadline)?;
+    rq.wake_consumer(os);
+    Ok(())
+}

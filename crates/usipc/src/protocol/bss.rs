@@ -44,3 +44,47 @@ pub fn reply<O: OsServices>(ch: &Channel, os: &O, client: u32, msg: Message) {
         os.busy_wait(); // queue full
     }
 }
+
+use crate::fault::IpcError;
+use crate::protocol::{spin_dequeue_deadline, spin_enqueue_deadline, Deadline};
+use core::time::Duration;
+
+/// Fallible `Send`: the Fig. 1 spin loops bounded by `timeout`, failing
+/// fast on a poisoned channel.
+pub fn send_deadline<O: OsServices>(
+    ch: &Channel,
+    os: &O,
+    client: u32,
+    msg: Message,
+    timeout: Duration,
+) -> Result<Message, IpcError> {
+    let deadline = Deadline::new(os, timeout);
+    let srv = ch.receive_queue();
+    spin_enqueue_deadline(&srv, os, msg, &deadline)?;
+    let rq = ch.reply_queue(client);
+    spin_dequeue_deadline(&rq, os, &deadline)
+}
+
+/// Fallible `Receive`: spin until a request arrives or `timeout` expires.
+pub fn receive_deadline<O: OsServices>(
+    ch: &Channel,
+    os: &O,
+    timeout: Duration,
+) -> Result<Message, IpcError> {
+    let deadline = Deadline::new(os, timeout);
+    let srv = ch.receive_queue();
+    spin_dequeue_deadline(&srv, os, &deadline)
+}
+
+/// Fallible `Reply`: spin on a full reply queue at most until `timeout`.
+pub fn reply_deadline<O: OsServices>(
+    ch: &Channel,
+    os: &O,
+    client: u32,
+    msg: Message,
+    timeout: Duration,
+) -> Result<(), IpcError> {
+    let deadline = Deadline::new(os, timeout);
+    let rq = ch.reply_queue(client);
+    spin_enqueue_deadline(&rq, os, msg, &deadline)
+}

@@ -37,3 +37,50 @@ pub fn reply<O: OsServices>(ch: &Channel, os: &O, client: u32, msg: Message) {
     enqueue_or_sleep(&rq, os, msg);
     rq.wake_consumer(os);
 }
+
+use crate::fault::IpcError;
+use crate::protocol::{blocking_dequeue_deadline, enqueue_or_sleep_deadline, Deadline};
+use core::time::Duration;
+
+/// Fallible `Send`: the Fig. 5 protocol bounded by `timeout`, failing fast
+/// on a poisoned channel and never losing a semaphore credit on expiry.
+pub fn send_deadline<O: OsServices>(
+    ch: &Channel,
+    os: &O,
+    client: u32,
+    msg: Message,
+    timeout: Duration,
+) -> Result<Message, IpcError> {
+    let deadline = Deadline::new(os, timeout);
+    let srv = ch.receive_queue();
+    enqueue_or_sleep_deadline(&srv, os, msg, &deadline)?;
+    srv.wake_consumer(os);
+    let rq = ch.reply_queue(client);
+    blocking_dequeue_deadline(&rq, os, &deadline, || {})
+}
+
+/// Fallible `Receive`: block for at most `timeout`.
+pub fn receive_deadline<O: OsServices>(
+    ch: &Channel,
+    os: &O,
+    timeout: Duration,
+) -> Result<Message, IpcError> {
+    let deadline = Deadline::new(os, timeout);
+    let srv = ch.receive_queue();
+    blocking_dequeue_deadline(&srv, os, &deadline, || {})
+}
+
+/// Fallible `Reply`: enqueue bounded by `timeout`, then wake the client.
+pub fn reply_deadline<O: OsServices>(
+    ch: &Channel,
+    os: &O,
+    client: u32,
+    msg: Message,
+    timeout: Duration,
+) -> Result<(), IpcError> {
+    let deadline = Deadline::new(os, timeout);
+    let rq = ch.reply_queue(client);
+    enqueue_or_sleep_deadline(&rq, os, msg, &deadline)?;
+    rq.wake_consumer(os);
+    Ok(())
+}

@@ -50,3 +50,57 @@ pub fn reply<O: OsServices>(ch: &Channel, os: &O, client: u32, msg: Message) {
     enqueue_or_sleep(&rq, os, msg);
     rq.wake_consumer(os);
 }
+
+use crate::fault::IpcError;
+use crate::protocol::{blocking_dequeue_deadline, enqueue_or_sleep_deadline, Deadline};
+use core::time::Duration;
+
+/// Fallible `Send`: directed hand-offs intact, bounded by `timeout`.
+pub fn send_deadline<O: OsServices>(
+    ch: &Channel,
+    os: &O,
+    client: u32,
+    msg: Message,
+    timeout: Duration,
+) -> Result<Message, IpcError> {
+    let deadline = Deadline::new(os, timeout);
+    let srv = ch.receive_queue();
+    enqueue_or_sleep_deadline(&srv, os, msg, &deadline)?;
+    if !srv.tas_awake(os) {
+        os.sem_v(srv.sem()); // wake-up server
+        handoff_to_server(ch, os); // and run it, now
+    }
+    let rq = ch.reply_queue(client);
+    blocking_dequeue_deadline(&rq, os, &deadline, || handoff_to_server(ch, os))
+}
+
+/// Fallible `Receive`: `handoff(PID_ANY)` on first failure, then the
+/// bounded blocking path.
+pub fn receive_deadline<O: OsServices>(
+    ch: &Channel,
+    os: &O,
+    timeout: Duration,
+) -> Result<Message, IpcError> {
+    let deadline = Deadline::new(os, timeout);
+    let srv = ch.receive_queue();
+    if let Some(m) = srv.try_dequeue(os) {
+        return Ok(m);
+    }
+    os.handoff(HandoffHint::Any); // let clients run
+    blocking_dequeue_deadline(&srv, os, &deadline, || {})
+}
+
+/// Fallible `Reply`: identical to BSW's.
+pub fn reply_deadline<O: OsServices>(
+    ch: &Channel,
+    os: &O,
+    client: u32,
+    msg: Message,
+    timeout: Duration,
+) -> Result<(), IpcError> {
+    let deadline = Deadline::new(os, timeout);
+    let rq = ch.reply_queue(client);
+    enqueue_or_sleep_deadline(&rq, os, msg, &deadline)?;
+    rq.wake_consumer(os);
+    Ok(())
+}

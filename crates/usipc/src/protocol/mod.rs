@@ -21,10 +21,12 @@ pub mod bswy;
 pub mod handoff;
 
 use crate::channel::{Channel, QueueRef};
+use crate::fault::IpcError;
 use crate::metrics::ProtoEvent;
 use crate::msg::Message;
 use crate::platform::OsServices;
 use crate::trace::{Span, TracePoint};
+use core::time::Duration;
 
 /// Which sleep/wake-up protocol an endpoint runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +77,69 @@ impl WaitStrategy {
             WaitStrategy::Bswy => bswy::reply(ch, os, c, msg),
             WaitStrategy::Bsls { .. } => bsls::reply(ch, os, c, msg),
             WaitStrategy::HandoffBswy => handoff::reply(ch, os, c, msg),
+        }
+    }
+
+    /// Fallible client `Send`: like [`send`](Self::send) but bounded by
+    /// `timeout` and aware of the failure model — a poisoned channel is
+    /// rejected without entering the kernel, and expiry returns
+    /// [`IpcError::Timeout`] (reply wait) or [`IpcError::QueueFull`]
+    /// (request enqueue) with no semaphore credit lost.
+    pub fn send_deadline<O: OsServices>(
+        self,
+        ch: &Channel,
+        os: &O,
+        client: u32,
+        msg: Message,
+        timeout: Duration,
+    ) -> Result<Message, IpcError> {
+        match self {
+            WaitStrategy::Bss => bss::send_deadline(ch, os, client, msg, timeout),
+            WaitStrategy::Bsw => bsw::send_deadline(ch, os, client, msg, timeout),
+            WaitStrategy::Bswy => bswy::send_deadline(ch, os, client, msg, timeout),
+            WaitStrategy::Bsls { max_spin } => {
+                bsls::send_deadline(ch, os, client, msg, max_spin, timeout)
+            }
+            WaitStrategy::HandoffBswy => handoff::send_deadline(ch, os, client, msg, timeout),
+        }
+    }
+
+    /// Fallible server `Receive`: bounded by `timeout`. Expiry is *normal*
+    /// for a server (no client happened to call) and must not poison
+    /// anything; resilient server loops use it as their liveness-scan
+    /// period.
+    pub fn receive_deadline<O: OsServices>(
+        self,
+        ch: &Channel,
+        os: &O,
+        timeout: Duration,
+    ) -> Result<Message, IpcError> {
+        match self {
+            WaitStrategy::Bss => bss::receive_deadline(ch, os, timeout),
+            WaitStrategy::Bsw => bsw::receive_deadline(ch, os, timeout),
+            WaitStrategy::Bswy => bswy::receive_deadline(ch, os, timeout),
+            WaitStrategy::Bsls { max_spin } => bsls::receive_deadline(ch, os, max_spin, timeout),
+            WaitStrategy::HandoffBswy => handoff::receive_deadline(ch, os, timeout),
+        }
+    }
+
+    /// Fallible server `Reply` to client `c`: fails fast on a poisoned
+    /// reply queue instead of backing off forever against a client that
+    /// will never drain it.
+    pub fn reply_deadline<O: OsServices>(
+        self,
+        ch: &Channel,
+        os: &O,
+        c: u32,
+        msg: Message,
+        timeout: Duration,
+    ) -> Result<(), IpcError> {
+        match self {
+            WaitStrategy::Bss => bss::reply_deadline(ch, os, c, msg, timeout),
+            WaitStrategy::Bsw => bsw::reply_deadline(ch, os, c, msg, timeout),
+            WaitStrategy::Bswy => bswy::reply_deadline(ch, os, c, msg, timeout),
+            WaitStrategy::Bsls { .. } => bsls::reply_deadline(ch, os, c, msg, timeout),
+            WaitStrategy::HandoffBswy => handoff::reply_deadline(ch, os, c, msg, timeout),
         }
     }
 
@@ -147,5 +212,185 @@ pub(crate) fn blocking_dequeue<O: OsServices>(
 pub(crate) fn enqueue_or_sleep<O: OsServices>(q: &QueueRef<'_>, os: &O, msg: Message) {
     while !q.try_enqueue(os, msg) {
         os.sleep_full();
+    }
+}
+
+/// A deadline anchored at its creation time. Arithmetic runs on
+/// [`OsServices::now_nanos`] — host time on native, *virtual* time on the
+/// simulator — so simulated timeouts expire in simulated time. On a
+/// backend without a clock the anchor is `None` and [`Self::remaining`]
+/// never expires; the per-wait `sem_p_deadline` timeout is then the only
+/// bound.
+pub(crate) struct Deadline {
+    start: Option<u64>,
+    timeout: Duration,
+}
+
+impl Deadline {
+    pub(crate) fn new<O: OsServices>(os: &O, timeout: Duration) -> Self {
+        Deadline {
+            start: os.now_nanos(),
+            timeout,
+        }
+    }
+
+    /// Time left before expiry; `None` once expired.
+    pub(crate) fn remaining<O: OsServices>(&self, os: &O) -> Option<Duration> {
+        match (self.start, os.now_nanos()) {
+            (Some(t0), Some(t1)) => self
+                .timeout
+                .checked_sub(Duration::from_nanos(t1.saturating_sub(t0))),
+            _ => Some(self.timeout),
+        }
+    }
+}
+
+/// The deadline-aware variant of [`blocking_dequeue`]: the same Fig. 5/7/9
+/// skeleton, with three additions that all live off the fast path —
+///
+/// * the sticky poison flag is checked before committing to sleep (and on
+///   every empty re-check), so a poisoned consumer can never block forever
+///   waiting on a peer that is gone;
+/// * the sleep itself is [`OsServices::sem_p_deadline`], which returns
+///   `false` on expiry **without consuming a credit**; and
+/// * on expiry the consumer restores its `awake` flag with a `tas` and, if
+///   the flag was already raised by a racing producer (whose `V` is then
+///   committed), absorbs the credit exactly like the stray-wake-up path of
+///   the infallible skeleton — so a `V` racing a timeout never leaks a
+///   credit into the semaphore.
+pub(crate) fn blocking_dequeue_deadline<O: OsServices>(
+    q: &QueueRef<'_>,
+    os: &O,
+    deadline: &Deadline,
+    mut pre_block: impl FnMut(),
+) -> Result<Message, IpcError> {
+    loop {
+        if let Some(m) = q.try_dequeue(os) {
+            return Ok(m);
+        }
+        if q.is_poisoned() {
+            return Err(IpcError::Poisoned);
+        }
+        pre_block();
+        q.clear_awake(os);
+        match q.try_dequeue(os) {
+            None => {
+                if q.is_poisoned() {
+                    // Poisoning raised `awake` and posted its broadcast V
+                    // *before* our clear; restore the flag and bail rather
+                    // than sleeping on a channel nobody will ever V again.
+                    restore_awake_absorbing_stray(q, os);
+                    return Err(IpcError::Poisoned);
+                }
+                let Some(left) = deadline.remaining(os) else {
+                    restore_awake_absorbing_stray(q, os);
+                    return Err(IpcError::Timeout);
+                };
+                os.record(ProtoEvent::BlockEntered);
+                os.trace(TracePoint::Begin(Span::Block));
+                let taken = os.sem_p_deadline(q.sem(), left);
+                if taken {
+                    q.set_awake(os);
+                    os.trace(TracePoint::End(Span::Block));
+                    // Loop: the wake-up may be work, or the poison
+                    // broadcast — the next iteration tells them apart.
+                } else {
+                    restore_awake_absorbing_stray(q, os);
+                    os.trace(TracePoint::End(Span::Block));
+                    return Err(if q.is_poisoned() {
+                        IpcError::Poisoned
+                    } else {
+                        IpcError::Timeout
+                    });
+                }
+            }
+            Some(m) => {
+                if q.tas_awake(os) {
+                    os.record(ProtoEvent::StrayWakeupAbsorbed);
+                    os.sem_p(q.sem());
+                }
+                return Ok(m);
+            }
+        }
+    }
+}
+
+/// Exit path of a timed-out (or poison-interrupted) consumer whose `awake`
+/// flag is still clear: `tas` it back up; if a producer beat us to the
+/// flag its `V` is committed (the producer-side `wake_consumer` only posts
+/// after winning the `tas`), so consume that credit with a `P` that can
+/// only block momentarily. Net effect: timeout paths leave the semaphore
+/// with exactly the credits of the infallible protocol.
+fn restore_awake_absorbing_stray<O: OsServices>(q: &QueueRef<'_>, os: &O) {
+    if q.tas_awake(os) {
+        os.record(ProtoEvent::StrayWakeupAbsorbed);
+        os.sem_p(q.sem());
+    }
+}
+
+/// Deadline-aware producer enqueue: fails fast with
+/// [`IpcError::Poisoned`] — a plain shared-memory load, no kernel entry —
+/// and bounds the queue-full back-off by the deadline
+/// ([`IpcError::QueueFull`]; nothing is in flight, so it is safe to
+/// retry).
+pub(crate) fn enqueue_or_sleep_deadline<O: OsServices>(
+    q: &QueueRef<'_>,
+    os: &O,
+    msg: Message,
+    deadline: &Deadline,
+) -> Result<(), IpcError> {
+    loop {
+        if q.is_poisoned() {
+            return Err(IpcError::Poisoned);
+        }
+        if q.try_enqueue(os, msg) {
+            return Ok(());
+        }
+        if deadline.remaining(os).is_none() {
+            return Err(IpcError::QueueFull);
+        }
+        os.sleep_full();
+    }
+}
+
+/// BSS-side deadline dequeue: the Fig. 1 spin loop with poison and expiry
+/// checks folded into each iteration.
+pub(crate) fn spin_dequeue_deadline<O: OsServices>(
+    q: &QueueRef<'_>,
+    os: &O,
+    deadline: &Deadline,
+) -> Result<Message, IpcError> {
+    loop {
+        if let Some(m) = q.try_dequeue(os) {
+            return Ok(m);
+        }
+        if q.is_poisoned() {
+            return Err(IpcError::Poisoned);
+        }
+        if deadline.remaining(os).is_none() {
+            return Err(IpcError::Timeout);
+        }
+        os.busy_wait();
+    }
+}
+
+/// BSS-side deadline enqueue: spin on full, fail fast on poison/expiry.
+pub(crate) fn spin_enqueue_deadline<O: OsServices>(
+    q: &QueueRef<'_>,
+    os: &O,
+    msg: Message,
+    deadline: &Deadline,
+) -> Result<(), IpcError> {
+    loop {
+        if q.is_poisoned() {
+            return Err(IpcError::Poisoned);
+        }
+        if q.try_enqueue(os, msg) {
+            return Ok(());
+        }
+        if deadline.remaining(os).is_none() {
+            return Err(IpcError::QueueFull);
+        }
+        os.busy_wait();
     }
 }

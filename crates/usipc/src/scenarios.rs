@@ -358,3 +358,292 @@ pub fn echo_scenario(
         })
     }
 }
+
+/// Heartbeat period of the fault scenarios' resilient server (virtual
+/// time). Small enough that a kill is detected well inside the explorer's
+/// 50 ms virtual time limit, large enough that a fault-free run blocks
+/// rather than degenerating into a polling loop.
+const FAULT_HEARTBEAT: core::time::Duration = core::time::Duration::from_micros(300);
+
+/// Per-call deadline of the fault scenarios' clients (virtual time).
+const FAULT_CALL_DEADLINE: core::time::Duration = core::time::Duration::from_millis(3);
+
+/// Victim value meaning "no fault": the plan never fires and the run must
+/// complete every echo — the baseline of a kill-at-op sweep.
+pub const NO_VICTIM: u32 = u32::MAX;
+
+/// A kill-at-op fault scenario over the **real fallible protocol paths**:
+/// `n_clients` clients call through
+/// [`call_deadline`](crate::ClientEndpoint::call_deadline) while the
+/// server runs the resilient receive/reap/reply loop, and the task named
+/// `victim` (0 = server, `1 + c` = client `c`) dies at its `at_op`-th
+/// kill point. A dying task performs its native death rites — the server
+/// [`tombstone`](crate::Channel::tombstone_server)s the channel, a client
+/// [marks](crate::QueueRef::mark_consumer_dead) its reply queue — and the
+/// explorer then proves, over every schedule at the bounded depth, that
+/// all survivors finish with `PeerDead`/`Timeout`/`Poisoned` or success:
+/// never a deadlock, never the virtual time limit.
+///
+/// Kill points sit at protocol-operation boundaries (before each receive
+/// commit, in the dequeue→reply window, before each client call); the
+/// explorer's preemption decisions move every *other* task across the
+/// full interleaving space around the fixed kill site. Sweeping `at_op`
+/// past the victim's op count degenerates to fault-free runs, so a sweep
+/// over `0..K` is always well-formed.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultScenario {
+    /// Wait strategy under test (all five protocols are explorable).
+    pub strategy: WaitStrategy,
+    /// Number of clients.
+    pub n_clients: u32,
+    /// Echo calls per client (before the disconnect).
+    pub msgs: u32,
+    /// Task to kill: 0 = server, `1 + c` = client `c`, [`NO_VICTIM`] for
+    /// the fault-free baseline.
+    pub victim: u32,
+    /// 0-based kill point index within the victim's own op sequence.
+    pub at_op: u64,
+}
+
+impl FaultScenario {
+    /// The machine to explore this scenario on. Blocking protocols run on
+    /// the adversarial uniprocessor; BSS spins unboundedly, which on one
+    /// CPU under the explorer's run-to-completion default is starvation
+    /// by construction (the paper gives BSS dedicated processors for the
+    /// same reason), so BSS gets a second CPU and time-advancing spins.
+    pub fn machine(self) -> MachineModel {
+        let mut m = MachineModel::explore();
+        if matches!(self.strategy, WaitStrategy::Bss) {
+            m.cpus = 2;
+        }
+        m
+    }
+
+    /// A scenario closure for [`usipc_sim::Explorer::run`].
+    pub fn builder(self) -> impl FnMut(&mut SimBuilder) -> ScenarioCheck {
+        use crate::fault::{FaultAction, FaultPlan, IpcError};
+        // On the 2-CPU BSS machine the spinner must burn virtual time
+        // (`multiprocessor` spin pacing), or its deadline never expires.
+        let mp = matches!(self.strategy, WaitStrategy::Bss);
+        move |b: &mut SimBuilder| {
+            let mut ids = SimIds::default();
+            for _ in 0..=self.n_clients {
+                ids.sems.push(b.add_sem(0)); // 0: server; 1+c: client c
+            }
+            let ids = Arc::new(ids);
+            let costs = SimCosts::from_machine(&MachineModel::explore());
+            let channel = Channel::create(&ChannelConfig::new(self.n_clients as usize)).unwrap();
+            let total = u64::from(self.n_clients * self.msgs);
+            let answered = Arc::new(AtomicU64::new(0));
+            // Fresh plan per run: the explorer re-executes this builder for
+            // every schedule, and the op counter must restart each time.
+            let plan = Arc::new(FaultPlan::kill(
+                if self.victim == NO_VICTIM {
+                    0
+                } else {
+                    self.victim
+                },
+                if self.victim == NO_VICTIM {
+                    u64::MAX // never fires
+                } else {
+                    self.at_op
+                },
+            ));
+
+            let (ch, ids2, plan2) = (channel.clone(), Arc::clone(&ids), Arc::clone(&plan));
+            let strategy = self.strategy;
+            b.spawn("server", move |sys| {
+                let os = SimOs::new(sys, ids2, costs, mp, 0);
+                let server = ch.server(&os, strategy);
+                ch.register_server_task(0);
+                let n = ch.n_clients();
+                let mut gone = vec![false; n as usize];
+                let mut live = n;
+                while live > 0 {
+                    // Kill point: about to commit to the next receive.
+                    if plan2.fire(0) == Some(FaultAction::Kill) {
+                        os.record(crate::metrics::ProtoEvent::FaultInjected);
+                        ch.tombstone_server(&os);
+                        return;
+                    }
+                    let m = match server.receive_deadline(FAULT_HEARTBEAT) {
+                        Ok(m) => m,
+                        Err(IpcError::Timeout) => {
+                            for c in 0..n {
+                                if gone[c as usize] {
+                                    continue;
+                                }
+                                let rq = ch.reply_queue(c);
+                                if !rq.consumer_alive() {
+                                    os.record(crate::metrics::ProtoEvent::PeerDeathDetected);
+                                    rq.poison(&os);
+                                    gone[c as usize] = true;
+                                    live -= 1;
+                                }
+                            }
+                            continue;
+                        }
+                        Err(_) => return,
+                    };
+                    // Kill point: the Fig. 5 window where the request has
+                    // been dequeued but not yet answered.
+                    if plan2.fire(0) == Some(FaultAction::Kill) {
+                        os.record(crate::metrics::ProtoEvent::FaultInjected);
+                        ch.tombstone_server(&os);
+                        return;
+                    }
+                    if m.opcode == crate::opcode::DISCONNECT {
+                        if !gone[m.channel as usize] {
+                            gone[m.channel as usize] = true;
+                            live -= 1;
+                        }
+                        let _ = server.reply_deadline(m.channel, m, FAULT_HEARTBEAT);
+                    } else {
+                        match server.reply_deadline(m.channel, m, FAULT_HEARTBEAT) {
+                            Err(IpcError::PeerDead) | Err(IpcError::Poisoned)
+                                if !gone[m.channel as usize] =>
+                            {
+                                gone[m.channel as usize] = true;
+                                live -= 1;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            });
+
+            for c in 0..self.n_clients {
+                let (ch, ids2, count) = (channel.clone(), Arc::clone(&ids), Arc::clone(&answered));
+                let plan2 = Arc::clone(&plan);
+                let (strategy, msgs) = (self.strategy, self.msgs);
+                b.spawn(format!("client{c}"), move |sys| {
+                    let os = SimOs::new(sys, ids2, costs, mp, 1 + c);
+                    let ep = ch.client(&os, c, strategy);
+                    for i in 0..msgs {
+                        // Kill point: about to issue the next call.
+                        if plan2.fire(1 + c) == Some(FaultAction::Kill) {
+                            os.record(crate::metrics::ProtoEvent::FaultInjected);
+                            ch.reply_queue(c).mark_consumer_dead(&os);
+                            return;
+                        }
+                        match ep.call_deadline(Message::echo(c, f64::from(i)), FAULT_CALL_DEADLINE)
+                        {
+                            Ok(reply) => {
+                                assert_eq!(reply.value, f64::from(i), "echo corrupted");
+                                count.fetch_add(1, Ordering::Relaxed);
+                            }
+                            // PeerDead / Timeout / Poisoned: the failure
+                            // model spoke; stop calling.
+                            Err(_) => return,
+                        }
+                    }
+                    let _ = ep.call_deadline(Message::disconnect(c), FAULT_CALL_DEADLINE);
+                });
+            }
+
+            let victim = self.victim;
+            Box::new(move |_r: &SimReport| {
+                // Deadlock / time-limit / panic are caught by the
+                // explorer's own invariants; the scenario only adds that a
+                // fault-free baseline must answer everything.
+                let got = answered.load(Ordering::Relaxed);
+                if victim == NO_VICTIM && got != total {
+                    return Err(format!("fault-free run answered {got} of {total}"));
+                }
+                Ok(())
+            })
+        }
+    }
+}
+
+/// The poisoning liveness argument, isolated to its smallest cast — and
+/// the mutant that proves the explorer can see it fail.
+///
+/// One server dequeues a single request and dies before replying. The
+/// client waits for the reply with the *poison-aware infinite wait*: no
+/// deadline at all — its only rescue is the dying server's tombstone,
+/// whose sticky flag it checks on every wait round and whose broadcast
+/// `V` is what lifts it out of a committed `P`. With `poisoning: true`
+/// every schedule completes with the death detected. With `poisoning:
+/// false` (the mutant: the victim dies silently, the flag is never set,
+/// the broadcast never posted) the explorer must produce a **deadlock
+/// counterexample** — the client parked forever on its reply semaphore —
+/// replayable from its decision string.
+#[derive(Debug, Clone, Copy)]
+pub struct PeerDeathScenario {
+    /// Whether the dying server performs its death rites (`false` = the
+    /// broken mutant).
+    pub poisoning: bool,
+}
+
+impl PeerDeathScenario {
+    /// A scenario closure for [`usipc_sim::Explorer::run`].
+    pub fn builder(self) -> impl FnMut(&mut SimBuilder) -> ScenarioCheck {
+        move |b: &mut SimBuilder| {
+            let mut ids = SimIds::default();
+            ids.sems.push(b.add_sem(0)); // server
+            ids.sems.push(b.add_sem(0)); // client 0
+            let ids = Arc::new(ids);
+            let costs = SimCosts::from_machine(&MachineModel::explore());
+            let channel = Channel::create(&ChannelConfig::new(1)).unwrap();
+            let detected = Arc::new(AtomicU64::new(0));
+
+            let (ch, ids2) = (channel.clone(), Arc::clone(&ids));
+            let poisoning = self.poisoning;
+            b.spawn("server", move |sys| {
+                let os = SimOs::new(sys, ids2, costs, false, 0);
+                // Blocking receive (infallible BSW path), then die in the
+                // dequeue->reply window.
+                let _request = crate::protocol::bsw::receive(&ch, &os);
+                if poisoning {
+                    ch.tombstone_server(&os);
+                }
+                // MUTANT (poisoning == false): die silently. No flag, no
+                // broadcast V — the client must deadlock somewhere in the
+                // schedule space.
+            });
+
+            let (ch, ids2, saw) = (channel.clone(), Arc::clone(&ids), Arc::clone(&detected));
+            b.spawn("client", move |sys| {
+                let os = SimOs::new(sys, ids2, costs, false, 1);
+                let srv = ch.receive_queue();
+                assert!(srv.try_enqueue(&os, Message::echo(0, 7.0)));
+                srv.wake_consumer(&os);
+                // Poison-aware infinite wait: the Fig. 5 wait loop with a
+                // poison check on every round and NO deadline — liveness
+                // rests entirely on the tombstone's broadcast V.
+                let rq = ch.reply_queue(0);
+                loop {
+                    if rq.try_dequeue(&os).is_some() {
+                        unreachable!("server dies before replying");
+                    }
+                    if rq.is_poisoned() {
+                        saw.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    rq.clear_awake(&os);
+                    match rq.try_dequeue(&os) {
+                        Some(_) => unreachable!("server dies before replying"),
+                        None => {
+                            if rq.is_poisoned() {
+                                rq.set_awake(&os);
+                                saw.fetch_add(1, Ordering::Relaxed);
+                                return;
+                            }
+                            os.sem_p(rq.sem());
+                            rq.set_awake(&os);
+                        }
+                    }
+                }
+            });
+
+            let poisoning = self.poisoning;
+            Box::new(move |_r: &SimReport| {
+                if poisoning && detected.load(Ordering::Relaxed) != 1 {
+                    return Err("death rites performed but client never saw the poison".into());
+                }
+                Ok(())
+            })
+        }
+    }
+}

@@ -151,6 +151,38 @@ mod futex {
             );
         }
     }
+
+    /// `ETIMEDOUT`, as the raw syscall returns it.
+    const ETIMEDOUT: isize = -110;
+
+    /// The kernel's timespec layout for the futex timeout argument.
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    /// [`wait`] with a relative timeout (`FUTEX_WAIT` timeouts are
+    /// relative, on `CLOCK_MONOTONIC`). Returns `true` iff the kernel
+    /// reported `ETIMEDOUT`; any other return — woken, `EAGAIN` (the word
+    /// changed before sleeping), or a signal — is `false`, and callers must
+    /// re-check their condition in a loop either way.
+    pub fn wait_timeout(word: &AtomicU32, expected: u32, timeout: core::time::Duration) -> bool {
+        let ts = Timespec {
+            tv_sec: timeout.as_secs().min(i64::MAX as u64) as i64,
+            tv_nsec: i64::from(timeout.subsec_nanos()),
+        };
+        let ret = unsafe {
+            syscall4(
+                SYS_FUTEX,
+                word.as_ptr() as usize,
+                FUTEX_WAIT_PRIVATE,
+                expected as usize,
+                core::ptr::addr_of!(ts) as usize,
+            )
+        };
+        ret == ETIMEDOUT
+    }
 }
 
 /// A futex-backed counting semaphore with SysV `P`/`V` semantics, a
@@ -269,6 +301,56 @@ impl FutexSem {
         }
         self.waiters.fetch_sub(1, Ordering::SeqCst);
         entered
+    }
+
+    /// `P` with a deadline: block until a credit is available or `timeout`
+    /// elapses. Returns `true` iff a credit was taken; `false` means
+    /// expiry, and — the contract the fault layer depends on — **no credit
+    /// was consumed**: a `V` racing the expiry leaves its credit banked for
+    /// the next `P`.
+    pub fn p_timeout(&self, timeout: core::time::Duration) -> bool {
+        self.p_timeout_counted(timeout).0
+    }
+
+    /// [`Self::p_timeout`], also reporting how many times it entered the
+    /// kernel (`futex_wait` calls), like [`Self::p_counted`].
+    pub fn p_timeout_counted(&self, timeout: core::time::Duration) -> (bool, u32) {
+        let deadline = match std::time::Instant::now().checked_add(timeout) {
+            Some(d) => d,
+            // A deadline past the end of Instant's range is "never".
+            None => return (true, self.p_counted()),
+        };
+        for _ in 0..P_SPIN_BOUND {
+            if self.try_acquire() {
+                return (true, 0);
+            }
+            core::hint::spin_loop();
+        }
+        // Slow path: register, re-check, sleep with the remaining time.
+        let mut entered = 0u32;
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let acquired = loop {
+            if self.try_acquire() {
+                break true;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break false;
+            }
+            entered += 1;
+            self.kernel_waits.fetch_add(1, Ordering::Relaxed);
+            futex::wait_timeout(&self.count, 0, deadline - now);
+        };
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        if acquired {
+            (true, entered)
+        } else {
+            // One final attempt after deregistering: a V that landed in the
+            // expiry window posted its credit before our re-check could run
+            // again. Taking it here converts the timeout into a success, so
+            // the V/timeout race can never strand or lose a credit.
+            (self.try_acquire(), entered)
+        }
     }
 
     /// `V`: add a credit and wake one waiter; `Err(limit)` if the credit
@@ -443,6 +525,39 @@ impl PortableSem {
         entered
     }
 
+    /// `P` with a deadline: block until a credit is available or `timeout`
+    /// elapses. Same no-credit-lost contract as [`FutexSem::p_timeout`].
+    pub fn p_timeout(&self, timeout: core::time::Duration) -> bool {
+        self.p_timeout_counted(timeout).0
+    }
+
+    /// [`Self::p_timeout`], reporting how many condvar waits it performed.
+    pub fn p_timeout_counted(&self, timeout: core::time::Duration) -> (bool, u32) {
+        let deadline = match std::time::Instant::now().checked_add(timeout) {
+            Some(d) => d,
+            None => return (true, self.p_counted()),
+        };
+        let mut entered = 0u32;
+        let mut s = self.inner.lock().unwrap();
+        while s.count == 0 {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                // Still holding the lock: the count is provably 0, so
+                // returning false consumes nothing, and any racing V is
+                // serialized after this release and keeps its credit.
+                return (false, entered);
+            }
+            s.waiting += 1;
+            entered += 1;
+            self.kernel_waits.fetch_add(1, Ordering::Relaxed);
+            let (guard, _timed_out) = self.cv.wait_timeout(s, deadline - now).unwrap();
+            s = guard;
+            s.waiting -= 1;
+        }
+        s.count -= 1;
+        (true, entered)
+    }
+
     /// `V`: add a credit and wake one waiter; `Err(limit)` if the credit
     /// would exceed the limit (the credit is *not* added — SysV `semop`
     /// ERANGE semantics).
@@ -597,6 +712,72 @@ mod tests {
                 fn default_limit_matches_sim() {
                     let s = <$sem>::new(0);
                     assert_eq!(s.limit(), usipc_sim::Semaphore::DEFAULT_LIMIT);
+                    assert_eq!(s.waiting(), 0);
+                }
+
+                #[test]
+                fn p_timeout_expiry_returns_false_without_consuming_a_credit() {
+                    use core::time::Duration;
+                    let s = <$sem>::new(0);
+                    let t0 = std::time::Instant::now();
+                    assert!(
+                        !s.p_timeout(Duration::from_millis(20)),
+                        "no credit: must expire"
+                    );
+                    assert!(
+                        t0.elapsed() >= Duration::from_millis(15),
+                        "expiry must actually wait out the deadline"
+                    );
+                    assert_eq!(s.count(), 0);
+                    // A credit posted after the expiry is fully intact: the
+                    // timed-out P consumed nothing.
+                    s.v();
+                    assert_eq!(s.count(), 1);
+                    assert!(s.p_timeout(Duration::from_secs(5)), "banked credit");
+                    assert_eq!(s.count(), 0);
+                }
+
+                #[test]
+                fn p_timeout_with_banked_credit_never_waits() {
+                    let s = <$sem>::new(1);
+                    let t0 = std::time::Instant::now();
+                    assert!(s.p_timeout(core::time::Duration::from_secs(60)));
+                    assert!(t0.elapsed() < core::time::Duration::from_secs(10));
+                    assert_eq!(s.count(), 0);
+                }
+
+                #[test]
+                fn v_racing_a_timeout_never_loses_a_credit() {
+                    // Tiny deadlines against a V landing at a jittered
+                    // offset: whichever side wins each round, the single
+                    // credit must end up either consumed (waiter returned
+                    // true) or still banked (waiter returned false).
+                    const ROUNDS: u32 = 300;
+                    let s = Arc::new(<$sem>::new(0));
+                    let (mut wins, mut expiries) = (0u32, 0u32);
+                    for i in 0..ROUNDS {
+                        let s2 = Arc::clone(&s);
+                        let waiter = std::thread::spawn(move || {
+                            s2.p_timeout(core::time::Duration::from_micros(u64::from(i % 97)))
+                        });
+                        for _ in 0..(i % 128) {
+                            core::hint::spin_loop();
+                        }
+                        s.v();
+                        if waiter.join().unwrap() {
+                            wins += 1;
+                        } else {
+                            expiries += 1;
+                            assert_eq!(
+                                s.count(),
+                                1,
+                                "round {i}: timed-out P lost the racing V's credit"
+                            );
+                            s.p(); // drain for the next round
+                        }
+                    }
+                    assert_eq!(s.count(), 0);
+                    assert_eq!(wins + expiries, ROUNDS);
                     assert_eq!(s.waiting(), 0);
                 }
 

@@ -23,6 +23,10 @@ pub struct ServerRun {
     /// Requests dropped because their client-supplied `channel` named no
     /// reply queue (see [`ProtoEvent::MalformedRequest`]).
     pub malformed: u64,
+    /// Clients reaped after dying mid-session instead of disconnecting
+    /// (only [`run_resilient_server`] can observe deaths; always zero for
+    /// the classic loops).
+    pub reaped: u32,
     /// Protocol events recorded by the server task during this run (all
     /// zero when the backend does not collect metrics).
     pub metrics: MetricsSnapshot,
@@ -71,6 +75,104 @@ pub fn run_server<O: OsServices>(
             let mut ans = handler(m);
             ans.channel = m.channel;
             server.reply(m.channel, ans);
+        }
+    }
+    run.metrics = task_snapshot(os).diff(&start);
+    run
+}
+
+/// Runs a request/reply server that **survives client death** (DESIGN.md,
+/// "Failure model").
+///
+/// Identical to [`run_server`] on the happy path, but every wait is
+/// bounded by `heartbeat`: each expiry the server scans the per-client
+/// liveness words and *reaps* dead clients — records
+/// [`ProtoEvent::PeerDeathDetected`], poisons **only that client's reply
+/// queue** (sticky; in-flight slots drain back to the pool), and stops
+/// counting the client towards termination. Replies go out via the
+/// fallible path, so a client that dies with the server mid-`Reply` is
+/// reaped there instead of wedging the enqueue back-off. The loop ends
+/// when every client has either disconnected or been reaped, or when the
+/// shared receive queue itself is poisoned (the whole channel declared
+/// dead under the server).
+///
+/// Worst-case detection latency is one `heartbeat` period plus the wait
+/// strategy's own slack; shorten the period for faster failover at the
+/// cost of more spurious server wake-ups.
+pub fn run_resilient_server<O: OsServices>(
+    ch: &Channel,
+    os: &O,
+    strategy: WaitStrategy,
+    heartbeat: core::time::Duration,
+    mut handler: impl FnMut(Message) -> Message,
+) -> ServerRun {
+    use crate::fault::IpcError;
+    ch.register_server_task(os.task_id());
+    let n = ch.n_clients();
+    // A client is "gone" once disconnected *or* reaped; each decrements
+    // `live` exactly once, whichever order deaths and scans land in.
+    let mut gone = vec![false; n as usize];
+    let mut live = n;
+    let mut run = ServerRun::default();
+    let start = task_snapshot(os);
+    let server = ch.server(os, strategy);
+    let reap = |c: u32, gone: &mut [bool], live: &mut u32, run: &mut ServerRun| {
+        if !gone[c as usize] {
+            gone[c as usize] = true;
+            *live -= 1;
+            run.reaped += 1;
+        }
+    };
+    while live > 0 {
+        let m = match server.receive_deadline(heartbeat) {
+            Ok(m) => m,
+            Err(IpcError::Timeout) => {
+                // Liveness scan: reap clients whose death was marked (or
+                // whose queue someone already poisoned) since last pass.
+                for c in 0..n {
+                    if gone[c as usize] {
+                        continue;
+                    }
+                    let rq = ch.reply_queue(c);
+                    if !rq.consumer_alive() {
+                        os.record(ProtoEvent::PeerDeathDetected);
+                        rq.poison(os);
+                        reap(c, &mut gone, &mut live, &mut run);
+                    } else if rq.is_poisoned() {
+                        reap(c, &mut gone, &mut live, &mut run);
+                    }
+                }
+                continue;
+            }
+            // The receive queue itself was poisoned: the channel as a
+            // whole is dead under us — stop serving.
+            Err(_) => break,
+        };
+        if m.channel >= n {
+            os.record(ProtoEvent::MalformedRequest);
+            run.malformed += 1;
+            continue;
+        }
+        os.charge(Cost::Request);
+        run.processed += 1;
+        if m.opcode == opcode::DISCONNECT {
+            run.disconnects += 1;
+            if !gone[m.channel as usize] {
+                gone[m.channel as usize] = true;
+                live -= 1;
+            }
+            let _ = server.reply_deadline(m.channel, m, heartbeat);
+        } else {
+            let mut ans = handler(m);
+            ans.channel = m.channel;
+            match server.reply_deadline(m.channel, ans, heartbeat) {
+                Ok(()) => {}
+                Err(IpcError::PeerDead) | Err(IpcError::Poisoned) => {
+                    reap(m.channel, &mut gone, &mut live, &mut run);
+                }
+                Err(_) => {} // QueueFull/Timeout: reply dropped, client's
+                             // own deadline machinery recovers
+            }
         }
     }
     run.metrics = task_snapshot(os).diff(&start);

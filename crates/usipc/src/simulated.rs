@@ -139,6 +139,16 @@ impl OsServices for SimOs<'_> {
         self.sys.sem_v(self.ids.sems[sem as usize]);
     }
 
+    fn sem_p_deadline(&self, sem: u32, timeout: core::time::Duration) -> bool {
+        self.record(ProtoEvent::SemP);
+        let d = VDur::nanos(timeout.as_nanos().min(u128::from(u64::MAX)) as u64);
+        let taken = self.sys.sem_p_timeout(self.ids.sems[sem as usize], d);
+        if !taken {
+            self.record(ProtoEvent::TimedOut);
+        }
+        taken
+    }
+
     fn sleep_full(&self) {
         self.record(ProtoEvent::QueueFullBackoff);
         self.sys.sleep(VDur::seconds(1));

@@ -403,6 +403,10 @@ fn proto_label(e: ProtoEvent) -> &'static str {
         ProtoEvent::MalformedRequest => "malformed_request",
         ProtoEvent::SemKernelWait => "sem_kernel_wait",
         ProtoEvent::SemKernelWake => "sem_kernel_wake",
+        ProtoEvent::TimedOut => "timed_out",
+        ProtoEvent::FaultInjected => "fault_injected",
+        ProtoEvent::PeerDeathDetected => "peer_death_detected",
+        ProtoEvent::ChannelPoisoned => "channel_poisoned",
     }
 }
 
