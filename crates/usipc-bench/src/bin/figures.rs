@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! figures [all | table1 fig2 fig3 fig6 fig8 fig10 fig11 fig12 stats | explore | trace]...
-//!         [--msgs N] [--clients N] [--depth N] [--out DIR] [--trace DIR]
+//!         [--msgs N] [--clients N] [--depth N] [--out DIR] [--trace DIR] [--procs]
 //! ```
 
 use std::path::PathBuf;
@@ -56,10 +56,13 @@ fn main() {
                         .expect("--trace needs a path"),
                 );
             }
+            "--procs" => {
+                opts.procs = true;
+            }
             "all" => ids.extend(all_ids().iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: figures [list | all | {}]... [--msgs N] [--clients N] [--mp-clients N] [--depth N] [--out DIR] [--trace DIR]",
+                    "usage: figures [list | all | {}]... [--msgs N] [--clients N] [--mp-clients N] [--depth N] [--out DIR] [--trace DIR] [--procs]",
                     all_ids().join(" | ")
                 );
                 return;

@@ -1,14 +1,21 @@
 //! `bench`: the native-backend protocol baseline.
 //!
 //! Runs BSS/BSW/BSWY/BSLS round trips on real threads and writes
-//! `BENCH_protocols.json` — round-trip latency quantiles (p50/p99 from the
-//! log₂ histograms, so within √2 of the true sample) plus the
+//! `BENCH_protocols.json` — round-trip latency quantiles computed from the
+//! *raw* per-round-trip samples (exact nearest-rank, not the log₂
+//! histogram whose buckets are only within √2 of the truth) plus the
 //! per-round-trip syscall accounting the paper argues in: protocol-level
-//! `P`/`V` counts (`sem_ops_per_rt`, exactly 4 for BSW), scheduler-visible
-//! kernel crossings, and the *actual* host kernel entries of the futex
-//! semaphore (`sem_kernel_waits/wakes_per_rt` — zero when the fast path
-//! holds). This file is the repo's first recorded perf trajectory; future
-//! PRs regress against it.
+//! `P`/`V` counts (`sem_ops_per_rt`, at most 4 for BSW — exactly 4 in the
+//! pinned uniprocessor regime), scheduler-visible kernel crossings, and
+//! the *actual* host kernel entries of the futex semaphore
+//! (`sem_kernel_waits/wakes_per_rt` — zero when the fast path holds).
+//!
+//! With `--procs` (Linux only) every protocol is additionally measured
+//! across a real `fork()`: parent server, child client, memfd segment —
+//! the paper's actual cross-address-space configuration. Those rows carry
+//! `"mode": "procs"` next to the `"mode": "threads"` baselines, so the
+//! thread-vs-process round-trip cost is recorded side by side. This file
+//! is the repo's recorded perf trajectory; future PRs regress against it.
 
 use super::{ExperimentOutput, RunOpts};
 use crate::table::Table;
@@ -24,6 +31,9 @@ const BSLS_MAX_SPIN: u32 = 50;
 struct ProtocolBaseline {
     name: &'static str,
     detail: String,
+    /// `"threads"` (in-process, the library default) or `"procs"`
+    /// (forked child over a memfd arena).
+    mode: &'static str,
     round_trips: u64,
     elapsed_ms: f64,
     throughput: f64,
@@ -38,6 +48,49 @@ struct ProtocolBaseline {
     stray_wakeups: u64,
 }
 
+/// Exact latency stats from the raw nanosecond samples (nearest-rank
+/// quantiles on the sorted set). The log₂ histogram the harness also
+/// keeps quantizes each sample to a power-of-two bucket, so its readout
+/// is only within √2 of the true quantile — raw samples cost 8 bytes a
+/// round trip and give the true number.
+struct SampleStats {
+    p50_us: f64,
+    p99_us: f64,
+    mean_us: f64,
+}
+
+fn sample_stats(samples: &[u64]) -> SampleStats {
+    if samples.is_empty() {
+        return SampleStats {
+            p50_us: f64::NAN,
+            p99_us: f64::NAN,
+            mean_us: f64::NAN,
+        };
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let q = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize] as f64 / 1e3;
+    SampleStats {
+        p50_us: q(0.50),
+        p99_us: q(0.99),
+        mean_us: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64 / 1e3,
+    }
+}
+
+fn protocols() -> [(&'static str, WaitStrategy); 4] {
+    [
+        ("BSS", WaitStrategy::Bss),
+        ("BSW", WaitStrategy::Bsw),
+        ("BSWY", WaitStrategy::Bswy),
+        (
+            "BSLS",
+            WaitStrategy::Bsls {
+                max_spin: BSLS_MAX_SPIN,
+            },
+        ),
+    ]
+}
+
 fn measure(
     name: &'static str,
     strategy: WaitStrategy,
@@ -46,20 +99,22 @@ fn measure(
 ) -> ProtocolBaseline {
     let run: NativeExperimentResult =
         run_native_experiment(Mechanism::UserLevel(strategy), clients, msgs_per_client);
-    // Each client's disconnect is a full round trip too (metrics and the
-    // latency histogram include it), so divide by echoes + disconnects.
+    // Each client's disconnect is a full round trip too (metrics include
+    // it; the raw samples cover only the echoes), so divide by both.
     let rt = run.messages + clients as u64;
     let totals = run.server_metrics.add(&run.client_metrics);
     let per_rt = |v: u64| v as f64 / rt as f64;
+    let stats = sample_stats(&run.client_samples);
     ProtocolBaseline {
         name,
         detail: strategy.name(),
+        mode: "threads",
         round_trips: rt,
         elapsed_ms: run.elapsed.as_secs_f64() * 1e3,
         throughput: run.throughput,
-        p50_us: run.client_latency.quantile_us(0.50),
-        p99_us: run.client_latency.quantile_us(0.99),
-        mean_us: run.client_latency.mean_us(),
+        p50_us: stats.p50_us,
+        p99_us: stats.p99_us,
+        mean_us: stats.mean_us,
         sem_ops_per_rt: per_rt(totals.sem_ops()),
         kernel_crossings_per_rt: per_rt(totals.kernel_crossings()),
         sem_kernel_waits_per_rt: per_rt(totals.sem_kernel_waits),
@@ -69,8 +124,55 @@ fn measure(
     }
 }
 
+/// The `--procs` rows: the same protocols with the client on the far
+/// side of a `fork()`, attached to the server's memfd segment by
+/// inherited fd. Runs FIRST (before any thread-mode run) so the process
+/// is still single-threaded at every `fork()`.
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+fn measure_procs_all(clients: usize, msgs_per_client: u64) -> Vec<ProtocolBaseline> {
+    use usipc::harness::run_proc_experiment;
+    protocols()
+        .iter()
+        .map(|&(name, strategy)| {
+            let run = run_proc_experiment(strategy, clients, msgs_per_client);
+            let rt = run.messages + clients as u64;
+            let totals = run.server_metrics.add(&run.client_metrics);
+            let per_rt = |v: u64| v as f64 / rt as f64;
+            let stats = sample_stats(&run.client_samples);
+            ProtocolBaseline {
+                name,
+                detail: strategy.name(),
+                mode: "procs",
+                round_trips: rt,
+                elapsed_ms: run.elapsed.as_secs_f64() * 1e3,
+                throughput: run.throughput,
+                p50_us: stats.p50_us,
+                p99_us: stats.p99_us,
+                mean_us: stats.mean_us,
+                sem_ops_per_rt: per_rt(totals.sem_ops()),
+                kernel_crossings_per_rt: per_rt(totals.kernel_crossings()),
+                sem_kernel_waits_per_rt: per_rt(totals.sem_kernel_waits),
+                sem_kernel_wakes_per_rt: per_rt(totals.sem_kernel_wakes),
+                blocks_per_rt: per_rt(totals.blocks_entered),
+                stray_wakeups: totals.stray_wakeups_absorbed,
+            }
+        })
+        .collect()
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+fn measure_procs_all(_clients: usize, _msgs_per_client: u64) -> Vec<ProtocolBaseline> {
+    Vec::new()
+}
+
 /// JSON number: finite values with fixed precision, `null` otherwise (JSON
-/// has no NaN; an empty histogram must not produce an unparsable file).
+/// has no NaN; an empty sample set must not produce an unparsable file).
 fn num(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.3}")
@@ -82,8 +184,9 @@ fn num(v: f64) -> String {
 fn to_json(clients: usize, msgs_per_client: u64, rows: &[ProtocolBaseline]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"usipc-bench-protocols/v1\",\n");
+    s.push_str("  \"schema\": \"usipc-bench-protocols/v2\",\n");
     s.push_str("  \"backend\": \"native\",\n");
+    s.push_str("  \"quantiles\": \"exact\",\n");
     s.push_str(&format!("  \"clients\": {clients},\n"));
     s.push_str(&format!("  \"msgs_per_client\": {msgs_per_client},\n"));
     s.push_str("  \"protocols\": [\n");
@@ -91,6 +194,7 @@ fn to_json(clients: usize, msgs_per_client: u64, rows: &[ProtocolBaseline]) -> S
         s.push_str("    {\n");
         s.push_str(&format!("      \"name\": \"{}\",\n", r.name));
         s.push_str(&format!("      \"detail\": \"{}\",\n", r.detail));
+        s.push_str(&format!("      \"mode\": \"{}\",\n", r.mode));
         s.push_str(&format!("      \"round_trips\": {},\n", r.round_trips));
         s.push_str(&format!("      \"elapsed_ms\": {},\n", num(r.elapsed_ms)));
         s.push_str(&format!(
@@ -131,26 +235,9 @@ fn to_json(clients: usize, msgs_per_client: u64, rows: &[ProtocolBaseline]) -> S
     s
 }
 
-pub(crate) fn run(opts: RunOpts) -> ExperimentOutput {
-    let protocols: [(&'static str, WaitStrategy); 4] = [
-        ("BSS", WaitStrategy::Bss),
-        ("BSW", WaitStrategy::Bsw),
-        ("BSWY", WaitStrategy::Bswy),
-        (
-            "BSLS",
-            WaitStrategy::Bsls {
-                max_spin: BSLS_MAX_SPIN,
-            },
-        ),
-    ];
-    let clients = 1; // single ping-pong pair: the latency baseline
-    let rows: Vec<ProtocolBaseline> = protocols
-        .iter()
-        .map(|&(name, strategy)| measure(name, strategy, clients, opts.msgs_per_client))
-        .collect();
-
+fn baseline_table(title: &str, rows: &[ProtocolBaseline]) -> Table {
     let mut table = Table::new(
-        "native protocol baseline (1 client, round-trip latency + syscalls/RT)",
+        title,
         "protocol#",
         "mixed",
         vec![
@@ -177,15 +264,47 @@ pub(crate) fn run(opts: RunOpts) -> ExperimentOutput {
             ],
         );
     }
+    table
+}
+
+pub(crate) fn run(opts: RunOpts) -> ExperimentOutput {
+    let clients = 1; // single ping-pong pair: the latency baseline
+
+    // Fork-mode rows first: `fork()` from a process that has never
+    // spawned a thread is unconditionally safe; the thread-mode harness
+    // joins its workers but there is no reason to rely on that here.
+    let proc_rows: Vec<ProtocolBaseline> = if opts.procs {
+        measure_procs_all(clients, opts.msgs_per_client)
+    } else {
+        Vec::new()
+    };
+
+    let mut rows: Vec<ProtocolBaseline> = protocols()
+        .iter()
+        .map(|&(name, strategy)| measure(name, strategy, clients, opts.msgs_per_client))
+        .collect();
+
+    let mut tables = vec![baseline_table(
+        "native protocol baseline (1 client, threads, round-trip latency + syscalls/RT)",
+        &rows,
+    )];
+    if !proc_rows.is_empty() {
+        tables.push(baseline_table(
+            "cross-process baseline (1 forked client over a memfd segment)",
+            &proc_rows,
+        ));
+    }
 
     let mut notes: Vec<String> = rows
         .iter()
+        .chain(proc_rows.iter())
         .enumerate()
         .map(|(i, r)| {
             format!(
-                "protocol {i} = {}: p50 {:.1} µs, p99 {:.1} µs, {:.2} sem ops/RT, \
+                "protocol {i} = {} [{}]: p50 {:.2} µs, p99 {:.2} µs, {:.2} sem ops/RT, \
                  {:.3} kernel waits/RT, {:.3} kernel wakes/RT, block rate {:.3}",
                 r.detail,
+                r.mode,
                 r.p50_us,
                 r.p99_us,
                 r.sem_ops_per_rt,
@@ -195,8 +314,12 @@ pub(crate) fn run(opts: RunOpts) -> ExperimentOutput {
             )
         })
         .collect();
+    if opts.procs && proc_rows.is_empty() {
+        notes.push("! --procs requires linux on x86_64/aarch64; procs rows skipped".into());
+    }
 
     let dir = opts.bench_dir.unwrap_or_else(|| PathBuf::from("results"));
+    rows.extend(proc_rows);
     let json = to_json(clients, opts.msgs_per_client, &rows);
     match std::fs::create_dir_all(&dir)
         .and_then(|()| std::fs::write(dir.join("BENCH_protocols.json"), &json))
@@ -207,7 +330,7 @@ pub(crate) fn run(opts: RunOpts) -> ExperimentOutput {
 
     ExperimentOutput {
         id: "bench",
-        tables: vec![table],
+        tables,
         notes,
     }
 }

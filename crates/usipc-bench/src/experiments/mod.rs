@@ -54,6 +54,11 @@ pub struct RunOpts {
     /// `None` falls back to `results` (the `figures` CLI fills this with
     /// its `--out` directory).
     pub bench_dir: Option<std::path::PathBuf>,
+    /// `--procs`: the `bench` experiment additionally measures every
+    /// protocol across a real `fork()` — parent server, child client,
+    /// memfd segment — and records the thread-vs-process round-trip
+    /// costs side by side (Linux x86_64/aarch64 only).
+    pub procs: bool,
 }
 
 impl Default for RunOpts {
@@ -65,6 +70,7 @@ impl Default for RunOpts {
             explore_depth: 7,
             trace_dir: None,
             bench_dir: None,
+            procs: false,
         }
     }
 }
@@ -97,7 +103,7 @@ pub fn describe(id: &str) -> Option<&'static str> {
         "mixed" => "the thesis: blocking IPC and batch throughput under multiprogramming",
         "explore" => "machine-checking the Fig. 4 races with the schedule-space explorer",
         "trace" => "unified event traces: five protocols on both backends, Chrome JSON + ASCII",
-        "bench" => "native protocol baseline: p50/p99 round-trip latency + syscalls/RT → BENCH_protocols.json",
+        "bench" => "native protocol baseline: exact p50/p99 round-trip latency + syscalls/RT → BENCH_protocols.json (--procs adds forked-client rows)",
         "faults" => "robustness: fault-free deadline-path overhead + explorer no-deadlock kill sweep",
         _ => return None,
     })

@@ -13,6 +13,10 @@ fn small() -> RunOpts {
         // Keep the trace/bench experiments' files out of the repo's results/.
         trace_dir: Some(std::env::temp_dir().join("usipc_trace_smoke")),
         bench_dir: Some(std::env::temp_dir().join("usipc_bench_smoke")),
+        // Never fork here: `cargo test` runs tests on worker threads and
+        // the proc harness requires a single-threaded fork window (the
+        // dedicated cross-process suite covers the `--procs` path).
+        procs: false,
     }
 }
 

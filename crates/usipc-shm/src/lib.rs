@@ -41,8 +41,13 @@ mod arena;
 mod layout;
 mod pool;
 mod ptr;
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys;
 
-pub use arena::{ShmArena, ShmError, ShmToken};
+pub use arena::{ShmArena, ShmBacking, ShmError, ShmToken};
 pub use layout::{CacheAligned, CACHE_LINE};
 pub use pool::{PoolSlot, SlotPool, SlotPoolHeader};
 pub use ptr::{RawOffset, ShmPtr, ShmSlice, TaggedAtomicPtr, TaggedPtr, NULL_OFFSET};

@@ -147,14 +147,30 @@ impl<T> ShmSlice<T> {
     }
 
     /// Pointer to element `i` (panics if out of bounds).
+    ///
+    /// The element-offset arithmetic is widened to `u64` and checked: for a
+    /// slice sitting near the 4 GiB offset ceiling, `off + i * stride` at
+    /// `RawOffset` width would silently wrap in release builds and yield a
+    /// small, plausibly in-bounds offset naming the *wrong* object — the
+    /// worst failure mode in shared memory. Overflow panics instead, like
+    /// the bounds assert.
     pub fn at(self, i: usize) -> ShmPtr<T> {
         assert!(
             i < self.len as usize,
             "ShmSlice index {i} out of {}",
             self.len
         );
-        let stride = core::mem::size_of::<T>();
-        ShmPtr::from_raw(self.off + (i * stride) as RawOffset)
+        let stride = core::mem::size_of::<T>() as u64;
+        let off = (self.off as u64)
+            .checked_add(i as u64 * stride)
+            .filter(|&o| o <= RawOffset::MAX as u64)
+            .unwrap_or_else(|| {
+                panic!(
+                    "ShmSlice element {i} at +{:#x} stride {stride} overflows RawOffset",
+                    self.off
+                )
+            });
+        ShmPtr::from_raw(off as RawOffset)
     }
 }
 
@@ -298,6 +314,15 @@ mod tests {
     fn slice_oob_panics() {
         let s: ShmSlice<u64> = ShmSlice::from_raw(64, 4);
         let _ = s.at(4);
+    }
+
+    /// Regression: near the 4 GiB ceiling, `at` must panic rather than wrap
+    /// `off + i * stride` to a small bogus offset (u32 arithmetic would).
+    #[test]
+    #[should_panic(expected = "overflows RawOffset")]
+    fn slice_at_offset_ceiling_panics_instead_of_wrapping() {
+        let s: ShmSlice<u64> = ShmSlice::from_raw(RawOffset::MAX - 16, 4);
+        let _ = s.at(3); // +24 bytes crosses RawOffset::MAX
     }
 
     #[test]

@@ -128,6 +128,30 @@ impl ChannelConfig {
         self.extra_bytes = bytes;
         self
     }
+
+    /// Arena bytes this channel needs — the exact sizing
+    /// [`Channel::create`] uses, exposed so a caller building its *own*
+    /// arena (e.g. a memfd segment that also holds the semaphore table and
+    /// a bootstrap root) can budget for a [`Channel::create_in`].
+    ///
+    /// Derived from the actual types, allocation by allocation (each
+    /// helper already includes its own worst-case alignment slack): the
+    /// message pool, one `ShmQueue` per queue, the reply-queue array, and
+    /// the root. No magic constants — a large config neither exhausts the
+    /// arena nor over-allocates.
+    pub fn bytes_needed(&self) -> usize {
+        let queues = self.n_clients + 1;
+        // Every in-flight message holds a pool slot; the worst case is all
+        // queues simultaneously full.
+        let pool_slots = queues * self.queue_capacity + 8;
+        SlotPool::<MsgSlot>::bytes_needed(pool_slots)
+            + queues * ShmQueue::bytes_needed(self.queue_capacity)
+            + self.n_clients * core::mem::size_of::<WaitableQueue>()
+            + core::mem::align_of::<WaitableQueue>()
+            + core::mem::size_of::<ChannelRoot>()
+            + core::mem::align_of::<ChannelRoot>()
+            + self.extra_bytes
+    }
 }
 
 /// Host-side handle to a channel (owns the arena; clone freely).
@@ -145,25 +169,30 @@ impl Channel {
     /// Propagates arena exhaustion (the arena is sized from the config, so
     /// this only fires for absurd configurations).
     pub fn create(cfg: &ChannelConfig) -> Result<Channel, ShmError> {
+        let arena = Arc::new(ShmArena::new(cfg.bytes_needed())?);
+        let ch = Self::create_in(arena, cfg)?;
+        ch.arena.publish_root(ch.root);
+        Ok(ch)
+    }
+
+    /// Builds the channel structures inside a caller-provided arena — the
+    /// entry point for a process-shared segment that co-locates more than
+    /// one top-level object (semaphore table, bootstrap root, ...).
+    ///
+    /// Unlike [`Self::create`], the channel root is **not** published as
+    /// the arena root: the caller owns the bootstrap story, embedding
+    /// [`Self::root_ptr`] in whatever structure it publishes, and peers
+    /// rebuild a handle with [`Self::from_root`]. Budget the arena with
+    /// [`ChannelConfig::bytes_needed`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates arena exhaustion.
+    pub fn create_in(arena: Arc<ShmArena>, cfg: &ChannelConfig) -> Result<Channel, ShmError> {
         assert!(cfg.n_clients >= 1, "channel needs at least one client");
         assert!(cfg.queue_capacity >= 2, "queues need capacity >= 2");
         let queues = cfg.n_clients + 1;
-        // Every in-flight message holds a pool slot; the worst case is all
-        // queues simultaneously full.
         let pool_slots = queues * cfg.queue_capacity + 8;
-        // Arena sizing derived from the actual types, allocation by
-        // allocation (each helper already includes its own worst-case
-        // alignment slack): the message pool, one ShmQueue per queue, the
-        // reply-queue array, and the root. No magic constants — a large
-        // config neither exhausts the arena nor over-allocates.
-        let bytes = SlotPool::<MsgSlot>::bytes_needed(pool_slots)
-            + queues * ShmQueue::bytes_needed(cfg.queue_capacity)
-            + cfg.n_clients * core::mem::size_of::<WaitableQueue>()
-            + core::mem::align_of::<WaitableQueue>()
-            + core::mem::size_of::<ChannelRoot>()
-            + core::mem::align_of::<ChannelRoot>()
-            + cfg.extra_bytes;
-        let arena = Arc::new(ShmArena::new(bytes)?);
         let pool = SlotPool::create(&arena, pool_slots, |_| MsgSlot::default())?;
 
         let receive = WaitableQueue::create(&arena, cfg.queue_capacity)?;
@@ -177,8 +206,21 @@ impl Channel {
             n_clients: cfg.n_clients as u32,
             server_task: AtomicU32::new(u32::MAX),
         })?;
-        arena.publish_root(root);
         Ok(Channel { arena, root })
+    }
+
+    /// Rebuilds a handle from an explicit root pointer — the attaching
+    /// side of [`Self::create_in`], for channels whose root was embedded
+    /// in a larger bootstrap structure instead of published as the arena
+    /// root. The pointer is validated (bounds, alignment) on first use.
+    pub fn from_root(arena: Arc<ShmArena>, root: ShmPtr<ChannelRoot>) -> Channel {
+        Channel { arena, root }
+    }
+
+    /// This channel's root offset, for embedding in a caller-owned
+    /// bootstrap structure (see [`Self::create_in`]).
+    pub fn root_ptr(&self) -> ShmPtr<ChannelRoot> {
+        self.root
     }
 
     /// Attaches to a channel previously created in `arena` (the peer's

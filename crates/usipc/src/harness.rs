@@ -659,6 +659,12 @@ pub struct NativeExperimentResult {
     /// Round-trip latency histogram merged over every client thread
     /// (host-time samples; empty for the SysV baseline).
     pub client_latency: LatencySnapshot,
+    /// Raw per-message round-trip samples in nanoseconds, merged over
+    /// every client thread (unordered across clients). The histogram above
+    /// quantizes into log₂ buckets — good enough for means, but a p50 read
+    /// from it is only within √2× of the truth; exact quantiles need the
+    /// raw samples.
+    pub client_samples: Vec<u64>,
     /// The unified event trace, present when the run enabled tracing.
     pub trace: Option<UnifiedTrace>,
 }
@@ -694,6 +700,9 @@ pub fn run_native_experiment_traced(
     cfg.trace_capacity = trace_capacity;
     let os = NativeOs::new(cfg);
     let barrier = Arc::new(std::sync::Barrier::new(n_clients + 1));
+    let samples: Arc<std::sync::Mutex<Vec<u64>>> = Arc::new(std::sync::Mutex::new(
+        Vec::with_capacity(n_clients * msgs_per_client as usize),
+    ));
 
     let server = {
         let ch = channel.clone();
@@ -719,30 +728,42 @@ pub fn run_native_experiment_traced(
             let ch = channel.clone();
             let os = os.task(1 + c);
             let barrier = Arc::clone(&barrier);
+            let samples = Arc::clone(&samples);
             std::thread::spawn(move || {
+                let mut local = Vec::with_capacity(msgs_per_client as usize);
                 barrier.wait();
                 match mechanism {
                     Mechanism::UserLevel(strategy) => {
                         let ep = ch.client(&os, c, strategy);
                         for i in 0..msgs_per_client {
-                            assert_eq!(ep.echo(i as f64), i as f64, "echo corrupted");
+                            let t0 = std::time::Instant::now();
+                            let v = ep.echo(i as f64);
+                            local.push(t0.elapsed().as_nanos() as u64);
+                            assert_eq!(v, i as f64, "echo corrupted");
                         }
                         ep.disconnect();
                     }
                     Mechanism::SysV => {
                         for i in 0..msgs_per_client {
-                            assert_eq!(sysv_echo(&os, c, i as f64), i as f64);
+                            let t0 = std::time::Instant::now();
+                            let v = sysv_echo(&os, c, i as f64);
+                            local.push(t0.elapsed().as_nanos() as u64);
+                            assert_eq!(v, i as f64);
                         }
                         sysv_disconnect(&os, c);
                     }
                     Mechanism::Throttled { max_spin, .. } => {
                         let ep = ch.client(&os, c, WaitStrategy::Bsls { max_spin });
                         for i in 0..msgs_per_client {
-                            assert_eq!(ep.echo(i as f64), i as f64, "echo corrupted");
+                            let t0 = std::time::Instant::now();
+                            let v = ep.echo(i as f64);
+                            local.push(t0.elapsed().as_nanos() as u64);
+                            assert_eq!(v, i as f64, "echo corrupted");
                         }
                         ep.disconnect();
                     }
                 }
+                samples.lock().unwrap().extend_from_slice(&local);
             })
         })
         .collect();
@@ -771,6 +792,9 @@ pub fn run_native_experiment_traced(
         server_metrics: reg.task_snapshot(0),
         client_metrics: reg.aggregate(|t| t != 0),
         client_latency: reg.aggregate_latency(|t| t != 0),
+        client_samples: Arc::try_unwrap(samples)
+            .map(|m| m.into_inner().unwrap())
+            .unwrap_or_default(),
         trace,
     }
 }
@@ -1074,6 +1098,9 @@ pub fn run_native_deadline_experiment(
     let channel = Channel::create(&ChannelConfig::new(n_clients)).expect("channel creation");
     let os = NativeOs::new(NativeConfig::for_clients(n_clients));
     let barrier = Arc::new(std::sync::Barrier::new(n_clients + 1));
+    let samples: Arc<std::sync::Mutex<Vec<u64>>> = Arc::new(std::sync::Mutex::new(
+        Vec::with_capacity(n_clients * msgs_per_client as usize),
+    ));
 
     let server = {
         let ch = channel.clone();
@@ -1088,17 +1115,22 @@ pub fn run_native_deadline_experiment(
             let ch = channel.clone();
             let os = os.task(1 + c);
             let barrier = Arc::clone(&barrier);
+            let samples = Arc::clone(&samples);
             std::thread::spawn(move || {
+                let mut local = Vec::with_capacity(msgs_per_client as usize);
                 barrier.wait();
                 let ep = ch.client(&os, c, strategy);
                 for i in 0..msgs_per_client {
+                    let t0 = std::time::Instant::now();
                     let reply = ep
                         .call_deadline(crate::Message::echo(c, i as f64), deadline)
                         .expect("fault-free deadline call failed");
+                    local.push(t0.elapsed().as_nanos() as u64);
                     assert_eq!(reply.value, i as f64, "echo corrupted");
                 }
                 ep.call_deadline(crate::Message::disconnect(c), deadline)
                     .expect("fault-free disconnect failed");
+                samples.lock().unwrap().extend_from_slice(&local);
             })
         })
         .collect();
@@ -1120,6 +1152,544 @@ pub fn run_native_deadline_experiment(
         server_metrics: reg.task_snapshot(0),
         client_metrics: reg.aggregate(|t| t != 0),
         client_latency: reg.aggregate_latency(|t| t != 0),
+        client_samples: Arc::try_unwrap(samples)
+            .map(|m| m.into_inner().unwrap())
+            .unwrap_or_default(),
         trace: None,
     }
 }
+
+/// Real-process experiments: the echo workload with **forked child
+/// clients** against the parent's server, over a memfd-backed
+/// [`ShmArena`](usipc_shm::ShmArena) — the paper's actual deployment
+/// shape ("user-level IPC" means *cross-address-space*), where the
+/// thread-mode harness above is only the convenient stand-in.
+///
+/// Linux-only (fork, memfd, pidfd): gated exactly like [`crate::proc`].
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod proc_harness {
+    use super::*;
+    use crate::metrics::N_EVENTS;
+    use crate::proc::{ChildProc, ExitStatus};
+    use crate::{ChannelRoot, CountingSem, ServerRun};
+    use core::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+    use std::time::{Duration, Instant};
+    use usipc_shm::{ShmArena, ShmPtr, ShmSlice};
+
+    /// Per-child result cell, written by the child before it exits and
+    /// read by the parent after reaping it. Lives in the shared arena —
+    /// the only way data crosses back, since a forked child's heap is a
+    /// private copy-on-write copy.
+    #[repr(C)]
+    struct ProcCell {
+        /// The child's final [`MetricsSnapshot`] in
+        /// [`to_array`](MetricsSnapshot::to_array) form.
+        events: [AtomicU64; N_EVENTS],
+        /// Echo round trips completed so far (live; the kill experiment
+        /// watches it to time the SIGKILL mid-traffic).
+        progress: AtomicU64,
+        /// 0 while running, 1 once `events` is fully stored.
+        state: AtomicU32,
+    }
+
+    // SAFETY: every field is an atomic (valid for all bit patterns) and
+    // the struct holds no host pointers.
+    unsafe impl usipc_shm::ShmSafe for ProcCell {}
+
+    impl ProcCell {
+        fn new() -> Self {
+            ProcCell {
+                events: std::array::from_fn(|_| AtomicU64::new(0)),
+                progress: AtomicU64::new(0),
+                state: AtomicU32::new(0),
+            }
+        }
+    }
+
+    /// The bootstrap object published as the arena root: everything a
+    /// child needs to reconstruct the channel and the shared semaphore
+    /// table from nothing but the inherited memfd file descriptor.
+    #[repr(C)]
+    struct ProcRoot {
+        /// Ready barrier: each child `V`s once it is attached and has
+        /// built its endpoint.
+        ready: CountingSem,
+        /// Go signal: the parent `V`s `n_clients` times to start the
+        /// barrage (so the measurement window excludes attach cost).
+        go: CountingSem,
+        /// The channel's root object (allocated with
+        /// [`Channel::create_in`], *not* published as the arena root —
+        /// this struct is).
+        channel: ShmPtr<ChannelRoot>,
+        /// The shared semaphore table from [`NativeOs::new_shared`].
+        sems: ShmSlice<CountingSem>,
+        /// One result cell per client.
+        cells: ShmSlice<ProcCell>,
+        /// Raw round-trip samples: client `c` writes nanosecond sample
+        /// `i` at index `c * msgs_per_client + i`. Empty when the run
+        /// does not collect samples (the kill experiment).
+        samples: ShmSlice<AtomicU64>,
+        /// Number of clients (children validate their id against it).
+        n_clients: u32,
+        /// Echo round trips per client.
+        msgs_per_client: u64,
+        /// CPU every participant pins itself to (`-1`: run free). Pinning
+        /// everyone to one CPU reproduces the paper's uniprocessor regime
+        /// on a multicore host — the regime where BSW's four-syscall
+        /// round trip is exact instead of a ceiling.
+        pin_cpu: i32,
+    }
+
+    // SAFETY: sems in shared-futex mode, offset handles and plain
+    // scalars only; no host pointers. Fields mutated after placement
+    // (the sems' words, the cells) are atomics.
+    unsafe impl usipc_shm::ShmSafe for ProcRoot {}
+
+    /// Child exit codes (`0` success, `101` reserved by
+    /// [`ChildProc::spawn`] for panics).
+    const EXIT_ATTACH_FAILED: i32 = 2;
+    const EXIT_NO_ROOT: i32 = 3;
+    const EXIT_ECHO_CORRUPTED: i32 = 4;
+    const EXIT_PIN_FAILED: i32 = 5;
+
+    /// The whole life of one forked client: attach the inherited memfd
+    /// (a *fresh* mapping — nothing from the parent's address space is
+    /// reused), bootstrap from the arena root, barrier, barrage, report.
+    fn proc_client_body(fd: i32, c: u32, strategy: WaitStrategy, endless: bool) -> i32 {
+        let arena = match ShmArena::attach_memfd(fd) {
+            Ok(a) => Arc::new(a),
+            Err(_) => return EXIT_ATTACH_FAILED,
+        };
+        let root = match arena.root::<ProcRoot>() {
+            Some(r) => r,
+            None => return EXIT_NO_ROOT,
+        };
+        let pr = arena.get(root);
+        if pr.pin_cpu >= 0
+            && (crate::proc::pin_to_cpu(pr.pin_cpu as usize).is_err()
+                || crate::proc::set_sched_batch().is_err())
+        {
+            return EXIT_PIN_FAILED;
+        }
+        let n_clients = pr.n_clients as usize;
+        let os = NativeOs::attach_shared(
+            NativeConfig::for_clients(n_clients),
+            Arc::clone(&arena),
+            pr.sems,
+        );
+        let ch = Channel::from_root(Arc::clone(&arena), pr.channel);
+        let task = os.task(1 + c);
+        let ep = ch.client(&task, c, strategy);
+        let samples = arena.get_slice(pr.samples);
+        let cell = &arena.get_slice(pr.cells)[c as usize];
+        let msgs = if endless {
+            u64::MAX
+        } else {
+            pr.msgs_per_client
+        };
+        let base = c as usize * pr.msgs_per_client as usize;
+
+        pr.ready.v();
+        pr.go.p();
+        for i in 0..msgs {
+            let t0 = Instant::now();
+            let v = ep.echo(i as f64);
+            if let Some(slot) = samples.get(base + i as usize) {
+                slot.store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+            if v != i as f64 {
+                return EXIT_ECHO_CORRUPTED;
+            }
+            cell.progress.fetch_add(1, Ordering::Relaxed);
+        }
+        ep.disconnect();
+
+        let snap = os
+            .metrics()
+            .map(|m| m.task_snapshot(1 + c))
+            .unwrap_or_default();
+        for (slot, v) in cell.events.iter().zip(snap.to_array()) {
+            slot.store(v, Ordering::Relaxed);
+        }
+        cell.state.store(1, Ordering::Release);
+        0
+    }
+
+    /// Builds the whole shared world — memfd arena, in-arena channel,
+    /// shared semaphore table, result cells, bootstrap root — and
+    /// returns the pieces the parent keeps.
+    fn build_proc_world(
+        strategy_name: &str,
+        n_clients: usize,
+        msgs_per_client: u64,
+        total_samples: usize,
+        pin_cpu: i32,
+    ) -> (Arc<ShmArena>, Arc<NativeOs>, Channel, ShmPtr<ProcRoot>) {
+        use core::mem::{align_of, size_of};
+        assert!(n_clients >= 1);
+        let ch_cfg = ChannelConfig::new(n_clients);
+        // Exact layout plus per-allocation alignment slack plus the
+        // arena header line.
+        let cap = ch_cfg.bytes_needed()
+            + (1 + n_clients) * size_of::<CountingSem>()
+            + align_of::<CountingSem>()
+            + n_clients * size_of::<ProcCell>()
+            + align_of::<ProcCell>()
+            + total_samples * size_of::<AtomicU64>()
+            + align_of::<AtomicU64>()
+            + size_of::<ProcRoot>()
+            + align_of::<ProcRoot>()
+            + 256;
+        let arena = Arc::new(
+            ShmArena::new_memfd(cap)
+                .unwrap_or_else(|e| panic!("memfd arena for {strategy_name}: {e:?}")),
+        );
+        let (os, sems) =
+            NativeOs::new_shared(NativeConfig::for_clients(n_clients), Arc::clone(&arena))
+                .expect("shared semaphore table fits the arena");
+        let channel =
+            Channel::create_in(Arc::clone(&arena), &ch_cfg).expect("channel fits the arena");
+        let cells = arena
+            .alloc_slice(n_clients, |_| ProcCell::new())
+            .expect("cells fit the arena");
+        let samples = arena
+            .alloc_slice(total_samples, |_| AtomicU64::new(0))
+            .expect("samples fit the arena");
+        let root = arena
+            .alloc(ProcRoot {
+                ready: CountingSem::new_shared(0),
+                go: CountingSem::new_shared(0),
+                channel: channel.root_ptr(),
+                sems,
+                cells,
+                samples,
+                n_clients: n_clients as u32,
+                msgs_per_client,
+                pin_cpu,
+            })
+            .expect("root fits the arena");
+        arena.publish_root(root);
+        (arena, os, channel, root)
+    }
+
+    /// Joins the parent's server thread under the watchdog deadline.
+    fn join_server<T>(server: std::thread::JoinHandle<T>, what: &str) -> T {
+        let deadline = Instant::now() + WATCHDOG_JOIN;
+        while !server.is_finished() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(server.is_finished(), "watchdog: {what} server wedged");
+        match server.join() {
+            Ok(v) => v,
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+
+    /// Reaps one child under the watchdog (kills it first if wedged, so
+    /// a protocol bug fails the harness instead of leaking a process).
+    fn reap_child(child: ChildProc, who: &str) -> ExitStatus {
+        if !child.dead_within(WATCHDOG_JOIN) {
+            child.kill();
+            let _ = child.wait();
+            panic!("watchdog: {who} wedged past {WATCHDOG_JOIN:?}");
+        }
+        child
+            .wait()
+            .unwrap_or_else(|e| panic!("wait({who}): {e:?}"))
+    }
+
+    /// Results of one cross-process experiment ([`run_proc_experiment`]).
+    #[derive(Debug, Clone)]
+    pub struct ProcExperimentResult {
+        /// Wall-clock duration of the barrage (go signal → server done).
+        pub elapsed: Duration,
+        /// ECHO messages processed.
+        pub messages: u64,
+        /// Throughput in messages per millisecond.
+        pub throughput: f64,
+        /// The parent server thread's run summary.
+        pub server_run: ServerRun,
+        /// Protocol events recorded by the parent's server task.
+        pub server_metrics: MetricsSnapshot,
+        /// Protocol events summed over every child process (shipped back
+        /// through shared-memory cells).
+        pub client_metrics: MetricsSnapshot,
+        /// Raw per-message round-trip samples in nanoseconds over every
+        /// child, in (client, message) order.
+        pub client_samples: Vec<u64>,
+        /// Each child's exit status (all `Exited(0)` on success).
+        pub exits: Vec<ExitStatus>,
+    }
+
+    /// Runs the echo workload with **real forked processes**: the parent
+    /// hosts the server thread; each client is a forked child that
+    /// attaches the memfd arena by file descriptor and bootstraps from
+    /// the published root. The counting semaphores live *inside* the
+    /// segment in cross-process futex mode, so the wait strategies run
+    /// unmodified across address spaces — the backing-store swap the
+    /// paper's user-level design promises.
+    ///
+    /// Fork discipline: children are forked **before** the server thread
+    /// starts, and the caller must be effectively single-threaded at the
+    /// call (a forked child reproduces only the calling thread; another
+    /// thread holding the allocator lock at fork time would deadlock the
+    /// child). Run it from a `main`, or from a test binary that runs its
+    /// scenarios sequentially in one test function.
+    ///
+    /// # Panics
+    ///
+    /// On any child failing (attach failure, echo corruption, panic,
+    /// signal) or a wedged process (watchdog).
+    pub fn run_proc_experiment(
+        strategy: WaitStrategy,
+        n_clients: usize,
+        msgs_per_client: u64,
+    ) -> ProcExperimentResult {
+        run_proc_experiment_opts(strategy, n_clients, msgs_per_client, None)
+    }
+
+    /// [`run_proc_experiment`] with everyone — the server thread and every
+    /// forked client — pinned to `cpu`, reproducing the paper's
+    /// **uniprocessor** regime on a multicore host. Under that schedule
+    /// each side genuinely blocks before its peer runs, so BSW's
+    /// accounting is exact (4 semaphore ops per round trip) instead of an
+    /// upper bound that pipelining undercuts.
+    ///
+    /// # Panics
+    ///
+    /// As [`run_proc_experiment`]; additionally if a participant cannot
+    /// pin itself to `cpu`.
+    pub fn run_proc_experiment_pinned(
+        strategy: WaitStrategy,
+        n_clients: usize,
+        msgs_per_client: u64,
+        cpu: usize,
+    ) -> ProcExperimentResult {
+        run_proc_experiment_opts(strategy, n_clients, msgs_per_client, Some(cpu))
+    }
+
+    fn run_proc_experiment_opts(
+        strategy: WaitStrategy,
+        n_clients: usize,
+        msgs_per_client: u64,
+        pin_cpu: Option<usize>,
+    ) -> ProcExperimentResult {
+        let total_samples = n_clients * msgs_per_client as usize;
+        let pin = pin_cpu.map_or(-1, |c| c as i32);
+        let (arena, os, channel, root) = build_proc_world(
+            &strategy.name(),
+            n_clients,
+            msgs_per_client,
+            total_samples,
+            pin,
+        );
+        let fd = arena.backing_fd().expect("memfd backing");
+
+        let children: Vec<ChildProc> = (0..n_clients as u32)
+            .map(|c| {
+                ChildProc::spawn(move || proc_client_body(fd, c, strategy, false))
+                    .expect("fork client")
+            })
+            .collect();
+
+        let server = {
+            let ch = channel.clone();
+            let t0 = os.task(0);
+            std::thread::spawn(move || {
+                if let Some(cpu) = pin_cpu {
+                    crate::proc::pin_to_cpu(cpu).expect("pin server thread");
+                    crate::proc::set_sched_batch().expect("batch server thread");
+                }
+                crate::server::run_echo_server(&ch, &t0, strategy)
+            })
+        };
+
+        let pr = arena.get(root);
+        for _ in 0..n_clients {
+            assert!(
+                pr.ready.p_timeout(WATCHDOG_JOIN),
+                "a child never reached the ready barrier"
+            );
+        }
+        let start = Instant::now();
+        for _ in 0..n_clients {
+            pr.go.v();
+        }
+        let server_run = join_server(server, "proc-experiment");
+        let elapsed = start.elapsed();
+
+        let exits: Vec<ExitStatus> = children
+            .into_iter()
+            .enumerate()
+            .map(|(c, child)| reap_child(child, &format!("client {c}")))
+            .collect();
+        for (c, e) in exits.iter().enumerate() {
+            assert!(e.success(), "client {c} failed: {e:?}");
+        }
+
+        let cells = arena.get_slice(pr.cells);
+        let client_metrics = cells.iter().fold(MetricsSnapshot::default(), |acc, cell| {
+            assert_eq!(cell.state.load(Ordering::Acquire), 1, "cell not finalized");
+            let mut a = [0u64; N_EVENTS];
+            for (dst, src) in a.iter_mut().zip(cell.events.iter()) {
+                *dst = src.load(Ordering::Relaxed);
+            }
+            acc.add(&MetricsSnapshot::from_array(&a))
+        });
+        let client_samples: Vec<u64> = arena
+            .get_slice(pr.samples)
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .collect();
+
+        let messages = msgs_per_client * n_clients as u64;
+        ProcExperimentResult {
+            throughput: messages as f64 / (elapsed.as_secs_f64() * 1e3),
+            elapsed,
+            messages,
+            server_metrics: os.metrics().expect("metrics on").task_snapshot(0),
+            server_run,
+            client_metrics,
+            client_samples,
+            exits,
+        }
+    }
+
+    /// Results of one cross-process kill experiment
+    /// ([`run_proc_kill_experiment`]).
+    #[derive(Debug)]
+    pub struct ProcKillResult {
+        /// The resilient server's run summary (`reaped` counts the
+        /// victim).
+        pub server_run: ServerRun,
+        /// Protocol events recorded by the parent's server task
+        /// (`peer_deaths_detected` fires when the scan finds the victim).
+        pub server_metrics: MetricsSnapshot,
+        /// How the victim died (`Signaled(SIGKILL)`).
+        pub victim_exit: ExitStatus,
+        /// Whether the victim's reply queue ended poisoned.
+        pub victim_reply_poisoned: bool,
+        /// Echo round trips the victim completed before the kill.
+        pub victim_progress: u64,
+        /// Exit statuses of the surviving clients (all `Exited(0)`).
+        pub survivor_exits: Vec<ExitStatus>,
+    }
+
+    /// Echo round trips the victim must complete before the SIGKILL, so
+    /// the kill provably lands mid-conversation, not before the first
+    /// message.
+    const KILL_AFTER_PROGRESS: u64 = 50;
+
+    /// The cross-process failure drill: client `0` is forked with an
+    /// endless barrage and **SIGKILLed mid-traffic** — no unwinding, no
+    /// `DeathWatch`, exactly what process death looks like. The parent
+    /// detects the death through the child's **pidfd**, feeds it into the
+    /// PR-5 failure model via
+    /// [`mark_consumer_dead`](crate::QueueRef::mark_consumer_dead), and
+    /// the resilient server's next heartbeat scan reaps the victim and
+    /// poisons its reply queue while the surviving clients finish their
+    /// runs untouched.
+    ///
+    /// Same fork discipline as [`run_proc_experiment`].
+    ///
+    /// # Panics
+    ///
+    /// On a survivor failing, the victim dying any way but the SIGKILL,
+    /// or a wedged process (watchdog).
+    pub fn run_proc_kill_experiment(
+        strategy: WaitStrategy,
+        n_clients: usize,
+        msgs_per_client: u64,
+        heartbeat: Duration,
+    ) -> ProcKillResult {
+        assert!(n_clients >= 1);
+        let (arena, os, channel, root) =
+            build_proc_world(&strategy.name(), n_clients, msgs_per_client, 0, -1);
+        let fd = arena.backing_fd().expect("memfd backing");
+
+        let children: Vec<ChildProc> = (0..n_clients as u32)
+            .map(|c| {
+                let endless = c == 0;
+                ChildProc::spawn(move || proc_client_body(fd, c, strategy, endless))
+                    .expect("fork client")
+            })
+            .collect();
+
+        let server = {
+            let ch = channel.clone();
+            let t0 = os.task(0);
+            std::thread::spawn(move || {
+                crate::server::run_resilient_server(&ch, &t0, strategy, heartbeat, |m| m)
+            })
+        };
+
+        let pr = arena.get(root);
+        for _ in 0..n_clients {
+            assert!(
+                pr.ready.p_timeout(WATCHDOG_JOIN),
+                "a child never reached the ready barrier"
+            );
+        }
+        for _ in 0..n_clients {
+            pr.go.v();
+        }
+
+        // Let the victim make real progress, then kill it cold.
+        let cell0 = &arena.get_slice(pr.cells)[0];
+        let deadline = Instant::now() + WATCHDOG_JOIN;
+        while cell0.progress.load(Ordering::Relaxed) < KILL_AFTER_PROGRESS {
+            assert!(Instant::now() < deadline, "victim never made progress");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut children = children.into_iter();
+        let victim = children.next().expect("victim exists");
+        victim.kill();
+        // pidfd-based detection: the descriptor polls readable at
+        // process exit — race-free, no reaping required yet.
+        assert!(
+            victim.dead_within(WATCHDOG_JOIN),
+            "pidfd never signalled the victim's death"
+        );
+        let victim_progress = cell0.progress.load(Ordering::Relaxed);
+        // Feed the death into the failure model: flip the victim's
+        // liveness word so the server's next heartbeat scan reaps it.
+        let monitor = os.task(1 + n_clients as u32);
+        channel.reply_queue(0).mark_consumer_dead(&monitor);
+
+        let server_run = join_server(server, "proc-kill");
+        let victim_exit = victim.wait().expect("reap victim");
+        assert_eq!(
+            victim_exit,
+            ExitStatus::Signaled(9),
+            "victim should die by SIGKILL"
+        );
+        let survivor_exits: Vec<ExitStatus> = children
+            .enumerate()
+            .map(|(i, child)| reap_child(child, &format!("survivor {}", i + 1)))
+            .collect();
+        for (i, e) in survivor_exits.iter().enumerate() {
+            assert!(e.success(), "survivor {} failed: {e:?}", i + 1);
+        }
+
+        ProcKillResult {
+            server_metrics: os.metrics().expect("metrics on").task_snapshot(0),
+            server_run,
+            victim_exit,
+            victim_reply_poisoned: channel.reply_queue(0).is_poisoned(),
+            victim_progress,
+            survivor_exits,
+        }
+    }
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub use proc_harness::{
+    run_proc_experiment, run_proc_experiment_pinned, run_proc_kill_experiment,
+    ProcExperimentResult, ProcKillResult,
+};

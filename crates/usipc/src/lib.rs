@@ -60,6 +60,11 @@ pub mod metrics;
 mod msg;
 mod native;
 pub mod platform;
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub mod proc;
 pub mod protocol;
 pub mod scenarios;
 pub mod sem;
@@ -80,6 +85,11 @@ pub use metrics::{EndpointMetrics, LatencySnapshot, MetricsRegistry, MetricsSnap
 pub use msg::{opcode, Message, MsgSlot};
 pub use native::{NativeConfig, NativeMsgq, NativeOs, NativeTask};
 pub use platform::{Cost, HandoffHint, OsServices};
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub use proc::{pin_to_cpu, set_sched_batch, ChildProc, ExitStatus, ProcError};
 pub use protocol::WaitStrategy;
 pub use sem::{CountingSem, PortableSem};
 pub use server::{

@@ -411,6 +411,27 @@ impl MetricsSnapshot {
         out
     }
 
+    /// The counters as a flat `[u64; N_EVENTS]`, indexed by
+    /// `ProtoEvent as usize` — the transport form for carrying a snapshot
+    /// through shared memory (a child process stores each element into an
+    /// `AtomicU64` cell; the parent rebuilds with [`Self::from_array`]).
+    pub fn to_array(&self) -> [u64; N_EVENTS] {
+        let mut a = [0u64; N_EVENTS];
+        for (i, &e) in EVENTS.iter().enumerate() {
+            a[i] = self.field(e);
+        }
+        a
+    }
+
+    /// Inverse of [`Self::to_array`].
+    pub fn from_array(a: &[u64; N_EVENTS]) -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::default();
+        for (i, &e) in EVENTS.iter().enumerate() {
+            *s.field_mut(e) = a[i];
+        }
+        s
+    }
+
     /// Semaphore system calls (`P` + `V`) — the "four system calls per
     /// round trip" currency of Fig. 6.
     pub fn sem_ops(&self) -> u64 {
@@ -609,6 +630,18 @@ mod tests {
         assert_eq!(reg.task_snapshot(9).yields, 0, "unknown task reads zero");
         let clients = reg.aggregate(|id| id != 0);
         assert_eq!(clients.yields, 2);
+    }
+
+    #[test]
+    fn array_roundtrip_preserves_every_field() {
+        let m = EndpointMetrics::new();
+        for (i, &e) in EVENTS.iter().enumerate() {
+            for _ in 0..=i {
+                m.record(e);
+            }
+        }
+        let s = m.snapshot();
+        assert_eq!(MetricsSnapshot::from_array(&s.to_array()), s);
     }
 
     #[test]

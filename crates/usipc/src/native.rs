@@ -16,6 +16,12 @@ use crate::trace::{TraceRegistry, TraceRing};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+use usipc_shm::{ShmArena, ShmError, ShmSlice};
+
 /// A kernel-style message queue for the SysV baseline: bounded FIFO with
 /// blocking send and receive.
 #[derive(Debug)]
@@ -119,11 +125,32 @@ impl NativeConfig {
     }
 }
 
+/// Where the backend's counting semaphores live.
+///
+/// `Local` is the classic thread-mode store: a host-side `Vec` of
+/// process-private sems. `Shared` places the very same semaphore type
+/// inside a [`ShmArena`] (in cross-process futex mode), so a forked child
+/// that attaches the segment and rebuilds a `NativeOs` around the same
+/// slice sleeps and wakes against the parent's sems — the protocols never
+/// learn which store they are running on.
+#[derive(Debug)]
+enum SemStore {
+    Local(Vec<CountingSem>),
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    Shared {
+        arena: Arc<ShmArena>,
+        sems: ShmSlice<CountingSem>,
+    },
+}
+
 /// Shared state of the native backend; each participating thread holds an
 /// [`Arc`] and presents it to the protocols via [`NativeTask`].
 #[derive(Debug)]
 pub struct NativeOs {
-    sems: Vec<CountingSem>,
+    sems: SemStore,
     msgqs: Vec<NativeMsgq>,
     multiprocessor: bool,
     full_backoff: Duration,
@@ -132,27 +159,78 @@ pub struct NativeOs {
 }
 
 impl NativeOs {
-    /// Builds the backend from a config.
-    pub fn new(cfg: NativeConfig) -> Arc<Self> {
-        // Spinning in `busy_wait` pays off only if the awaited peer can run
-        // *while* we spin. By the platform convention there is one task per
-        // semaphore, so `n_sems` approximates the runnable-task count; with
-        // fewer cores than that (e.g. an 8-way config on a 2-core CI
-        // runner) a ~25 µs spin merely starves the producer of the event
-        // being awaited, so degrade to yielding.
+    /// Spinning in `busy_wait` pays off only if the awaited peer can run
+    /// *while* we spin. By the platform convention there is one task per
+    /// semaphore, so `n_sems` approximates the runnable-task count; with
+    /// fewer cores than that (e.g. an 8-way config on a 2-core CI
+    /// runner) a ~25 µs spin merely starves the producer of the event
+    /// being awaited, so degrade to yielding.
+    fn clamp_multiprocessor(cfg: &NativeConfig) -> bool {
         let cores = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1);
+        cfg.multiprocessor && cores >= cfg.n_sems.max(1)
+    }
+
+    fn from_store(cfg: &NativeConfig, sems: SemStore) -> Arc<Self> {
         Arc::new(NativeOs {
-            sems: (0..cfg.n_sems).map(|_| CountingSem::new(0)).collect(),
+            sems,
             msgqs: (0..cfg.n_msgqs)
                 .map(|_| NativeMsgq::new(cfg.msgq_capacity))
                 .collect(),
-            multiprocessor: cfg.multiprocessor && cores >= cfg.n_sems.max(1),
+            multiprocessor: Self::clamp_multiprocessor(cfg),
             full_backoff: cfg.full_backoff,
             metrics: cfg.collect_metrics.then(MetricsRegistry::new),
             traces: cfg.trace_capacity.map(TraceRegistry::new),
         })
+    }
+
+    /// Builds the backend from a config, with process-private semaphores.
+    pub fn new(cfg: NativeConfig) -> Arc<Self> {
+        let sems = SemStore::Local((0..cfg.n_sems).map(|_| CountingSem::new(0)).collect());
+        Self::from_store(&cfg, sems)
+    }
+
+    /// Builds the backend with its semaphores allocated *inside* `arena`
+    /// in cross-process futex mode, returning the slice handle a child
+    /// passes to [`attach_shared`](Self::attach_shared) (typically via a
+    /// bootstrap struct published as the arena root).
+    ///
+    /// Everything else — msgqs, metrics, traces — stays process-local:
+    /// each process keeps its own registries, exactly like each of the
+    /// paper's processes keeping its own counters.
+    ///
+    /// # Errors
+    ///
+    /// [`ShmError::OutOfMemory`] when the arena cannot hold `n_sems`
+    /// cache-line-aligned semaphores.
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    pub fn new_shared(
+        cfg: NativeConfig,
+        arena: Arc<ShmArena>,
+    ) -> Result<(Arc<Self>, ShmSlice<CountingSem>), ShmError> {
+        let sems = arena.alloc_slice(cfg.n_sems, |_| CountingSem::new_shared(0))?;
+        let os = Self::from_store(&cfg, SemStore::Shared { arena, sems });
+        Ok((os, sems))
+    }
+
+    /// Builds the backend around semaphores that already live in `arena` —
+    /// the attaching side of [`new_shared`](Self::new_shared). `sems` must
+    /// be the slice the creator allocated (bounds and alignment are
+    /// re-checked against the arena on every access).
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    pub fn attach_shared(
+        cfg: NativeConfig,
+        arena: Arc<ShmArena>,
+        sems: ShmSlice<CountingSem>,
+    ) -> Arc<Self> {
+        Self::from_store(&cfg, SemStore::Shared { arena, sems })
     }
 
     /// A per-thread view implementing [`OsServices`].
@@ -182,9 +260,29 @@ impl NativeOs {
         self.traces.as_ref()
     }
 
-    /// One semaphore's handle (diagnostics: count, limit, high-water mark).
+    /// One semaphore's handle (diagnostics: count, limit, high-water mark)
+    /// — resolved through whichever store backs this instance.
     pub fn sem(&self, sem: u32) -> &CountingSem {
-        &self.sems[sem as usize]
+        match &self.sems {
+            SemStore::Local(v) => &v[sem as usize],
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            SemStore::Shared { arena, sems } => arena.get(sems.at(sem as usize)),
+        }
+    }
+
+    /// Number of semaphores in the store.
+    pub fn n_sems(&self) -> usize {
+        match &self.sems {
+            SemStore::Local(v) => v.len(),
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            SemStore::Shared { sems, .. } => sems.len(),
+        }
     }
 
     /// Per-semaphore final-state snapshots, index-aligned with the sim
@@ -192,7 +290,9 @@ impl NativeOs {
     /// (a BSW reply queue whose high-water mark exceeds 1 is accumulating
     /// stray credits).
     pub fn sem_finals(&self) -> Vec<usipc_sim::SemFinal> {
-        self.sems.iter().map(|s| s.final_state()).collect()
+        (0..self.n_sems())
+            .map(|i| self.sem(i as u32).final_state())
+            .collect()
     }
 }
 
@@ -250,7 +350,7 @@ impl OsServices for NativeTask {
         // `SemP` keeps the paper's protocol-level syscall accounting;
         // `SemKernelWait` counts the *actual* host kernel entries — zero on
         // the futex fast path when a credit is already banked.
-        let entered = self.os.sems[sem as usize].p_counted();
+        let entered = self.os.sem(sem).p_counted();
         for _ in 0..entered {
             self.record(ProtoEvent::SemKernelWait);
         }
@@ -258,7 +358,7 @@ impl OsServices for NativeTask {
 
     fn sem_p_deadline(&self, sem: u32, timeout: Duration) -> bool {
         self.record(ProtoEvent::SemP);
-        let (taken, entered) = self.os.sems[sem as usize].p_timeout_counted(timeout);
+        let (taken, entered) = self.os.sem(sem).p_timeout_counted(timeout);
         for _ in 0..entered {
             self.record(ProtoEvent::SemKernelWait);
         }
@@ -270,7 +370,7 @@ impl OsServices for NativeTask {
 
     fn sem_v(&self, sem: u32) {
         self.record(ProtoEvent::SemV);
-        match self.os.sems[sem as usize].try_v_counted() {
+        match self.os.sem(sem).try_v_counted() {
             Ok(true) => self.record(ProtoEvent::SemKernelWake),
             Ok(false) => {}
             Err(limit) => panic!("semaphore overflow: credit limit {limit} exceeded"),

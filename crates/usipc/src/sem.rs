@@ -80,10 +80,27 @@ mod futex {
     #[cfg(target_arch = "aarch64")]
     const SYS_FUTEX: usize = 98;
 
-    /// `FUTEX_WAIT (0) | FUTEX_PRIVATE_FLAG (128)`: waiters share a process.
-    const FUTEX_WAIT_PRIVATE: usize = 128;
-    /// `FUTEX_WAKE (1) | FUTEX_PRIVATE_FLAG (128)`.
-    const FUTEX_WAKE_PRIVATE: usize = 129;
+    /// `FUTEX_WAIT`.
+    const FUTEX_WAIT: usize = 0;
+    /// `FUTEX_WAKE`.
+    const FUTEX_WAKE: usize = 1;
+    /// `FUTEX_PRIVATE_FLAG`: an optimization valid only when every waiter
+    /// and waker shares one address space — the kernel keys the wait queue
+    /// by (mm, virtual address). *Without* the flag the key is the physical
+    /// page, so a futex word resident in a `MAP_SHARED` segment wakes
+    /// sleepers in other processes too. That one bit is the entire
+    /// difference between thread-mode and process-mode semaphores.
+    const FUTEX_PRIVATE_FLAG: usize = 128;
+
+    /// Selects the op encoding for a private (same-process) or shared
+    /// (cross-process) futex word.
+    fn op(base: usize, shared: bool) -> usize {
+        if shared {
+            base
+        } else {
+            base | FUTEX_PRIVATE_FLAG
+        }
+    }
 
     #[cfg(target_arch = "x86_64")]
     unsafe fn syscall4(nr: usize, a1: usize, a2: usize, a3: usize, a4: usize) -> isize {
@@ -126,13 +143,13 @@ mod futex {
     /// time (the kernel re-validates atomically; `EAGAIN` otherwise). May
     /// also return early on a signal — callers must re-check their
     /// condition in a loop either way.
-    pub fn wait(word: &AtomicU32, expected: u32) {
+    pub fn wait(word: &AtomicU32, expected: u32, shared: bool) {
         // timeout = NULL: block indefinitely; the V side guarantees a wake.
         unsafe {
             syscall4(
                 SYS_FUTEX,
                 word.as_ptr() as usize,
-                FUTEX_WAIT_PRIVATE,
+                op(FUTEX_WAIT, shared),
                 expected as usize,
                 0,
             );
@@ -140,12 +157,12 @@ mod futex {
     }
 
     /// Wakes at most `n` sleepers on `word`.
-    pub fn wake(word: &AtomicU32, n: u32) {
+    pub fn wake(word: &AtomicU32, n: u32, shared: bool) {
         unsafe {
             syscall4(
                 SYS_FUTEX,
                 word.as_ptr() as usize,
-                FUTEX_WAKE_PRIVATE,
+                op(FUTEX_WAKE, shared),
                 n as usize,
                 0,
             );
@@ -167,7 +184,12 @@ mod futex {
     /// reported `ETIMEDOUT`; any other return — woken, `EAGAIN` (the word
     /// changed before sleeping), or a signal — is `false`, and callers must
     /// re-check their condition in a loop either way.
-    pub fn wait_timeout(word: &AtomicU32, expected: u32, timeout: core::time::Duration) -> bool {
+    pub fn wait_timeout(
+        word: &AtomicU32,
+        expected: u32,
+        timeout: core::time::Duration,
+        shared: bool,
+    ) -> bool {
         let ts = Timespec {
             tv_sec: timeout.as_secs().min(i64::MAX as u64) as i64,
             tv_nsec: i64::from(timeout.subsec_nanos()),
@@ -176,7 +198,7 @@ mod futex {
             syscall4(
                 SYS_FUTEX,
                 word.as_ptr() as usize,
-                FUTEX_WAIT_PRIVATE,
+                op(FUTEX_WAIT, shared),
                 expected as usize,
                 core::ptr::addr_of!(ts) as usize,
             )
@@ -211,11 +233,30 @@ pub struct FutexSem {
     max_count: AtomicU32,
     /// SEMVMX-style overflow limit (immutable after construction).
     limit: u32,
+    /// `1` when the futex ops omit `FUTEX_PRIVATE_FLAG` so sleepers in
+    /// *other processes* mapping this word are woken too (immutable after
+    /// construction; `u32` rather than `bool` to keep every field a plain
+    /// word for the `ShmSafe` layout contract).
+    shared: u32,
     /// Cumulative `futex_wait` entries (diagnostics).
     kernel_waits: AtomicU64,
     /// Cumulative `futex_wake` entries (diagnostics).
     kernel_wakes: AtomicU64,
 }
+
+// SAFETY: `repr(C)` with a stable all-word layout; no host pointers — the
+// futex syscall takes the *address of the `count` field itself*, recomputed
+// per call from `&self`, so it is correct at whatever base each process
+// mapped the arena. All post-construction mutation is through atomics
+// (`limit`/`shared` are write-once at init), and any bit pattern of those
+// atomics is a valid `u32`/`u64`. Construct in-place via
+// `ShmArena::alloc(FutexSem::new_shared(..))` so peers observe initialized
+// state.
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+unsafe impl usipc_shm::ShmSafe for FutexSem {}
 
 #[cfg(all(
     target_os = "linux",
@@ -241,15 +282,40 @@ impl FutexSem {
     /// Creates a semaphore with an explicit overflow limit (tests use
     /// small limits to provoke the overflow the authors hit).
     pub fn with_limit(initial: u32, limit: u32) -> Self {
+        Self::build(initial, limit, false)
+    }
+
+    /// [`Self::new`], in **cross-process** mode: futex ops omit
+    /// `FUTEX_PRIVATE_FLAG`, so when this semaphore lives in a `MAP_SHARED`
+    /// arena segment, `P` in one process is woken by `V` in another. Use
+    /// [`Self::new`] for thread-only semaphores — the private flag saves
+    /// the kernel a hash of the physical page on every sleep/wake.
+    pub fn new_shared(initial: u32) -> Self {
+        Self::build(initial, usipc_sim::Semaphore::DEFAULT_LIMIT, true)
+    }
+
+    /// [`Self::with_limit`], in cross-process mode (see
+    /// [`Self::new_shared`]).
+    pub fn with_limit_shared(initial: u32, limit: u32) -> Self {
+        Self::build(initial, limit, true)
+    }
+
+    fn build(initial: u32, limit: u32, shared: bool) -> Self {
         assert!(initial <= limit, "initial credit exceeds limit");
         FutexSem {
             count: AtomicU32::new(initial),
             waiters: AtomicU32::new(0),
             max_count: AtomicU32::new(initial),
             limit,
+            shared: shared as u32,
             kernel_waits: AtomicU64::new(0),
             kernel_wakes: AtomicU64::new(0),
         }
+    }
+
+    /// Whether this semaphore was built for cross-process use.
+    pub fn is_shared(&self) -> bool {
+        self.shared != 0
     }
 
     /// One user-space attempt to take a credit.
@@ -297,7 +363,7 @@ impl FutexSem {
             }
             entered += 1;
             self.kernel_waits.fetch_add(1, Ordering::Relaxed);
-            futex::wait(&self.count, 0);
+            futex::wait(&self.count, 0, self.is_shared());
         }
         self.waiters.fetch_sub(1, Ordering::SeqCst);
         entered
@@ -339,7 +405,7 @@ impl FutexSem {
             }
             entered += 1;
             self.kernel_waits.fetch_add(1, Ordering::Relaxed);
-            futex::wait_timeout(&self.count, 0, deadline - now);
+            futex::wait_timeout(&self.count, 0, deadline - now, self.is_shared());
         };
         self.waiters.fetch_sub(1, Ordering::SeqCst);
         if acquired {
@@ -383,7 +449,7 @@ impl FutexSem {
         // (module docs).
         if self.waiters.load(Ordering::SeqCst) > 0 {
             self.kernel_wakes.fetch_add(1, Ordering::Relaxed);
-            futex::wake(&self.count, 1);
+            futex::wake(&self.count, 1, self.is_shared());
             Ok(true)
         } else {
             Ok(false)
@@ -821,6 +887,30 @@ mod tests {
 
     sem_contract_tests!(futex_or_native, CountingSem);
     sem_contract_tests!(portable, PortableSem);
+
+    /// Shared-mode futexes must behave identically *within* a process —
+    /// dropping `FUTEX_PRIVATE_FLAG` widens the wake scope, never narrows
+    /// it. (The cross-address-space half of the contract is exercised by
+    /// the forked tests in `tests/cross_process.rs`.)
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    #[test]
+    fn shared_mode_wakes_within_a_process_too() {
+        let s = Arc::new(FutexSem::new_shared(0));
+        assert!(s.is_shared());
+        assert!(!FutexSem::new(0).is_shared());
+        let s2 = Arc::clone(&s);
+        let t = std::thread::spawn(move || s2.p_counted());
+        while s.waiting() == 0 {
+            std::thread::yield_now();
+        }
+        s.v();
+        t.join().unwrap();
+        assert_eq!(s.count(), 0);
+        assert!(s.kernel_wakes() >= 1);
+    }
 
     #[test]
     fn sems_do_not_share_cache_lines() {
