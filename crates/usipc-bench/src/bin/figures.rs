@@ -3,6 +3,7 @@
 //! ```text
 //! figures [all | table1 fig2 fig3 fig6 fig8 fig10 fig11 fig12 stats | explore | trace]...
 //!         [--msgs N] [--clients N] [--depth N] [--out DIR] [--trace DIR] [--procs]
+//!         [--load-clients N]
 //! ```
 
 use std::path::PathBuf;
@@ -59,10 +60,16 @@ fn main() {
             "--procs" => {
                 opts.procs = true;
             }
+            "--load-clients" => {
+                opts.load_max_clients = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--load-clients needs a number");
+            }
             "all" => ids.extend(all_ids().iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: figures [list | all | {}]... [--msgs N] [--clients N] [--mp-clients N] [--depth N] [--out DIR] [--trace DIR] [--procs]",
+                    "usage: figures [list | all | {}]... [--msgs N] [--clients N] [--mp-clients N] [--depth N] [--out DIR] [--trace DIR] [--procs] [--load-clients N]",
                     all_ids().join(" | ")
                 );
                 return;

@@ -59,6 +59,10 @@ pub struct RunOpts {
     /// memfd segment — and records the thread-vs-process round-trip
     /// costs side by side (Linux x86_64/aarch64 only).
     pub procs: bool,
+    /// Largest client count the `bench` load matrix sweeps to
+    /// (`--load-clients N`; cells above `N` are skipped, `0` disables
+    /// the matrix — CI caps this at 8 to bound wall-clock).
+    pub load_max_clients: usize,
 }
 
 impl Default for RunOpts {
@@ -71,6 +75,7 @@ impl Default for RunOpts {
             trace_dir: None,
             bench_dir: None,
             procs: false,
+            load_max_clients: 512,
         }
     }
 }
@@ -103,7 +108,7 @@ pub fn describe(id: &str) -> Option<&'static str> {
         "mixed" => "the thesis: blocking IPC and batch throughput under multiprogramming",
         "explore" => "machine-checking the Fig. 4 races with the schedule-space explorer",
         "trace" => "unified event traces: five protocols on both backends, Chrome JSON + ASCII",
-        "bench" => "native protocol baseline: exact p50/p99 round-trip latency + syscalls/RT → BENCH_protocols.json (--procs adds forked-client rows)",
+        "bench" => "native protocol baseline: exact p50/p99/p999 round-trip latency + syscalls/RT + WaitSet load matrix → BENCH_protocols.json (--procs adds forked-client rows, --load-clients caps the matrix)",
         "faults" => "robustness: fault-free deadline-path overhead + explorer no-deadlock kill sweep",
         _ => return None,
     })

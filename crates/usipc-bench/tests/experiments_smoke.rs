@@ -17,6 +17,9 @@ fn small() -> RunOpts {
         // the proc harness requires a single-threaded fork window (the
         // dedicated cross-process suite covers the `--procs` path).
         procs: false,
+        // A small load matrix (1 and 8 clients); the 64/512-client cells
+        // belong to the figures binary, not a unit-test smoke.
+        load_max_clients: 8,
     }
 }
 

@@ -36,7 +36,7 @@ mod two_lock;
 
 pub use mpmc::MpmcRing;
 pub use ms_lockfree::MsQueue;
-pub use shm_two_lock::ShmQueue;
+pub use shm_two_lock::{HeadLockBusy, ShmQueue};
 pub use spinlock::SpinLock;
 pub use spsc::SpscRing;
 pub use two_lock::TwoLockQueue;

@@ -56,6 +56,13 @@ pub struct QueueHeader {
 
 unsafe impl ShmSafe for QueueHeader {}
 
+/// [`ShmQueue::dequeue_bounded`] gave up: the head lock stayed held past
+/// the spin budget. With all peers alive this would mean extreme
+/// contention; after a peer death it is the signature of a lock the dead
+/// process abandoned inside its critical section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeadLockBusy;
+
 /// Handle to a two-lock FIFO queue in an arena (plain offsets, `Copy`).
 #[derive(Debug)]
 pub struct ShmQueue {
@@ -139,7 +146,13 @@ impl ShmQueue {
                 .next
                 .store(node.raw(), Ordering::Release);
             hdr.tail.store(node.raw(), Ordering::Relaxed);
-            hdr.count.fetch_add(1, Ordering::Relaxed);
+            // Release, paired with the Acquire load in `is_empty`/`len`: a
+            // reader that observes the incremented count also observes the
+            // link store above, so "saw non-empty" really implies a
+            // following `dequeue` can find the node. (A Relaxed increment
+            // would let the count become visible before the link — a
+            // spinner could see `len() == 1` yet dequeue `None`.)
+            hdr.count.fetch_add(1, Ordering::Release);
         });
         if full {
             self.pool.free(arena, node);
@@ -151,6 +164,49 @@ impl ShmQueue {
     pub fn dequeue(&self, arena: &ShmArena) -> Option<u64> {
         let hdr = arena.get(self.header);
         hdr.head_lock.lock();
+        self.dequeue_locked(arena, hdr)
+    }
+
+    /// [`Self::dequeue`] with a *bounded* head-lock acquisition: gives up
+    /// with [`HeadLockBusy`] after roughly `max_yields` scheduler yields
+    /// instead of spinning forever.
+    ///
+    /// This is the fault-path variant. The head lock lives in the shared
+    /// segment, so a consumer that is SIGKILLed inside its dequeue
+    /// critical section leaves it held for good — an unbounded `dequeue`
+    /// by whoever cleans up on the corpse's behalf (channel poisoning
+    /// drains the dead peer's queue) would livelock on the abandoned
+    /// lock. A *live* holder's critical section is a handful of loads and
+    /// stores and completes within a yield or two even on a uniprocessor,
+    /// so exhausting the budget is the signature of an abandoned lock,
+    /// not of contention. Callers must treat `Err` as "stop draining",
+    /// never as "empty".
+    pub fn dequeue_bounded(
+        &self,
+        arena: &ShmArena,
+        max_yields: u32,
+    ) -> Result<Option<u64>, HeadLockBusy> {
+        let hdr = arena.get(self.header);
+        let mut yields = 0u32;
+        let mut spins = 0u32;
+        while !hdr.head_lock.try_lock() {
+            spins += 1;
+            if spins > 100 {
+                spins = 0;
+                if yields >= max_yields {
+                    return Err(HeadLockBusy);
+                }
+                yields += 1;
+                std::thread::yield_now();
+            } else {
+                core::hint::spin_loop();
+            }
+        }
+        Ok(self.dequeue_locked(arena, hdr))
+    }
+
+    /// The dequeue body. The caller holds `head_lock`; released here.
+    fn dequeue_locked(&self, arena: &ShmArena, hdr: &QueueHeader) -> Option<u64> {
         let dummy: NodePtr = ShmPtr::from_raw(hdr.head.load(Ordering::Relaxed));
         let next_off = arena.get(dummy).value().next.load(Ordering::Acquire);
         if next_off == NULL_OFFSET {
@@ -161,7 +217,9 @@ impl ShmQueue {
         // M&S: read the value from the node that becomes the new dummy.
         let value = arena.get(next).value().value.load(Ordering::Relaxed);
         hdr.head.store(next_off, Ordering::Relaxed);
-        hdr.count.fetch_sub(1, Ordering::Relaxed);
+        // Release for symmetry with `enqueue`: an `is_empty` reader that
+        // sees the decremented count also sees the head advance.
+        hdr.count.fetch_sub(1, Ordering::Release);
         hdr.head_lock.unlock();
         self.pool.free(arena, dummy);
         Some(value)
@@ -169,12 +227,29 @@ impl ShmQueue {
 
     /// Cheap emptiness poll — the `empty(Q)` test in the BSLS spin loop.
     ///
-    /// Advisory only: the answer may be stale by the time the caller acts.
+    /// **Advisory contract.** The count is a single `AtomicU32` (no torn
+    /// reads), updated with `Release` under the respective lock and read
+    /// here with `Acquire`, which buys exactly two guarantees and no more:
+    ///
+    /// 1. *Non-empty is actionable*: if this returns `false`, the enqueue
+    ///    that made it so happens-before this load, so an immediately
+    ///    following [`Self::dequeue`] by this thread finds a linked node
+    ///    (unless another consumer takes it first).
+    /// 2. *Monotone per producer/consumer*: the value is never torn and
+    ///    never runs ahead of the operations that produced it.
+    ///
+    /// It is still a snapshot: concurrent enqueues/dequeues may change the
+    /// answer before the caller acts on it. Spin loops must re-test; a
+    /// `true` here never proves the queue *stays* empty.
     pub fn is_empty(&self, arena: &ShmArena) -> bool {
         arena.get(self.header).count.load(Ordering::Acquire) == 0
     }
 
-    /// Current number of elements (approximate under concurrency).
+    /// Current number of elements. Same advisory contract as
+    /// [`Self::is_empty`]: exact only when no enqueue/dequeue is in
+    /// flight; under concurrency it is a recent-past snapshot, suitable
+    /// for backlog heuristics (work-stealing thresholds, spin/block
+    /// decisions) but not for an if-then-act without re-checking.
     pub fn len(&self, arena: &ShmArena) -> usize {
         arena.get(self.header).count.load(Ordering::Acquire) as usize
     }
@@ -312,6 +387,54 @@ mod tests {
             t.join().unwrap();
         }
         assert!(q.is_empty(&a));
+    }
+
+    /// The advisory contract's actionable half: a consumer that observes
+    /// `!is_empty()` must find a linked node on its next `dequeue` (it is
+    /// the only consumer here). Pins the Release increment in `enqueue` —
+    /// with a Relaxed count the spinner can see `len() == 1` before the
+    /// tail link is visible and dequeue `None`.
+    #[test]
+    fn observed_nonempty_is_dequeueable_spsc() {
+        let (a, q) = queue(8);
+        const N: u64 = 20_000;
+        let ap = Arc::clone(&a);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                while !q.enqueue(&ap, i) {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        for i in 0..N {
+            while q.is_empty(&a) {
+                std::thread::yield_now();
+            }
+            assert_eq!(
+                q.dequeue(&a),
+                Some(i),
+                "non-empty was observed but the node was not dequeueable"
+            );
+        }
+        producer.join().unwrap();
+        assert!(q.is_empty(&a));
+    }
+
+    /// The abandoned-lock drill: a consumer "dies" holding the head lock
+    /// (seized here and never released), and `dequeue_bounded` must give
+    /// up instead of spinning forever — the livelock a poisoner would
+    /// otherwise hit draining a SIGKILLed peer's queue. Once the lock is
+    /// released, the same call drains normally.
+    #[test]
+    fn dequeue_bounded_gives_up_on_abandoned_head_lock() {
+        let (a, q) = queue(8);
+        assert!(q.enqueue(&a, 7));
+        a.get(q.header).head_lock.lock(); // the corpse's lock
+        assert_eq!(q.dequeue_bounded(&a, 10), Err(HeadLockBusy));
+        assert_eq!(q.len(&a), 1, "giving up must consume nothing");
+        a.get(q.header).head_lock.unlock();
+        assert_eq!(q.dequeue_bounded(&a, 10), Ok(Some(7)));
+        assert_eq!(q.dequeue_bounded(&a, 10), Ok(None));
     }
 
     #[test]

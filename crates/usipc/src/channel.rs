@@ -90,6 +90,10 @@ pub struct ChannelRoot {
     /// Shared pool of fixed-size message slots.
     pool: SlotPool<MsgSlot>,
     n_clients: u32,
+    /// First platform semaphore index this channel uses (see
+    /// [`ChannelConfig::with_sem_base`]); `server_sem()`/`client_sem(c)`
+    /// are offsets from it.
+    sem_base: u32,
     /// Platform task number of the server (hand-off target), `u32::MAX`
     /// until the server registers.
     server_task: AtomicU32,
@@ -110,6 +114,14 @@ pub struct ChannelConfig {
     /// The channel's own allocations are sized exactly, so co-located data
     /// must be declared here rather than borrowed from slack.
     pub extra_bytes: usize,
+    /// First platform semaphore index the channel's queues use: the
+    /// server's receive semaphore is `sem_base + server_sem()` and client
+    /// `c`'s reply semaphore is `sem_base + client_sem(c)`. Defaults to 0
+    /// (a single channel owning the whole semaphore table, the historical
+    /// layout); multiple channels sharing one platform — the WaitSet
+    /// multiplexing topology — give each channel a disjoint block so
+    /// their semaphores never alias.
+    pub sem_base: u32,
 }
 
 impl ChannelConfig {
@@ -119,6 +131,7 @@ impl ChannelConfig {
             n_clients,
             queue_capacity: 64,
             extra_bytes: 0,
+            sem_base: 0,
         }
     }
 
@@ -126,6 +139,14 @@ impl ChannelConfig {
     #[must_use]
     pub fn with_extra_bytes(mut self, bytes: usize) -> Self {
         self.extra_bytes = bytes;
+        self
+    }
+
+    /// Places the channel's semaphores at `base` in the platform's
+    /// semaphore table (see [`ChannelConfig::sem_base`]).
+    #[must_use]
+    pub fn with_sem_base(mut self, base: u32) -> Self {
+        self.sem_base = base;
         self
     }
 
@@ -204,6 +225,7 @@ impl Channel {
             reply,
             pool,
             n_clients: cfg.n_clients as u32,
+            sem_base: cfg.sem_base,
             server_task: AtomicU32::new(u32::MAX),
         })?;
         Ok(Channel { arena, root })
@@ -270,7 +292,7 @@ impl Channel {
             arena: &self.arena,
             wq: &root.receive,
             pool: root.pool,
-            sem: server_sem(),
+            sem: root.sem_base + server_sem(),
         }
     }
 
@@ -300,7 +322,7 @@ impl Channel {
             arena: &self.arena,
             wq: self.arena.get(root.reply.at(c as usize)),
             pool: root.pool,
-            sem: client_sem(c),
+            sem: root.sem_base + client_sem(c),
         })
     }
 
@@ -483,8 +505,35 @@ impl QueueRef<'_> {
     /// Frees every queued message back to the slot pool (poisoned-channel
     /// cleanup; the messages are lost, which is exactly the semantics of a
     /// dead peer).
+    ///
+    /// Best-effort: the drain is usually run *on behalf of a dead
+    /// consumer* ([`Self::mark_consumer_dead`]), and a consumer that was
+    /// SIGKILLed inside its dequeue critical section left the queue's
+    /// head lock held in the segment forever. Each dequeue therefore
+    /// bounds its lock acquisition and the drain stops at an abandoned
+    /// lock, leaking the in-flight messages and their pool slots rather
+    /// than livelocking the poisoner — the channel is already poisoned,
+    /// so that capacity was unreachable either way.
     pub fn drain<O: OsServices>(&self, os: &O) {
-        while self.try_dequeue(os).is_some() {}
+        // A live lock holder's critical section is a few loads and stores
+        // and finishes within a yield or two even on one CPU; a budget
+        // this size only runs out on a lock nobody will ever release.
+        const ABANDONED_LOCK_YIELDS: u32 = 100;
+        loop {
+            os.charge(Cost::QueueOp);
+            match self
+                .wq
+                .queue
+                .dequeue_bounded(self.arena, ABANDONED_LOCK_YIELDS)
+            {
+                Ok(Some(off)) => {
+                    let slot: ShmPtr<usipc_shm::PoolSlot<MsgSlot>> = ShmPtr::from_raw(off as u32);
+                    self.pool.free(self.arena, slot);
+                    os.record(ProtoEvent::Dequeue);
+                }
+                Ok(None) | Err(usipc_queue::HeadLockBusy) => return,
+            }
+        }
     }
 
     /// Marks this queue's consumer dead (called from the dying task's

@@ -864,6 +864,152 @@ fn watchdog_join(
     panic!("{report}");
 }
 
+/// Results of one WaitSet load-matrix cell: `n` clients multiplexed over
+/// a [`ShardedServer`](crate::ShardedServer) under open-loop arrival.
+#[derive(Debug, Clone)]
+pub struct WaitsetLoadResult {
+    /// Wall-clock duration from barrier release to last join.
+    pub elapsed: std::time::Duration,
+    /// ECHO messages processed (disconnects excluded).
+    pub messages: u64,
+    /// Throughput in messages per millisecond.
+    pub throughput: f64,
+    /// Shards the topology ran with.
+    pub shards: usize,
+    /// Per-shard worker results.
+    pub server_runs: Vec<crate::ServerRun>,
+    /// Protocol events aggregated over every shard worker.
+    pub server_metrics: MetricsSnapshot,
+    /// Protocol events aggregated over every client thread.
+    pub client_metrics: MetricsSnapshot,
+    /// Raw per-message latency samples in nanoseconds, merged over every
+    /// client (unordered). **Open-loop**: each sample is measured from
+    /// the message's *scheduled* send time, not the actual one, so the
+    /// queueing delay a late-running client inflicts on itself is charged
+    /// to the system — the coordinated-omission correction load
+    /// generators need for honest p99s.
+    pub client_samples: Vec<u64>,
+}
+
+/// Runs the WaitSet/sharded-server echo workload under **open-loop
+/// arrival**: each of `n_clients` client threads schedules message `m` at
+/// `phase + m × interval` from the barrier (phases staggered across
+/// clients so arrivals spread over the interval instead of bursting),
+/// sleeps until the scheduled instant, then issues a synchronous call.
+/// A reply arriving late does not push back the *schedule* — the next
+/// message is already due, and the lateness lands in its sample.
+///
+/// Pass `Duration::ZERO` for a closed-loop barrage.
+///
+/// # Panics
+///
+/// On echo corruption, a poisoned thread, or the 30 s watchdog.
+pub fn run_waitset_load_experiment(
+    n_clients: usize,
+    msgs_per_client: u64,
+    n_shards: usize,
+    interval: std::time::Duration,
+) -> WaitsetLoadResult {
+    use crate::waitset::{ShardedConfig, ShardedServer};
+
+    let srv = Arc::new(ShardedServer::create(ShardedConfig::new(n_clients, n_shards)).expect(
+        "sharded topology creation only fails on arena exhaustion, which the config sizing prevents",
+    ));
+    let mut cfg = NativeConfig::for_clients(0);
+    cfg.n_sems = srv.config().n_sems();
+    cfg.n_msgqs = 0;
+    cfg.full_backoff = std::time::Duration::from_micros(200);
+    let os = NativeOs::new(cfg);
+
+    let runs: Arc<std::sync::Mutex<Vec<crate::ServerRun>>> =
+        Arc::new(std::sync::Mutex::new(Vec::with_capacity(n_shards)));
+    let workers: Vec<_> = (0..n_shards)
+        .map(|s| {
+            let srv = Arc::clone(&srv);
+            let os = os.task(s as u32);
+            let runs = Arc::clone(&runs);
+            std::thread::spawn(move || {
+                let run = srv.run_worker(&os, s, |m| m);
+                runs.lock().unwrap().push(run);
+            })
+        })
+        .collect();
+
+    let barrier = Arc::new(std::sync::Barrier::new(n_clients + 1));
+    let samples: Arc<std::sync::Mutex<Vec<u64>>> = Arc::new(std::sync::Mutex::new(
+        Vec::with_capacity(n_clients * msgs_per_client as usize),
+    ));
+    let clients: Vec<_> = (0..n_clients as u32)
+        .map(|c| {
+            let srv = Arc::clone(&srv);
+            let os = os.task(n_shards as u32 + c);
+            let barrier = Arc::clone(&barrier);
+            let samples = Arc::clone(&samples);
+            // Arrival phases staggered across the client population.
+            let phase = interval.mul_f64(c as f64 / n_clients.max(1) as f64);
+            std::thread::Builder::new()
+                .name(format!("load{c}"))
+                // 512 threads at the default stack would be profligate;
+                // the client loop is shallow.
+                .stack_size(192 * 1024)
+                .spawn(move || {
+                    let mut local = Vec::with_capacity(msgs_per_client as usize);
+                    let client = srv.client(&os, c);
+                    barrier.wait();
+                    let start = std::time::Instant::now();
+                    for m in 0..msgs_per_client {
+                        let due = phase + interval * m as u32;
+                        loop {
+                            let now = start.elapsed();
+                            if now >= due {
+                                break;
+                            }
+                            // Sleep-based pacing: on an overcommitted host
+                            // (CI is often 1-2 cores) spinning here would
+                            // starve the server and corrupt every sample.
+                            std::thread::sleep(due - now);
+                        }
+                        let v = client.echo(m as f64);
+                        assert_eq!(v, m as f64, "echo corrupted under load");
+                        local.push((start.elapsed() - due).as_nanos().max(1) as u64);
+                    }
+                    client.disconnect();
+                    samples.lock().unwrap().extend_from_slice(&local);
+                })
+                .expect("spawn load client")
+        })
+        .collect();
+
+    barrier.wait();
+    let start = std::time::Instant::now();
+    let mut named: Vec<(String, u32, std::thread::JoinHandle<()>)> = Vec::new();
+    for (s, h) in workers.into_iter().enumerate() {
+        named.push((format!("shard{s}"), s as u32, h));
+    }
+    for (c, h) in clients.into_iter().enumerate() {
+        named.push((format!("load{c}"), n_shards as u32 + c as u32, h));
+    }
+    watchdog_join(named, WATCHDOG_JOIN, os.traces());
+    let elapsed = start.elapsed();
+
+    let messages = msgs_per_client * n_clients as u64;
+    let reg = os.metrics().expect("for_clients enables metrics");
+    WaitsetLoadResult {
+        throughput: messages as f64 / (elapsed.as_secs_f64() * 1e3),
+        elapsed,
+        messages,
+        shards: n_shards,
+        server_runs: Arc::try_unwrap(runs)
+            .map(|m| m.into_inner().unwrap())
+            .unwrap_or_default(),
+        server_metrics: reg.aggregate(|t| (t as usize) < n_shards),
+        client_metrics: reg.aggregate(|t| (t as usize) >= n_shards),
+        client_samples: Arc::try_unwrap(samples)
+            .map(|m| m.into_inner().unwrap())
+            .unwrap_or_default(),
+    }
+}
+
 /// Outcome of one client thread in a fault-injection run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientFaultOutcome {

@@ -72,6 +72,7 @@ mod server;
 mod simulated;
 pub mod sysv;
 pub mod trace;
+pub mod waitset;
 
 pub use asynch::AsyncClient;
 pub use barrier::BarrierRef;
@@ -101,3 +102,4 @@ pub use trace::{
     bridge_sim_trace, SchedPoint, Span, TracePoint, TraceRecord, TraceRegistry, TraceRing,
     UnifiedTrace,
 };
+pub use waitset::{MuxClient, ShardedConfig, ShardedServer, WaitSet, WaitSetRoot};

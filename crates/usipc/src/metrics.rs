@@ -96,10 +96,28 @@ pub enum ProtoEvent {
     /// A channel queue was poisoned (sticky one-way flag set, waiters
     /// broadcast-woken, in-flight slots drained).
     ChannelPoisoned,
+    /// A producer's `V` rang a WaitSet doorbell: the source made a
+    /// quiescent→ready edge *and* won the `pending` latch, so a real
+    /// semaphore `V` was issued. `doorbells_rung / waitset_wakes` is the
+    /// doorbell budget the WaitSet design pins at ≤ 1 (+1 for the last
+    /// un-consumed credit).
+    DoorbellRung,
+    /// A producer's notification was absorbed without a semaphore `V`:
+    /// either its source was already ready (level held high) or another
+    /// producer already rang the doorbell for this wake cycle. The
+    /// coalescing win of the edge-triggered design.
+    DoorbellCoalesced,
+    /// A WaitSet waiter's doorbell `P` completed (one server wake-up
+    /// serving any number of ready sources). The denominator of the
+    /// doorbell budget.
+    WaitSetWake,
+    /// A shard worker stole a ready source from an overloaded sibling
+    /// shard and drained it locally.
+    WorkStolen,
 }
 
 /// Number of distinct [`ProtoEvent`] kinds.
-pub const N_EVENTS: usize = 21;
+pub const N_EVENTS: usize = 25;
 
 impl ProtoEvent {
     /// Every event kind, in discriminant order (`ALL[e as usize] == e`).
@@ -127,6 +145,10 @@ impl ProtoEvent {
         ProtoEvent::FaultInjected,
         ProtoEvent::PeerDeathDetected,
         ProtoEvent::ChannelPoisoned,
+        ProtoEvent::DoorbellRung,
+        ProtoEvent::DoorbellCoalesced,
+        ProtoEvent::WaitSetWake,
+        ProtoEvent::WorkStolen,
     ];
 
     /// Inverse of `e as usize` (used by the trace codec); `None` when `i`
@@ -331,6 +353,10 @@ pub struct MetricsSnapshot {
     pub faults_injected: u64,
     pub peer_deaths_detected: u64,
     pub channels_poisoned: u64,
+    pub doorbells_rung: u64,
+    pub doorbells_coalesced: u64,
+    pub waitset_wakes: u64,
+    pub work_stolen: u64,
 }
 
 impl MetricsSnapshot {
@@ -357,6 +383,10 @@ impl MetricsSnapshot {
             ProtoEvent::FaultInjected => &mut self.faults_injected,
             ProtoEvent::PeerDeathDetected => &mut self.peer_deaths_detected,
             ProtoEvent::ChannelPoisoned => &mut self.channels_poisoned,
+            ProtoEvent::DoorbellRung => &mut self.doorbells_rung,
+            ProtoEvent::DoorbellCoalesced => &mut self.doorbells_coalesced,
+            ProtoEvent::WaitSetWake => &mut self.waitset_wakes,
+            ProtoEvent::WorkStolen => &mut self.work_stolen,
         }
     }
 
@@ -383,6 +413,10 @@ impl MetricsSnapshot {
             ProtoEvent::FaultInjected => self.faults_injected,
             ProtoEvent::PeerDeathDetected => self.peer_deaths_detected,
             ProtoEvent::ChannelPoisoned => self.channels_poisoned,
+            ProtoEvent::DoorbellRung => self.doorbells_rung,
+            ProtoEvent::DoorbellCoalesced => self.doorbells_coalesced,
+            ProtoEvent::WaitSetWake => self.waitset_wakes,
+            ProtoEvent::WorkStolen => self.work_stolen,
         }
     }
 

@@ -888,6 +888,47 @@ mod tests {
     sem_contract_tests!(futex_or_native, CountingSem);
     sem_contract_tests!(portable, PortableSem);
 
+    /// [`FutexSem`] in cross-process mode, adapted to the contract suite's
+    /// constructor names: dropping `FUTEX_PRIVATE_FLAG` must not weaken a
+    /// single clause of the single-process contract (same fast paths, same
+    /// no-credit-lost timeout semantics, same accounting). The genuinely
+    /// cross-address-space checks live in `tests/cross_process.rs`.
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    struct SharedSem(FutexSem);
+
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    impl SharedSem {
+        fn new(initial: u32) -> Self {
+            SharedSem(FutexSem::new_shared(initial))
+        }
+        fn with_limit(initial: u32, limit: u32) -> Self {
+            SharedSem(FutexSem::with_limit_shared(initial, limit))
+        }
+    }
+
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    impl core::ops::Deref for SharedSem {
+        type Target = FutexSem;
+        fn deref(&self) -> &FutexSem {
+            &self.0
+        }
+    }
+
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    sem_contract_tests!(futex_shared, SharedSem);
+
     /// Shared-mode futexes must behave identically *within* a process —
     /// dropping `FUTEX_PRIVATE_FLAG` widens the wake scope, never narrows
     /// it. (The cross-address-space half of the contract is exercised by

@@ -407,6 +407,10 @@ fn proto_label(e: ProtoEvent) -> &'static str {
         ProtoEvent::FaultInjected => "fault_injected",
         ProtoEvent::PeerDeathDetected => "peer_death_detected",
         ProtoEvent::ChannelPoisoned => "channel_poisoned",
+        ProtoEvent::DoorbellRung => "doorbell_rung",
+        ProtoEvent::DoorbellCoalesced => "doorbell_coalesced",
+        ProtoEvent::WaitSetWake => "waitset_wake",
+        ProtoEvent::WorkStolen => "work_stolen",
     }
 }
 

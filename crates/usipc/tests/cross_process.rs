@@ -28,6 +28,8 @@ fn cross_process_protocols_and_faults() {
     two_process_echo_per_protocol();
     bsw_is_exactly_four_sem_ops_per_rt_uniprocessor();
     shared_futex_credits_conserve_across_fork();
+    shared_futex_timeout_expiry_loses_no_credit_across_fork();
+    shared_futex_v_racing_timeout_across_fork();
     killed_child_is_detected_reaped_and_poisoned();
 }
 
@@ -169,6 +171,107 @@ fn shared_futex_credits_conserve_across_fork() {
     assert!(child.wait().expect("reap").success());
     assert_eq!(sem.count(), 1, "Vs minus Ps must remain");
     assert!(sem.max_count() as u64 <= CREDITS);
+}
+
+/// The `p_timeout` no-credit-lost contract, across a fork: a parent `P`
+/// that expires *before* the child's `V` lands must return `false` and
+/// consume nothing — the late credit stays banked and the very next `P`
+/// takes it without sleeping. This is the deadline path the fault layer
+/// runs on; the single-process half of the contract lives in the
+/// `sem_contract_tests!` suite (`futex_shared` instantiation).
+fn shared_futex_timeout_expiry_loses_no_credit_across_fork() {
+    let arena = Arc::new(ShmArena::new_memfd(4096).expect("arena"));
+    let sem = arena.alloc(CountingSem::new_shared(0)).expect("sem fits");
+    arena.publish_root(sem);
+    let fd = arena.backing_fd().expect("memfd");
+
+    let child = ChildProc::spawn(move || {
+        let arena = match ShmArena::attach_memfd(fd) {
+            Ok(a) => a,
+            Err(_) => return 2,
+        };
+        let sem = match arena.root::<CountingSem>() {
+            Some(p) => p,
+            None => return 3,
+        };
+        // Land the V well after the parent's 5 ms deadline has expired.
+        std::thread::sleep(Duration::from_millis(80));
+        arena.get(sem).v();
+        0
+    })
+    .expect("fork");
+
+    let sem = arena.get(arena.root::<CountingSem>().unwrap());
+    assert!(
+        !sem.p_timeout(Duration::from_millis(5)),
+        "no credit yet: the deadline must expire"
+    );
+    // The child's late V must be fully intact — the expired P took nothing.
+    assert!(
+        sem.p_timeout(Duration::from_secs(10)),
+        "the late credit never arrived across the fork"
+    );
+    assert_eq!(
+        sem.count(),
+        0,
+        "exactly one credit existed and one P took it"
+    );
+    assert!(child.wait().expect("reap").success());
+}
+
+/// `V` racing `p_timeout` across the address-space split: the child fires
+/// credits at its own pace while the parent spins tiny deadlines at it.
+/// Whatever interleaving the two schedulers produce, every credit is
+/// consumed by exactly one successful `P` — expiries take nothing, and
+/// after the last win one more timed `P` must come up empty.
+fn shared_futex_v_racing_timeout_across_fork() {
+    const CREDITS: u64 = 500;
+    let arena = Arc::new(ShmArena::new_memfd(4096).expect("arena"));
+    let sem = arena.alloc(CountingSem::new_shared(0)).expect("sem fits");
+    arena.publish_root(sem);
+    let fd = arena.backing_fd().expect("memfd");
+
+    let child = ChildProc::spawn(move || {
+        let arena = match ShmArena::attach_memfd(fd) {
+            Ok(a) => a,
+            Err(_) => return 2,
+        };
+        let sem = match arena.root::<CountingSem>() {
+            Some(p) => p,
+            None => return 3,
+        };
+        let sem = arena.get(sem);
+        for i in 0..CREDITS {
+            sem.v();
+            // Jitter the landing offset so expiries and wins interleave.
+            for _ in 0..(i % 64) {
+                core::hint::spin_loop();
+            }
+        }
+        0
+    })
+    .expect("fork");
+
+    let sem = arena.get(arena.root::<CountingSem>().unwrap());
+    let (mut wins, mut expiries) = (0u64, 0u64);
+    let t0 = std::time::Instant::now();
+    while wins < CREDITS {
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "credits stopped flowing: {wins} wins / {expiries} expiries"
+        );
+        if sem.p_timeout(Duration::from_micros(wins % 53)) {
+            wins += 1;
+        } else {
+            expiries += 1;
+        }
+    }
+    assert!(
+        !sem.p_timeout(Duration::from_millis(5)),
+        "a timed-out P minted a credit: more Ps succeeded than Vs issued"
+    );
+    assert_eq!(sem.count(), 0);
+    assert!(child.wait().expect("reap").success());
 }
 
 /// SIGKILL a child mid-barrage: the pidfd reports the death, the parent
