@@ -4,16 +4,25 @@
 //! figures [all | table1 fig2 fig3 fig6 fig8 fig10 fig11 fig12 stats | explore | trace]...
 //!         [--msgs N] [--clients N] [--depth N] [--out DIR] [--trace DIR] [--procs]
 //!         [--load-clients N]
+//! figures top [--attach PATH | --fd N | --demo] [--once] [--interval-ms N] [--frames N]
+//! figures regress --fresh PATH [--baseline PATH] [--tolerance F] [--skip-missing]
 //! ```
 
 use std::path::PathBuf;
+use usipc_bench::top::{run_top, TopOpts, TopSource};
 use usipc_bench::{all_ids, describe, run_experiment, RunOpts};
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("top") => return top_main(&argv[1..]),
+        Some("regress") => return regress_main(&argv[1..]),
+        _ => {}
+    }
     let mut ids: Vec<String> = Vec::new();
     let mut opts = RunOpts::default();
     let mut out_dir = PathBuf::from("results");
-    let mut args = std::env::args().skip(1);
+    let mut args = argv.into_iter();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--msgs" => {
@@ -69,7 +78,7 @@ fn main() {
             "all" => ids.extend(all_ids().iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: figures [list | all | {}]... [--msgs N] [--clients N] [--mp-clients N] [--depth N] [--out DIR] [--trace DIR] [--procs] [--load-clients N]",
+                    "usage: figures [list | all | {}]... [--msgs N] [--clients N] [--mp-clients N] [--depth N] [--out DIR] [--trace DIR] [--procs] [--load-clients N]\n       figures top [--attach PATH | --fd N | --demo] [--once] [--interval-ms N] [--frames N]\n       figures regress --fresh PATH [--baseline PATH] [--tolerance F]",
                     all_ids().join(" | ")
                 );
                 return;
@@ -123,4 +132,124 @@ fn main() {
         }
         println!();
     }
+}
+
+/// `figures top`: attach a live segment's telemetry plane and render it.
+fn top_main(argv: &[String]) {
+    let mut opts = TopOpts::default();
+    let mut args = argv.iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--attach" => {
+                opts.source = TopSource::Path(
+                    args.next()
+                        .map(PathBuf::from)
+                        .expect("--attach needs a path"),
+                );
+            }
+            "--fd" => {
+                opts.source = TopSource::Fd(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--fd needs a descriptor number"),
+                );
+            }
+            "--demo" => opts.source = TopSource::Demo,
+            "--once" => opts.once = true,
+            "--interval-ms" => {
+                opts.interval = std::time::Duration::from_millis(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--interval-ms needs a number"),
+                );
+            }
+            "--frames" => {
+                opts.frames = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--frames needs a number");
+            }
+            other => {
+                eprintln!("unknown `figures top` argument `{other}` (see `figures --help`)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Err(e) = run_top(&opts) {
+        eprintln!("figures top: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// `figures regress`: gate a fresh bench file against the checked-in
+/// baseline; exit 1 on any regression.
+fn regress_main(argv: &[String]) {
+    let mut baseline = PathBuf::from("results/BENCH_protocols.json");
+    let mut fresh: Option<PathBuf> = None;
+    let mut tol = usipc_bench::regress::Tolerance::default();
+    let mut args = argv.iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--baseline" => {
+                baseline = args
+                    .next()
+                    .map(PathBuf::from)
+                    .expect("--baseline needs a path");
+            }
+            "--fresh" => {
+                fresh = Some(
+                    args.next()
+                        .map(PathBuf::from)
+                        .expect("--fresh needs a path"),
+                );
+            }
+            "--tolerance" => {
+                tol.latency = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tolerance needs a factor");
+            }
+            "--skip-missing" => tol.strict_coverage = false,
+            other => {
+                eprintln!("unknown `figures regress` argument `{other}` (see `figures --help`)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(fresh) = fresh else {
+        eprintln!("figures regress: --fresh PATH is required (the just-measured bench file)");
+        std::process::exit(2);
+    };
+    let load = |path: &PathBuf| -> usipc_bench::json::Json {
+        let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("figures regress: read {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        usipc_bench::json::Json::parse(&src).unwrap_or_else(|e| {
+            eprintln!("figures regress: parse {}: {e}", path.display());
+            std::process::exit(2);
+        })
+    };
+    let rep = usipc_bench::regress::compare(&load(&baseline), &load(&fresh), tol);
+    println!(
+        "regress: {} vs baseline {} — {} checks passed, {} regressions (latency tolerance ×{})",
+        fresh.display(),
+        baseline.display(),
+        rep.passes.len(),
+        rep.violations.len(),
+        tol.latency,
+    );
+    for p in &rep.passes {
+        println!("  ok: {p}");
+    }
+    for v in &rep.violations {
+        eprintln!("  REGRESSION: {v}");
+    }
+    if !rep.ok() {
+        eprintln!(
+            "regress: FAILED — if the change is intentional, re-baseline (see EXPERIMENTS.md)"
+        );
+        std::process::exit(1);
+    }
+    println!("regress: PASS");
 }

@@ -11,6 +11,7 @@ mod fig2;
 mod fig3;
 mod fig6;
 mod fig8;
+mod flight;
 mod mixed;
 mod mlfq;
 mod stats;
@@ -85,6 +86,7 @@ pub fn all_ids() -> &'static [&'static str] {
     &[
         "table1", "fig2", "fig3", "fig6", "fig8", "fig10", "fig11", "fig12", "stats", "syscalls",
         "throttle", "threaded", "mlfq", "async", "mixed", "explore", "trace", "bench", "faults",
+        "flight",
     ]
 }
 
@@ -110,6 +112,7 @@ pub fn describe(id: &str) -> Option<&'static str> {
         "trace" => "unified event traces: five protocols on both backends, Chrome JSON + ASCII",
         "bench" => "native protocol baseline: exact p50/p99/p999 round-trip latency + syscalls/RT + WaitSet load matrix → BENCH_protocols.json (--procs adds forked-client rows, --load-clients caps the matrix)",
         "faults" => "robustness: fault-free deadline-path overhead + explorer no-deadlock kill sweep",
+        "flight" => "fault flight recorder: cross-process kill drill → Perfetto postmortem with the SIGKILLed victim's final events (fork-based; run first or alone)",
         _ => return None,
     })
 }
@@ -136,6 +139,7 @@ pub fn run_experiment(id: &str, opts: RunOpts) -> Option<ExperimentOutput> {
         "trace" => tracecmp::run(opts),
         "bench" => bench::run(opts),
         "faults" => faults::run(opts),
+        "flight" => flight::run(opts),
         _ => return None,
     })
 }

@@ -17,8 +17,11 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 pub mod minibench;
+pub mod regress;
 pub mod table;
+pub mod top;
 
 pub use experiments::{all_ids, describe, run_experiment, ExperimentOutput, RunOpts};
 pub use table::Table;

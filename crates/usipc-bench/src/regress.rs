@@ -1,0 +1,383 @@
+//! `figures regress`: gate a fresh `BENCH_protocols.json` against the
+//! checked-in baseline.
+//!
+//! The bench experiment is the repo's recorded perf trajectory; this
+//! module is the tripwire that keeps it honest. It compares two bench
+//! files row by row and reports **regressions only** — a fresh run that
+//! is *faster* than the baseline always passes (re-baseline when the
+//! improvement is real; see EXPERIMENTS.md):
+//!
+//! * **Latency bands** — `p50_us` and `p99_us` may not exceed
+//!   `baseline × tolerance`. The default tolerance is deliberately wide
+//!   (CI machines are shared and noisy); the band catches order-of-kind
+//!   regressions — a protocol suddenly taking a kernel crossing it
+//!   didn't, a lost fast path — not single-digit-percent jitter.
+//! * **Throughput floor** — `throughput_msgs_per_ms` may not fall below
+//!   `baseline ÷ tolerance`.
+//! * **Exact syscall budgets** — independent of the baseline file, the
+//!   paper's accounting is enforced as hard ceilings: BSS performs
+//!   **zero** semaphore ops per round trip, and every blocking protocol
+//!   (BSW/BSWY/BSLS) stays at or under BSW's **4 per round trip**.
+//!   These are exact invariants, not statistical bands — a budget
+//!   violation is a protocol bug, not noise.
+//! * **Doorbell budget** — each load-matrix row keeps
+//!   `doorbells_rung ≤ waitset_wakes + shards` (each WaitSet wake is
+//!   paid for by at most one `V`; the `+ shards` slack covers end-of-run
+//!   rings that land after the worker's final wake).
+//!
+//! Rows are matched by (`name`, `mode`) for protocols and by `clients`
+//! for the load matrix; baseline rows missing from the fresh file are
+//! regressions (coverage must not silently shrink), fresh rows missing
+//! from the baseline are ignored (new coverage lands first, gets
+//! baselined on the next re-baseline).
+
+use crate::json::Json;
+
+/// Slack factors for the statistical comparisons (the syscall budgets
+/// take none).
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerance {
+    /// `fresh ≤ baseline × latency` for p50/p99; `fresh ≥ baseline ÷
+    /// latency` for throughput.
+    pub latency: f64,
+    /// When `false` (`--skip-missing`), baseline rows absent from the
+    /// fresh file are skipped instead of failed. CI measures at smoke
+    /// scale (no `--procs`, small load matrix) against the full
+    /// checked-in baseline, so its fresh file legitimately covers a
+    /// subset; a full local run should keep this `true`.
+    pub strict_coverage: bool,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance {
+            // 4× absorbs shared-runner noise while still catching a lost
+            // fast path (a futex round trip costs ~10× a fast-path RT).
+            latency: 4.0,
+            strict_coverage: true,
+        }
+    }
+}
+
+/// Everything the comparison concluded.
+#[derive(Debug, Default)]
+pub struct RegressReport {
+    /// Human-readable regression descriptions; empty means pass.
+    pub violations: Vec<String>,
+    /// Row-level comparisons that ran and passed.
+    pub passes: Vec<String>,
+}
+
+impl RegressReport {
+    /// `true` when no comparison tripped.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Exact per-round-trip semaphore budget for a protocol row, by name.
+/// `None` leaves the row ungated (an unknown future protocol regresses
+/// on its latency band only until a budget is assigned here).
+fn sem_budget(name: &str) -> Option<f64> {
+    match name {
+        "BSS" => Some(0.0),
+        // BSW's 4 is the paper's number; BSWY and BSLS only ever *elide*
+        // sem ops relative to BSW, never add.
+        "BSW" | "BSWY" | "BSLS" => Some(4.0),
+        _ => None,
+    }
+}
+
+fn row_key(row: &Json) -> String {
+    format!(
+        "{}[{}]",
+        row.str("name").unwrap_or("?"),
+        row.str("mode").unwrap_or("?")
+    )
+}
+
+/// Compares `fresh` against `baseline`. Both must be parsed
+/// `BENCH_protocols.json` documents.
+pub fn compare(baseline: &Json, fresh: &Json, tol: Tolerance) -> RegressReport {
+    let mut rep = RegressReport::default();
+
+    match (baseline.str("schema"), fresh.str("schema")) {
+        (Some(b), Some(f)) if b == f => {}
+        (b, f) => rep.violations.push(format!(
+            "schema mismatch: baseline {b:?} vs fresh {f:?} — re-baseline after schema changes"
+        )),
+    }
+
+    let empty = Vec::new();
+    let base_rows = baseline
+        .get("protocols")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    let fresh_rows = fresh
+        .get("protocols")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+
+    for b in base_rows {
+        let key = row_key(b);
+        let Some(f) = fresh_rows.iter().find(|f| row_key(f) == key) else {
+            if tol.strict_coverage {
+                rep.violations.push(format!(
+                    "{key}: present in baseline, missing from fresh run"
+                ));
+            } else {
+                rep.passes
+                    .push(format!("{key}: not measured in this run, skipped"));
+            }
+            continue;
+        };
+
+        for metric in ["p50_us", "p99_us"] {
+            match (b.num(metric), f.num(metric)) {
+                (Some(bv), Some(fv)) if fv > bv * tol.latency => rep.violations.push(format!(
+                    "{key}: {metric} {fv:.3} exceeds {bv:.3} × {} = {:.3}",
+                    tol.latency,
+                    bv * tol.latency
+                )),
+                (Some(bv), Some(fv)) => rep.passes.push(format!(
+                    "{key}: {metric} {fv:.3} within {bv:.3} × {}",
+                    tol.latency
+                )),
+                (Some(_), None) => rep.violations.push(format!(
+                    "{key}: {metric} measured in baseline, null in fresh"
+                )),
+                (None, _) => {}
+            }
+        }
+
+        let tp = "throughput_msgs_per_ms";
+        if let (Some(bv), Some(fv)) = (b.num(tp), f.num(tp)) {
+            if fv < bv / tol.latency {
+                rep.violations.push(format!(
+                    "{key}: throughput {fv:.3} below {bv:.3} ÷ {} = {:.3}",
+                    tol.latency,
+                    bv / tol.latency
+                ));
+            } else {
+                rep.passes.push(format!(
+                    "{key}: throughput {fv:.3} within {bv:.3} ÷ {}",
+                    tol.latency
+                ));
+            }
+        }
+
+        if let Some(budget) = f.str("name").and_then(sem_budget) {
+            match f.num("sem_ops_per_rt") {
+                // The writer rounds to 3 decimals; give it that much.
+                Some(v) if v > budget + 0.0005 => rep.violations.push(format!(
+                    "{key}: sem_ops_per_rt {v:.3} breaks the exact budget of {budget} — \
+                     a credit leaked somewhere in the protocol"
+                )),
+                Some(v) => rep
+                    .passes
+                    .push(format!("{key}: sem_ops_per_rt {v:.3} ≤ budget {budget}")),
+                None => rep
+                    .violations
+                    .push(format!("{key}: sem_ops_per_rt missing from fresh row")),
+            }
+        }
+    }
+
+    let base_load = baseline
+        .get("load_matrix")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    let fresh_load = fresh
+        .get("load_matrix")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    for b in base_load {
+        let Some(clients) = b.num("clients") else {
+            continue;
+        };
+        let key = format!("load[{clients} clients]");
+        let Some(f) = fresh_load
+            .iter()
+            .find(|f| f.num("clients") == Some(clients))
+        else {
+            if tol.strict_coverage {
+                rep.violations.push(format!(
+                    "{key}: present in baseline, missing from fresh run"
+                ));
+            } else {
+                rep.passes
+                    .push(format!("{key}: not measured in this run, skipped"));
+            }
+            continue;
+        };
+        if let (Some(bv), Some(fv)) = (b.num("p99_us"), f.num("p99_us")) {
+            if fv > bv * tol.latency {
+                rep.violations.push(format!(
+                    "{key}: p99_us {fv:.3} exceeds {bv:.3} × {}",
+                    tol.latency
+                ));
+            } else {
+                rep.passes.push(format!(
+                    "{key}: p99_us {fv:.3} within {bv:.3} × {}",
+                    tol.latency
+                ));
+            }
+        }
+        // The design budget is `doorbells_rung ≤ waitset_wakes + shards`
+        // (end-of-run rings can land after the worker's last wake, so a
+        // short smoke cell legitimately reads a hair over 1.0). Compute the
+        // exact bound from the cell's own counts when present; fall back to
+        // a flat 1 otherwise. +0.0005 for the writer's 3-decimal rounding.
+        let db_bound = match (f.num("waitset_wakes"), f.num("shards")) {
+            (Some(w), Some(s)) if w > 0.0 => (w + s) / w,
+            _ => 1.0,
+        };
+        match f.num("doorbell_vs_per_wake") {
+            Some(v) if v > db_bound + 0.0005 => rep.violations.push(format!(
+                "{key}: doorbell_vs_per_wake {v:.3} breaks the ≤ 1 V-per-wake design budget (bound {db_bound:.3})"
+            )),
+            Some(v) => rep
+                .passes
+                .push(format!("{key}: doorbell_vs_per_wake {v:.3} ≤ {db_bound:.3}")),
+            None => {}
+        }
+    }
+
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{compare, Tolerance};
+    use crate::json::Json;
+
+    fn doc(p50: f64, p99: f64, tp: f64, sem: f64, dbw: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{
+              "schema": "usipc-bench-protocols/v3",
+              "protocols": [
+                {{"name": "BSW", "mode": "threads", "p50_us": {p50},
+                  "p99_us": {p99}, "throughput_msgs_per_ms": {tp},
+                  "sem_ops_per_rt": {sem}}},
+                {{"name": "BSS", "mode": "threads", "p50_us": 0.5,
+                  "p99_us": 1.0, "throughput_msgs_per_ms": 2000.0,
+                  "sem_ops_per_rt": 0.0}}
+              ],
+              "load_matrix": [
+                {{"clients": 8, "p99_us": {p99}, "doorbell_vs_per_wake": {dbw}}}
+              ]
+            }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_files_pass() {
+        let b = doc(2.0, 10.0, 400.0, 4.0, 0.9);
+        let rep = compare(&b, &b, Tolerance::default());
+        assert!(rep.ok(), "{:?}", rep.violations);
+        assert!(!rep.passes.is_empty());
+    }
+
+    #[test]
+    fn faster_fresh_run_passes() {
+        let b = doc(2.0, 10.0, 400.0, 4.0, 0.9);
+        let f = doc(0.5, 2.0, 1600.0, 3.5, 0.2);
+        assert!(compare(&b, &f, Tolerance::default()).ok());
+    }
+
+    #[test]
+    fn latency_beyond_band_fails() {
+        let b = doc(2.0, 10.0, 400.0, 4.0, 0.9);
+        let f = doc(2.0 * 4.0 + 0.1, 10.0, 400.0, 4.0, 0.9);
+        let rep = compare(&b, &f, Tolerance::default());
+        assert!(!rep.ok());
+        assert!(rep.violations[0].contains("p50_us"), "{:?}", rep.violations);
+    }
+
+    #[test]
+    fn throughput_collapse_fails() {
+        let b = doc(2.0, 10.0, 400.0, 4.0, 0.9);
+        let f = doc(2.0, 10.0, 400.0 / 4.0 - 1.0, 4.0, 0.9);
+        let rep = compare(&b, &f, Tolerance::default());
+        assert!(rep.violations.iter().any(|v| v.contains("throughput")));
+    }
+
+    #[test]
+    fn sem_budget_is_exact_regardless_of_baseline() {
+        // Even a baseline that itself leaked (4.2) does not excuse the
+        // fresh run: the budget is the paper's, not the file's.
+        let b = doc(2.0, 10.0, 400.0, 4.2, 0.9);
+        let f = doc(2.0, 10.0, 400.0, 4.01, 0.9);
+        let rep = compare(&b, &f, Tolerance::default());
+        assert!(rep.violations.iter().any(|v| v.contains("exact budget")));
+    }
+
+    #[test]
+    fn doorbell_budget_fails_above_one() {
+        let b = doc(2.0, 10.0, 400.0, 4.0, 0.9);
+        let f = doc(2.0, 10.0, 400.0, 4.0, 1.4);
+        let rep = compare(&b, &f, Tolerance::default());
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| v.contains("doorbell_vs_per_wake")));
+    }
+
+    #[test]
+    fn missing_row_and_null_metric_fail() {
+        let b = doc(2.0, 10.0, 400.0, 4.0, 0.9);
+        let f = Json::parse(
+            r#"{"schema": "usipc-bench-protocols/v3",
+                "protocols": [{"name": "BSW", "mode": "threads",
+                  "p50_us": null, "p99_us": 1.0,
+                  "throughput_msgs_per_ms": 400.0, "sem_ops_per_rt": 4.0}],
+                "load_matrix": []}"#,
+        )
+        .unwrap();
+        let rep = compare(&b, &f, Tolerance::default());
+        assert!(rep.violations.iter().any(|v| v.contains("null in fresh")));
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| v.contains("BSS[threads]") && v.contains("missing")));
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| v.contains("load[8 clients]") && v.contains("missing")));
+    }
+
+    #[test]
+    fn skip_missing_demotes_coverage_gaps_only() {
+        let b = doc(2.0, 10.0, 400.0, 4.0, 0.9);
+        let f = Json::parse(
+            r#"{"schema": "usipc-bench-protocols/v3",
+                "protocols": [{"name": "BSW", "mode": "threads",
+                  "p50_us": 2.0, "p99_us": 10.0,
+                  "throughput_msgs_per_ms": 400.0, "sem_ops_per_rt": 4.3}],
+                "load_matrix": []}"#,
+        )
+        .unwrap();
+        let tol = Tolerance {
+            strict_coverage: false,
+            ..Tolerance::default()
+        };
+        let rep = compare(&b, &f, tol);
+        // The BSS row and the load cell are skipped, but the measured
+        // BSW row's budget violation still fails.
+        assert!(!rep.violations.iter().any(|v| v.contains("missing")));
+        assert!(rep.violations.iter().any(|v| v.contains("exact budget")));
+        assert!(rep.passes.iter().any(|p| p.contains("skipped")));
+    }
+
+    #[test]
+    fn schema_drift_fails() {
+        let b = doc(2.0, 10.0, 400.0, 4.0, 0.9);
+        let mut f_src = doc(2.0, 10.0, 400.0, 4.0, 0.9);
+        if let Json::Obj(members) = &mut f_src {
+            members[0].1 = Json::Str("usipc-bench-protocols/v99".into());
+        }
+        let rep = compare(&b, &f_src, Tolerance::default());
+        assert!(rep.violations.iter().any(|v| v.contains("schema")));
+    }
+}

@@ -103,6 +103,16 @@ struct ArenaHeader {
     /// pad-and-reserve arithmetic in `bump` cannot wrap even when the cursor
     /// sits just below the 4 GiB offset ceiling.
     next: AtomicU64,
+    /// Segment-wide time origin: the creator's `CLOCK_MONOTONIC` reading at
+    /// initialization. Every process maps the same physical header, so
+    /// `monotonic_now - clock_epoch` is the same axis in all of them —
+    /// per-process `Instant` epochs are not, which is why merged
+    /// cross-process traces used to misorder.
+    clock_epoch: AtomicU64,
+    /// Auxiliary bootstrap slot (offset), independent of `root`: the
+    /// telemetry plane registers itself here so observability can piggyback
+    /// on any segment without stealing the application's root object.
+    aux: AtomicU32,
 }
 
 const _: () = assert!(core::mem::size_of::<ArenaHeader>() <= CACHE_LINE);
@@ -206,8 +216,11 @@ impl ShmArena {
         // the caller; no other thread or process can observe them yet.
         let hdr = unsafe { &*(base as *const ArenaHeader) };
         hdr.root.store(NULL_OFFSET, Ordering::Relaxed);
+        hdr.aux.store(NULL_OFFSET, Ordering::Relaxed);
         hdr.total.store(total as u64, Ordering::Relaxed);
         hdr.next.store(HEADER as u64, Ordering::Relaxed);
+        hdr.clock_epoch
+            .store(crate::monotonic_nanos(), Ordering::Relaxed);
         hdr.magic.store(MAGIC, Ordering::Release);
     }
 
@@ -492,6 +505,37 @@ impl ShmArena {
             off => Some(ShmPtr::from_raw(off)),
         }
     }
+
+    /// Publishes `p` in the auxiliary bootstrap slot — a second well-known
+    /// offset, independent of [`publish_root`](Self::publish_root), so an
+    /// add-on plane (telemetry, a flight recorder) can make itself
+    /// discoverable without displacing the application's root object.
+    pub fn publish_aux<T: ShmSafe>(&self, p: ShmPtr<T>) -> ShmToken {
+        self.hdr().aux.store(p.raw(), Ordering::Release);
+        ShmToken(p.raw())
+    }
+
+    /// Retrieves the auxiliary object offset, if one was published.
+    pub fn aux<T: ShmSafe>(&self) -> Option<ShmPtr<T>> {
+        match self.hdr().aux.load(Ordering::Acquire) {
+            NULL_OFFSET => None,
+            off => Some(ShmPtr::from_raw(off)),
+        }
+    }
+
+    /// The segment-wide time origin: the creator's [`monotonic_nanos`]
+    /// reading at initialization. `monotonic_nanos() - clock_epoch()` is a
+    /// nanosecond timestamp on an axis shared by *every* process attached to
+    /// this segment.
+    pub fn clock_epoch(&self) -> u64 {
+        self.hdr().clock_epoch.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds elapsed since the segment was created, on the shared
+    /// axis — the timestamp source for cross-process traces and telemetry.
+    pub fn now_nanos(&self) -> u64 {
+        crate::monotonic_nanos().saturating_sub(self.clock_epoch())
+    }
 }
 
 impl Drop for ShmArena {
@@ -658,6 +702,35 @@ mod tests {
     }
 
     #[test]
+    fn aux_bootstrap_is_independent_of_root() {
+        let a = ShmArena::new(4096).unwrap();
+        assert!(a.aux::<u32>().is_none());
+        let r = a.alloc(1u32).unwrap();
+        let x = a.alloc(2u32).unwrap();
+        a.publish_root(r);
+        a.publish_aux(x);
+        assert_eq!(*a.get(a.root::<u32>().unwrap()), 1);
+        assert_eq!(*a.get(a.aux::<u32>().unwrap()), 2);
+    }
+
+    #[test]
+    fn clock_epoch_is_stamped_and_now_advances() {
+        let a = ShmArena::new(4096).unwrap();
+        // The epoch is a real clock reading taken at creation, so "now on
+        // the shared axis" starts near zero and never goes backwards.
+        let t0 = a.now_nanos();
+        assert!(t0 < 1_000_000_000, "epoch not stamped at creation: {t0}");
+        let mut t1 = a.now_nanos();
+        for _ in 0..1_000_000 {
+            t1 = a.now_nanos();
+            if t1 > t0 {
+                break;
+            }
+        }
+        assert!(t1 >= t0);
+    }
+
+    #[test]
     fn concurrent_bump_is_race_free() {
         let a = Arc::new(ShmArena::new(1 << 20).unwrap());
         let counter = a.alloc(AtomicU64::new(0)).unwrap();
@@ -716,6 +789,11 @@ mod tests {
             assert_eq!(b.backing(), ShmBacking::Memfd);
             assert_eq!(b.capacity(), a.capacity());
             assert_eq!(b.used(), a.used(), "bump cursor must be shared");
+            assert_eq!(
+                b.clock_epoch(),
+                a.clock_epoch(),
+                "time origin must be shared"
+            );
             let seen: ShmPtr<AtomicU64> = b.root().expect("root published");
             assert_eq!(seen, cell);
             b.get(seen).store(42, Ordering::Release);

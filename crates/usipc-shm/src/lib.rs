@@ -69,6 +69,37 @@ pub use ptr::{RawOffset, ShmPtr, ShmSlice, TaggedAtomicPtr, TaggedPtr, NULL_OFFS
 ///    (no `enum` discriminants mutated through atomics, etc.).
 pub unsafe trait ShmSafe: Sized + 'static {}
 
+/// A monotonic timestamp in nanoseconds on the *host-wide* axis every
+/// cooperating process shares.
+///
+/// On Linux this is a raw `clock_gettime(CLOCK_MONOTONIC)`: two processes
+/// reading it at the same instant see the same value, which is what makes
+/// the arena's [`clock epoch`](ShmArena::clock_epoch) a common time origin
+/// for cross-process traces and telemetry. On other targets (where the heap
+/// backing is the only one and all readers share one address space) it
+/// falls back to a process-local monotonic clock.
+pub fn monotonic_nanos() -> u64 {
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    {
+        sys::clock_monotonic_nanos()
+    }
+    #[cfg(not(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    )))]
+    {
+        use std::sync::OnceLock;
+        static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+        EPOCH
+            .get_or_init(std::time::Instant::now)
+            .elapsed()
+            .as_nanos() as u64
+    }
+}
+
 macro_rules! impl_shm_safe {
     ($($t:ty),* $(,)?) => { $( unsafe impl ShmSafe for $t {} )* };
 }

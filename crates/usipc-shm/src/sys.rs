@@ -21,6 +21,7 @@ mod nr {
     pub const MMAP: usize = 9;
     pub const MUNMAP: usize = 11;
     pub const FTRUNCATE: usize = 77;
+    pub const CLOCK_GETTIME: usize = 228;
     pub const MEMFD_CREATE: usize = 319;
 }
 
@@ -28,11 +29,17 @@ mod nr {
 mod nr {
     pub const CLOSE: usize = 57;
     pub const FSTAT: usize = 80;
+    pub const CLOCK_GETTIME: usize = 113;
     pub const MMAP: usize = 222;
     pub const MUNMAP: usize = 215;
     pub const FTRUNCATE: usize = 46;
     pub const MEMFD_CREATE: usize = 279;
 }
+
+/// `CLOCK_MONOTONIC`: the one clock every cooperating process on the host
+/// reads identically, which is what lets a segment-wide epoch rebase
+/// per-process timestamps onto one axis.
+const CLOCK_MONOTONIC: usize = 1;
 
 /// `PROT_READ | PROT_WRITE`.
 const PROT_RW: usize = 0x3;
@@ -165,6 +172,25 @@ pub(crate) fn close(fd: i32) {
     let _ = unsafe { syscall2(nr::CLOSE, fd as usize, 0) };
 }
 
+/// `clock_gettime(CLOCK_MONOTONIC)` in nanoseconds.
+///
+/// Unlike `std::time::Instant` — whose zero point is private to the
+/// process — this value is directly comparable across every process on the
+/// host, so stamping one reading into a shared segment gives all attachers
+/// a common time origin. Returns 0 on failure (a clock that cannot fail on
+/// any Linux this crate runs on).
+pub(crate) fn clock_monotonic_nanos() -> u64 {
+    // `struct timespec` is two 64-bit words (tv_sec, tv_nsec) on both
+    // x86_64 and aarch64.
+    let mut ts = [0u64; 2];
+    // SAFETY: `ts` is a writable 16-byte region living across the call.
+    let r = unsafe { syscall2(nr::CLOCK_GETTIME, CLOCK_MONOTONIC, ts.as_mut_ptr() as usize) };
+    if r < 0 {
+        return 0;
+    }
+    ts[0].saturating_mul(1_000_000_000).saturating_add(ts[1])
+}
+
 /// `fstat(fd)` → `st_size`, for sizing the mapping when attaching to an
 /// inherited fd without out-of-band length information.
 pub(crate) fn fstat_size(fd: i32) -> Result<usize, isize> {
@@ -213,6 +239,20 @@ mod tests {
             munmap(b, 4096).unwrap();
         }
         close(fd);
+    }
+
+    #[test]
+    fn monotonic_clock_advances() {
+        let a = clock_monotonic_nanos();
+        assert!(a > 0, "CLOCK_MONOTONIC must be readable");
+        let mut b = clock_monotonic_nanos();
+        for _ in 0..1_000_000 {
+            b = clock_monotonic_nanos();
+            if b > a {
+                break;
+            }
+        }
+        assert!(b >= a, "monotonic clock went backwards");
     }
 
     #[test]

@@ -1320,8 +1320,9 @@ mod proc_harness {
     use super::*;
     use crate::metrics::N_EVENTS;
     use crate::proc::{ChildProc, ExitStatus};
+    use crate::telemetry::{Role, TelemetryPlane, TelemetryReading};
     use crate::{ChannelRoot, CountingSem, ServerRun};
-    use core::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+    use core::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
     use std::time::{Duration, Instant};
     use usipc_shm::{ShmArena, ShmPtr, ShmSlice};
 
@@ -1400,6 +1401,21 @@ mod proc_harness {
     const EXIT_NO_ROOT: i32 = 3;
     const EXIT_ECHO_CORRUPTED: i32 = 4;
     const EXIT_PIN_FAILED: i32 = 5;
+    /// Observer child: the segment carries no telemetry plane.
+    const EXIT_NO_TELEMETRY: i32 = 6;
+    /// Observer child: no slot's progress advanced before the deadline.
+    const EXIT_STALE: i32 = 7;
+    /// Observer child: a later reading had a *smaller* cumulative counter
+    /// than an earlier one — a torn or inconsistent snapshot.
+    const EXIT_TORN: i32 = 8;
+
+    /// Per-run telemetry shape for [`build_proc_world`].
+    #[derive(Debug, Clone, Copy)]
+    struct ProcTelemetry {
+        /// Flight-recorder ring capacity in records; 0 allocates the
+        /// stats plane without a flight recorder.
+        flight_capacity: usize,
+    }
 
     /// The whole life of one forked client: attach the inherited memfd
     /// (a *fresh* mapping — nothing from the parent's address space is
@@ -1426,8 +1442,22 @@ mod proc_harness {
             Arc::clone(&arena),
             pr.sems,
         );
+        // Telemetry discovery is in-band: the plane (if the parent made
+        // one) hangs off the arena's aux slot, so a child — or any other
+        // attacher — needs nothing but the fd. Arm the flight recorder
+        // *before* building the task so the handle rides the hot path as
+        // a plain `Option`.
+        let plane = TelemetryPlane::attach(&arena);
+        if let Some(p) = &plane {
+            if let Some(f) = p.flight() {
+                os.arm_flight(f);
+            }
+        }
         let ch = Channel::from_root(Arc::clone(&arena), pr.channel);
         let task = os.task(1 + c);
+        let writer = plane
+            .as_ref()
+            .map(|p| p.writer(1 + c as usize, 1 + c, Role::Client));
         let ep = ch.client(&task, c, strategy);
         let samples = arena.get_slice(pr.samples);
         let cell = &arena.get_slice(pr.cells)[c as usize];
@@ -1437,31 +1467,89 @@ mod proc_harness {
             pr.msgs_per_client
         };
         let base = c as usize * pr.msgs_per_client as usize;
+        let snapshot = || {
+            os.metrics()
+                .map(|m| m.task_snapshot(1 + c))
+                .unwrap_or_default()
+        };
 
         pr.ready.v();
         pr.go.p();
         for i in 0..msgs {
             let t0 = Instant::now();
             let v = ep.echo(i as f64);
+            let rt_nanos = t0.elapsed().as_nanos() as u64;
             if let Some(slot) = samples.get(base + i as usize) {
-                slot.store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                slot.store(rt_nanos, Ordering::Relaxed);
             }
             if v != i as f64 {
                 return EXIT_ECHO_CORRUPTED;
             }
             cell.progress.fetch_add(1, Ordering::Relaxed);
+            if let Some(w) = &writer {
+                // Per-RT cost: four Relaxed adds into this client's own
+                // cache-line-padded slot — no semaphore ops, no kernel
+                // crossings (the zero-overhead contract the accounting
+                // test pins).
+                w.record_latency_nanos(rt_nanos);
+                w.set_progress(i + 1);
+                if (i + 1) % 64 == 0 {
+                    w.publish(&snapshot());
+                }
+            }
         }
         ep.disconnect();
 
-        let snap = os
-            .metrics()
-            .map(|m| m.task_snapshot(1 + c))
-            .unwrap_or_default();
+        let snap = snapshot();
+        if let Some(w) = &writer {
+            w.publish(&snap);
+        }
         for (slot, v) in cell.events.iter().zip(snap.to_array()) {
             slot.store(v, Ordering::Relaxed);
         }
         cell.state.store(1, Ordering::Release);
         0
+    }
+
+    /// The whole life of a forked **observer**: attach the inherited fd,
+    /// find the telemetry plane through the aux slot, and watch until
+    /// some slot's progress advances between two consistent readings —
+    /// the external `usipc-top` story reduced to an exit code. Counters
+    /// are cumulative, so any later reading with a smaller value than an
+    /// earlier one from the same slot proves a torn read.
+    fn proc_observer_body(fd: i32, deadline: Duration) -> i32 {
+        let arena = match ShmArena::attach_memfd(fd) {
+            Ok(a) => Arc::new(a),
+            Err(_) => return EXIT_ATTACH_FAILED,
+        };
+        let plane = match TelemetryPlane::attach(&arena) {
+            Some(p) => p,
+            None => return EXIT_NO_TELEMETRY,
+        };
+        let give_up = Instant::now() + deadline;
+        let mut baseline: Vec<Option<TelemetryReading>> = vec![None; plane.n_slots()];
+        while Instant::now() < give_up {
+            for (i, base) in baseline.iter_mut().enumerate() {
+                let Some(r) = plane.read(i) else { continue };
+                match base {
+                    None => *base = Some(r),
+                    Some(b) => {
+                        let earlier = b.snapshot.to_array();
+                        let later = r.snapshot.to_array();
+                        if later.iter().zip(earlier.iter()).any(|(l, e)| l < e)
+                            || r.progress < b.progress
+                        {
+                            return EXIT_TORN;
+                        }
+                        if r.progress > b.progress && r.published_at > b.published_at {
+                            return 0;
+                        }
+                    }
+                }
+            }
+            std::thread::yield_now();
+        }
+        EXIT_STALE
     }
 
     /// Builds the whole shared world — memfd arena, in-arena channel,
@@ -1473,10 +1561,30 @@ mod proc_harness {
         msgs_per_client: u64,
         total_samples: usize,
         pin_cpu: i32,
-    ) -> (Arc<ShmArena>, Arc<NativeOs>, Channel, ShmPtr<ProcRoot>) {
+        telemetry: Option<ProcTelemetry>,
+    ) -> (
+        Arc<ShmArena>,
+        Arc<NativeOs>,
+        Channel,
+        ShmPtr<ProcRoot>,
+        Option<TelemetryPlane>,
+    ) {
         use core::mem::{align_of, size_of};
         assert!(n_clients >= 1);
         let ch_cfg = ChannelConfig::new(n_clients);
+        // Telemetry slots follow the task-id convention: slot 0 the
+        // server, slot 1+c client c. Flight rings additionally cover the
+        // monitor task (1 + n_clients) the kill drill uses.
+        let n_slots = 1 + n_clients;
+        let flight_tasks = 2 + n_clients;
+        let telem_bytes = telemetry.map_or(0, |t| {
+            let ft = if t.flight_capacity > 0 {
+                flight_tasks
+            } else {
+                0
+            };
+            TelemetryPlane::bytes_needed(n_slots, ft, t.flight_capacity)
+        });
         // Exact layout plus per-allocation alignment slack plus the
         // arena header line.
         let cap = ch_cfg.bytes_needed()
@@ -1488,6 +1596,7 @@ mod proc_harness {
             + align_of::<AtomicU64>()
             + size_of::<ProcRoot>()
             + align_of::<ProcRoot>()
+            + telem_bytes
             + 256;
         let arena = Arc::new(
             ShmArena::new_memfd(cap)
@@ -1504,6 +1613,19 @@ mod proc_harness {
         let samples = arena
             .alloc_slice(total_samples, |_| AtomicU64::new(0))
             .expect("samples fit the arena");
+        let plane = telemetry.map(|t| {
+            let ft = if t.flight_capacity > 0 {
+                flight_tasks
+            } else {
+                0
+            };
+            let p = TelemetryPlane::create_in(&arena, n_slots, ft, t.flight_capacity)
+                .expect("telemetry plane fits the arena");
+            if let Some(f) = p.flight() {
+                os.arm_flight(f);
+            }
+            p
+        });
         let root = arena
             .alloc(ProcRoot {
                 ready: CountingSem::new_shared(0),
@@ -1518,7 +1640,7 @@ mod proc_harness {
             })
             .expect("root fits the arena");
         arena.publish_root(root);
-        (arena, os, channel, root)
+        (arena, os, channel, root, plane)
     }
 
     /// Joins the parent's server thread under the watchdog deadline.
@@ -1568,6 +1690,13 @@ mod proc_harness {
         pub client_samples: Vec<u64>,
         /// Each child's exit status (all `Exited(0)` on success).
         pub exits: Vec<ExitStatus>,
+        /// Final telemetry readings (slot order: server, then clients),
+        /// present when the run carried a telemetry plane.
+        pub telemetry: Option<Vec<TelemetryReading>>,
+        /// Exit status of the forked external observer, when one ran
+        /// (`Exited(0)`: it attached by fd and watched a consistent,
+        /// advancing snapshot).
+        pub observer_exit: Option<ExitStatus>,
     }
 
     /// Runs the echo workload with **real forked processes**: the parent
@@ -1594,7 +1723,7 @@ mod proc_harness {
         n_clients: usize,
         msgs_per_client: u64,
     ) -> ProcExperimentResult {
-        run_proc_experiment_opts(strategy, n_clients, msgs_per_client, None)
+        run_proc_experiment_opts(strategy, n_clients, msgs_per_client, None, false, false)
     }
 
     /// [`run_proc_experiment`] with everyone — the server thread and every
@@ -1614,7 +1743,41 @@ mod proc_harness {
         msgs_per_client: u64,
         cpu: usize,
     ) -> ProcExperimentResult {
-        run_proc_experiment_opts(strategy, n_clients, msgs_per_client, Some(cpu))
+        run_proc_experiment_opts(
+            strategy,
+            n_clients,
+            msgs_per_client,
+            Some(cpu),
+            false,
+            false,
+        )
+    }
+
+    /// [`run_proc_experiment_pinned`] with the telemetry plane allocated
+    /// and every participant publishing — the configuration
+    /// `tests/metrics_accounting.rs` pins BSW's four-syscall round trip
+    /// under, proving the plane adds no semaphore ops or kernel
+    /// crossings to the protocol.
+    pub fn run_proc_experiment_pinned_telemetry(
+        strategy: WaitStrategy,
+        n_clients: usize,
+        msgs_per_client: u64,
+        cpu: usize,
+    ) -> ProcExperimentResult {
+        run_proc_experiment_opts(strategy, n_clients, msgs_per_client, Some(cpu), true, false)
+    }
+
+    /// [`run_proc_experiment`] with the telemetry plane on and an extra
+    /// forked **observer** process that attaches the segment by inherited
+    /// fd — knowing nothing but that fd — and exits 0 only after reading
+    /// a consistent, advancing snapshot while the barrage is live. The
+    /// result's `observer_exit` carries its verdict.
+    pub fn run_proc_observed_experiment(
+        strategy: WaitStrategy,
+        n_clients: usize,
+        msgs_per_client: u64,
+    ) -> ProcExperimentResult {
+        run_proc_experiment_opts(strategy, n_clients, msgs_per_client, None, true, true)
     }
 
     fn run_proc_experiment_opts(
@@ -1622,24 +1785,30 @@ mod proc_harness {
         n_clients: usize,
         msgs_per_client: u64,
         pin_cpu: Option<usize>,
+        telemetry: bool,
+        observer: bool,
     ) -> ProcExperimentResult {
         let total_samples = n_clients * msgs_per_client as usize;
         let pin = pin_cpu.map_or(-1, |c| c as i32);
-        let (arena, os, channel, root) = build_proc_world(
+        let (arena, os, channel, root, plane) = build_proc_world(
             &strategy.name(),
             n_clients,
             msgs_per_client,
             total_samples,
             pin,
+            telemetry.then_some(ProcTelemetry { flight_capacity: 0 }),
         );
         let fd = arena.backing_fd().expect("memfd backing");
 
-        let children: Vec<ChildProc> = (0..n_clients as u32)
+        let mut children: Vec<ChildProc> = (0..n_clients as u32)
             .map(|c| {
                 ChildProc::spawn(move || proc_client_body(fd, c, strategy, false))
                     .expect("fork client")
             })
             .collect();
+        let observer_child = observer.then(|| {
+            ChildProc::spawn(move || proc_observer_body(fd, WATCHDOG_JOIN)).expect("fork observer")
+        });
 
         let server = {
             let ch = channel.clone();
@@ -1652,6 +1821,31 @@ mod proc_harness {
                 crate::server::run_echo_server(&ch, &t0, strategy)
             })
         };
+        // The parent's server slot is fed by a *sampler* thread reading
+        // the server task's counter registry — the echo loop itself is
+        // untouched, which is exactly the zero-overhead posture the
+        // accounting test verifies. Single-writer discipline holds: only
+        // the sampler writes slot 0.
+        let stop_sampler = Arc::new(AtomicBool::new(false));
+        let sampler = plane.clone().map(|p| {
+            let os = Arc::clone(&os);
+            let ch = channel.clone();
+            let stop = Arc::clone(&stop_sampler);
+            std::thread::spawn(move || {
+                let w = p.writer(0, 0, Role::Server);
+                loop {
+                    let s = os.metrics().map(|m| m.task_snapshot(0)).unwrap_or_default();
+                    w.set_progress(s.requests_served);
+                    w.set_queue_depth(ch.receive_queue().queued_len() as u64);
+                    w.set_waiters(n_clients as u64);
+                    w.publish(&s);
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            })
+        });
 
         let pr = arena.get(root);
         for _ in 0..n_clients {
@@ -1666,14 +1860,28 @@ mod proc_harness {
         }
         let server_run = join_server(server, "proc-experiment");
         let elapsed = start.elapsed();
+        // The observer needs live traffic: reap it before stopping the
+        // sampler only if it already finished, otherwise let the final
+        // publishes flow while it waits for its advancing pair.
+        let observer_exit = observer_child.map(|child| reap_child(child, "observer"));
+        stop_sampler.store(true, Ordering::Release);
+        if let Some(h) = sampler {
+            let _ = h.join();
+        }
 
         let exits: Vec<ExitStatus> = children
-            .into_iter()
+            .drain(..)
             .enumerate()
             .map(|(c, child)| reap_child(child, &format!("client {c}")))
             .collect();
         for (c, e) in exits.iter().enumerate() {
             assert!(e.success(), "client {c} failed: {e:?}");
+        }
+        if let Some(e) = &observer_exit {
+            assert!(
+                e.success(),
+                "external observer failed: {e:?} (2=attach, 6=no plane, 7=stale, 8=torn)"
+            );
         }
 
         let cells = arena.get_slice(pr.cells);
@@ -1692,6 +1900,7 @@ mod proc_harness {
             .collect();
 
         let messages = msgs_per_client * n_clients as u64;
+        let telemetry = plane.map(|p| p.readings());
         ProcExperimentResult {
             throughput: messages as f64 / (elapsed.as_secs_f64() * 1e3),
             elapsed,
@@ -1701,6 +1910,8 @@ mod proc_harness {
             client_metrics,
             client_samples,
             exits,
+            telemetry,
+            observer_exit,
         }
     }
 
@@ -1722,7 +1933,18 @@ mod proc_harness {
         pub victim_progress: u64,
         /// Exit statuses of the surviving clients (all `Exited(0)`).
         pub survivor_exits: Vec<ExitStatus>,
+        /// The flight-recorder postmortem: Perfetto/Chrome JSON of every
+        /// task's final events, cut by the server the moment it detected
+        /// the death — the victim's records read out of shared memory,
+        /// where they survived the SIGKILL.
+        pub flight_dump: Option<String>,
+        /// Final telemetry readings (server slot + surviving clients).
+        pub telemetry: Option<Vec<TelemetryReading>>,
     }
+
+    /// Flight-ring capacity for the kill drill: generous enough to hold
+    /// the victim's whole final conversation (~10 events per round trip).
+    const KILL_FLIGHT_CAPACITY: usize = 2048;
 
     /// Echo round trips the victim must complete before the SIGKILL, so
     /// the kill provably lands mid-conversation, not before the first
@@ -1752,8 +1974,16 @@ mod proc_harness {
         heartbeat: Duration,
     ) -> ProcKillResult {
         assert!(n_clients >= 1);
-        let (arena, os, channel, root) =
-            build_proc_world(&strategy.name(), n_clients, msgs_per_client, 0, -1);
+        let (arena, os, channel, root, plane) = build_proc_world(
+            &strategy.name(),
+            n_clients,
+            msgs_per_client,
+            0,
+            -1,
+            Some(ProcTelemetry {
+                flight_capacity: KILL_FLIGHT_CAPACITY,
+            }),
+        );
         let fd = arena.backing_fd().expect("memfd backing");
 
         let children: Vec<ChildProc> = (0..n_clients as u32)
@@ -1767,8 +1997,28 @@ mod proc_harness {
         let server = {
             let ch = channel.clone();
             let t0 = os.task(0);
+            let plane = plane.clone();
             std::thread::spawn(move || {
-                crate::server::run_resilient_server(&ch, &t0, strategy, heartbeat, |m| m)
+                let writer = plane.as_ref().map(|p| p.writer(0, 0, Role::Server));
+                let flight = plane.as_ref().and_then(|p| p.flight());
+                let mut names = vec![(0, "server".to_string())];
+                for c in 0..n_clients as u32 {
+                    names.push((1 + c, format!("client{c}")));
+                }
+                names.push((1 + n_clients as u32, "monitor".to_string()));
+                let obs = crate::server::ServerObservability {
+                    telemetry: writer.as_ref(),
+                    flight: flight.as_ref(),
+                    task_names: names,
+                };
+                crate::server::run_resilient_server_observed(
+                    &ch,
+                    &t0,
+                    strategy,
+                    heartbeat,
+                    obs,
+                    |m| m,
+                )
             })
         };
 
@@ -1805,7 +2055,7 @@ mod proc_harness {
         let monitor = os.task(1 + n_clients as u32);
         channel.reply_queue(0).mark_consumer_dead(&monitor);
 
-        let server_run = join_server(server, "proc-kill");
+        let (server_run, flight_dump) = join_server(server, "proc-kill");
         let victim_exit = victim.wait().expect("reap victim");
         assert_eq!(
             victim_exit,
@@ -1827,6 +2077,8 @@ mod proc_harness {
             victim_reply_poisoned: channel.reply_queue(0).is_poisoned(),
             victim_progress,
             survivor_exits,
+            flight_dump,
+            telemetry: plane.map(|p| p.readings()),
         }
     }
 }
@@ -1836,6 +2088,6 @@ mod proc_harness {
     any(target_arch = "x86_64", target_arch = "aarch64")
 ))]
 pub use proc_harness::{
-    run_proc_experiment, run_proc_experiment_pinned, run_proc_kill_experiment,
-    ProcExperimentResult, ProcKillResult,
+    run_proc_experiment, run_proc_experiment_pinned, run_proc_experiment_pinned_telemetry,
+    run_proc_kill_experiment, run_proc_observed_experiment, ProcExperimentResult, ProcKillResult,
 };

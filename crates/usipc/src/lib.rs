@@ -71,6 +71,7 @@ pub mod sem;
 mod server;
 mod simulated;
 pub mod sysv;
+pub mod telemetry;
 pub mod trace;
 pub mod waitset;
 
@@ -94,12 +95,17 @@ pub use proc::{pin_to_cpu, set_sched_batch, ChildProc, ExitStatus, ProcError};
 pub use protocol::WaitStrategy;
 pub use sem::{CountingSem, PortableSem};
 pub use server::{
-    run_calculator_server, run_echo_server, run_resilient_server, run_server, run_throttled_server,
-    ServerRun,
+    run_calculator_server, run_echo_server, run_resilient_server, run_resilient_server_observed,
+    run_server, run_throttled_server, ServerObservability, ServerRun,
 };
 pub use simulated::{SimCosts, SimIds, SimOs};
+pub use telemetry::{
+    FlightHandle, FlightRecorder, Role, SketchSnapshot, TelemetryPlane, TelemetryReading,
+    TelemetryWriter,
+};
 pub use trace::{
     bridge_sim_trace, SchedPoint, Span, TracePoint, TraceRecord, TraceRegistry, TraceRing,
     UnifiedTrace,
 };
+pub use usipc_shm::monotonic_nanos;
 pub use waitset::{MuxClient, ShardedConfig, ShardedServer, WaitSet, WaitSetRoot};

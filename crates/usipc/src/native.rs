@@ -12,7 +12,8 @@
 use crate::metrics::{EndpointMetrics, MetricsRegistry, ProtoEvent};
 use crate::platform::{Cost, HandoffHint, OsServices};
 use crate::sem::CountingSem;
-use crate::trace::{TraceRegistry, TraceRing};
+use crate::telemetry::{FlightHandle, FlightRecorder};
+use crate::trace::{TracePoint, TraceRegistry, TraceRing};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -156,6 +157,7 @@ pub struct NativeOs {
     full_backoff: Duration,
     metrics: Option<MetricsRegistry>,
     traces: Option<TraceRegistry>,
+    flight: OnceLock<FlightRecorder>,
 }
 
 impl NativeOs {
@@ -182,6 +184,7 @@ impl NativeOs {
             full_backoff: cfg.full_backoff,
             metrics: cfg.collect_metrics.then(MetricsRegistry::new),
             traces: cfg.trace_capacity.map(TraceRegistry::new),
+            flight: OnceLock::new(),
         })
     }
 
@@ -238,8 +241,39 @@ impl NativeOs {
         NativeTask {
             metrics: self.metrics.as_ref().map(|r| r.for_task(task_id)),
             trace: self.traces.as_ref().map(|r| r.for_task(task_id)),
+            flight: self.flight.get().and_then(|r| r.ring(task_id)),
             os: Arc::clone(self),
             task_id,
+        }
+    }
+
+    /// Arms the flight recorder: every task handle created *after* this
+    /// call mirrors its trace points into the recorder's shared-memory
+    /// ring for its task id, so a reader in another process can recover a
+    /// task's final events even after the writer is SIGKILLed. Returns
+    /// `false` (and changes nothing) if a recorder was already armed.
+    ///
+    /// Arming is create-time only by design: the hot path sees a plain
+    /// `Option` field, not a `OnceLock` load.
+    pub fn arm_flight(&self, recorder: FlightRecorder) -> bool {
+        self.flight.set(recorder).is_ok()
+    }
+
+    /// The armed flight recorder, if any.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.get()
+    }
+
+    /// Nanoseconds on the shared segment's clock axis when the semaphore
+    /// store lives in an arena; `None` for process-private stores.
+    fn arena_nanos(&self) -> Option<u64> {
+        match &self.sems {
+            SemStore::Local(_) => None,
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            SemStore::Shared { arena, .. } => Some(arena.now_nanos()),
         }
     }
 
@@ -310,6 +344,7 @@ pub struct NativeTask {
     task_id: u32,
     metrics: Option<Arc<EndpointMetrics>>,
     trace: Option<Arc<TraceRing>>,
+    flight: Option<FlightHandle>,
 }
 
 impl OsServices for NativeTask {
@@ -436,8 +471,25 @@ impl OsServices for NativeTask {
         self.trace.as_deref()
     }
 
+    fn trace(&self, p: TracePoint) {
+        if self.trace.is_none() && self.flight.is_none() {
+            return;
+        }
+        let now = self.now_nanos().unwrap_or(0);
+        if let Some(t) = &self.trace {
+            t.record(now, p);
+        }
+        if let Some(f) = &self.flight {
+            f.record(now, p);
+        }
+    }
+
     fn now_nanos(&self) -> Option<u64> {
-        Some(host_nanos())
+        // With a shared semaphore store the segment's clock epoch is the
+        // time origin, so two processes attached to one arena stamp
+        // comparable timestamps; process-private stores keep the local
+        // epoch (nothing outside this process will read them).
+        Some(self.os.arena_nanos().unwrap_or_else(host_nanos))
     }
 }
 
@@ -597,6 +649,63 @@ mod tests {
         assert_eq!(s.tas_ops, 1);
         // Another task's counters are independent.
         assert_eq!(os.metrics().unwrap().task_snapshot(0), Default::default());
+    }
+
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    #[test]
+    fn shared_store_stamps_on_the_segment_clock_axis() {
+        let arena = Arc::new(ShmArena::new(1 << 16).unwrap());
+        let (os, _sems) =
+            NativeOs::new_shared(NativeConfig::for_clients(1), arena.clone()).unwrap();
+        let t = os.task(0);
+        let host = host_nanos();
+        let a = t.now_nanos().unwrap();
+        let b = t.now_nanos().unwrap();
+        assert!(b >= a, "segment clock went backwards");
+        // The segment axis starts at the arena's creation, so its readings
+        // sit far below the raw host monotonic clock (which the process
+        // epoch also shrinks, but independently) — the point is simply
+        // that we are *not* on the host_nanos axis when shared.
+        assert!(a <= arena.now_nanos().max(host));
+        assert_eq!(
+            t.now_nanos().unwrap() / 1_000_000_000,
+            arena.now_nanos() / 1_000_000_000,
+            "shared-mode timestamps must come from the arena epoch"
+        );
+    }
+
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    #[test]
+    fn armed_flight_mirrors_trace_points_into_the_segment() {
+        use crate::telemetry::TelemetryPlane;
+        use crate::trace::Span;
+
+        let arena = Arc::new(ShmArena::new(1 << 18).unwrap());
+        let (os, _sems) =
+            NativeOs::new_shared(NativeConfig::for_clients(1), arena.clone()).unwrap();
+        let plane = TelemetryPlane::create_in(&arena, 2, 2, 32).unwrap();
+        let recorder = plane.flight().unwrap();
+        assert!(os.arm_flight(recorder.clone()));
+        assert!(!os.arm_flight(recorder.clone()), "second arming is a no-op");
+
+        // A task created after arming mirrors every trace point.
+        let t = os.task(1);
+        t.trace(TracePoint::Begin(Span::RoundTrip));
+        t.record(ProtoEvent::SemP);
+        t.trace(TracePoint::End(Span::RoundTrip));
+
+        let trace = recorder.collect(&[(1, "client".into())]);
+        let recs = trace.task_records(1);
+        assert_eq!(recs.len(), 3);
+        assert!(matches!(recs[0].point, TracePoint::Begin(Span::RoundTrip)));
+        assert!(matches!(recs[1].point, TracePoint::Proto(ProtoEvent::SemP)));
+        assert!(recs.windows(2).all(|w| w[0].ts_nanos <= w[1].ts_nanos));
     }
 
     #[test]

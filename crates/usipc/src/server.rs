@@ -12,6 +12,7 @@ use crate::metrics::{MetricsSnapshot, ProtoEvent};
 use crate::msg::{opcode, Message};
 use crate::platform::{Cost, OsServices};
 use crate::protocol::WaitStrategy;
+use crate::telemetry::{FlightRecorder, TelemetryWriter};
 
 /// Statistics from one server run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -104,8 +105,54 @@ pub fn run_resilient_server<O: OsServices>(
     os: &O,
     strategy: WaitStrategy,
     heartbeat: core::time::Duration,
-    mut handler: impl FnMut(Message) -> Message,
+    handler: impl FnMut(Message) -> Message,
 ) -> ServerRun {
+    run_resilient_server_observed(
+        ch,
+        os,
+        strategy,
+        heartbeat,
+        ServerObservability::none(),
+        handler,
+    )
+    .0
+}
+
+/// Observability hooks for [`run_resilient_server_observed`]: both are
+/// optional, and both cost nothing when absent.
+#[derive(Default)]
+pub struct ServerObservability<'a> {
+    /// Telemetry slot the server publishes into — each heartbeat expiry
+    /// and every 64th request, so an external `usipc-top` sees advancing
+    /// counters and gauges whether the server is idle or saturated.
+    pub telemetry: Option<&'a TelemetryWriter>,
+    /// Flight recorder to dump when the first peer death is detected.
+    pub flight: Option<&'a FlightRecorder>,
+    /// Task names for the flight dump's Perfetto metadata.
+    pub task_names: Vec<(u32, String)>,
+}
+
+impl ServerObservability<'_> {
+    /// No hooks: behaves exactly like [`run_resilient_server`].
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
+
+/// [`run_resilient_server`] with the observability plane attached; see
+/// [`ServerObservability`]. Returns the run plus the **flight-recorder
+/// postmortem**: the first time a peer death is detected (by liveness scan
+/// or by a failed reply), the last events of *every* task — including the
+/// victim's, read out of shared memory where they survived the death — are
+/// serialized as Perfetto/Chrome JSON.
+pub fn run_resilient_server_observed<O: OsServices>(
+    ch: &Channel,
+    os: &O,
+    strategy: WaitStrategy,
+    heartbeat: core::time::Duration,
+    obs: ServerObservability<'_>,
+    mut handler: impl FnMut(Message) -> Message,
+) -> (ServerRun, Option<String>) {
     use crate::fault::IpcError;
     ch.register_server_task(os.task_id());
     let n = ch.n_clients();
@@ -114,6 +161,7 @@ pub fn run_resilient_server<O: OsServices>(
     let mut gone = vec![false; n as usize];
     let mut live = n;
     let mut run = ServerRun::default();
+    let mut postmortem: Option<String> = None;
     let start = task_snapshot(os);
     let server = ch.server(os, strategy);
     let reap = |c: u32, gone: &mut [bool], live: &mut u32, run: &mut ServerRun| {
@@ -123,6 +171,25 @@ pub fn run_resilient_server<O: OsServices>(
             run.reaped += 1;
         }
     };
+    // The postmortem is cut at the *first* death: that is the instant the
+    // victim's final events are freshest in its shared-memory ring, before
+    // the survivors' continuing traffic overwrites context around them.
+    let dump = |slot: &mut Option<String>| {
+        if slot.is_none() {
+            if let Some(f) = obs.flight {
+                *slot = Some(f.collect(&obs.task_names).to_chrome_json());
+            }
+        }
+    };
+    let publish = |run: &ServerRun, live: u32| {
+        if let Some(w) = obs.telemetry {
+            w.publish(&task_snapshot(os).diff(&start));
+            w.set_queue_depth(ch.receive_queue().queued_len() as u64);
+            w.set_waiters(live as u64);
+            w.set_progress(run.processed);
+        }
+    };
+    publish(&run, live);
     while live > 0 {
         let m = match server.receive_deadline(heartbeat) {
             Ok(m) => m,
@@ -136,12 +203,14 @@ pub fn run_resilient_server<O: OsServices>(
                     let rq = ch.reply_queue(c);
                     if !rq.consumer_alive() {
                         os.record(ProtoEvent::PeerDeathDetected);
+                        dump(&mut postmortem);
                         rq.poison(os);
                         reap(c, &mut gone, &mut live, &mut run);
                     } else if rq.is_poisoned() {
                         reap(c, &mut gone, &mut live, &mut run);
                     }
                 }
+                publish(&run, live);
                 continue;
             }
             // The receive queue itself was poisoned: the channel as a
@@ -155,6 +224,9 @@ pub fn run_resilient_server<O: OsServices>(
         }
         os.charge(Cost::Request);
         run.processed += 1;
+        if run.processed % 64 == 0 {
+            publish(&run, live);
+        }
         if m.opcode == opcode::DISCONNECT {
             run.disconnects += 1;
             if !gone[m.channel as usize] {
@@ -168,6 +240,7 @@ pub fn run_resilient_server<O: OsServices>(
             match server.reply_deadline(m.channel, ans, heartbeat) {
                 Ok(()) => {}
                 Err(IpcError::PeerDead) | Err(IpcError::Poisoned) => {
+                    dump(&mut postmortem);
                     reap(m.channel, &mut gone, &mut live, &mut run);
                 }
                 Err(_) => {} // QueueFull/Timeout: reply dropped, client's
@@ -176,7 +249,8 @@ pub fn run_resilient_server<O: OsServices>(
         }
     }
     run.metrics = task_snapshot(os).diff(&start);
-    run
+    publish(&run, live);
+    (run, postmortem)
 }
 
 /// The paper's benchmark server: echoes the argument back.

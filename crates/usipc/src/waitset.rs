@@ -605,6 +605,22 @@ impl ShardedServer {
         &self,
         os: &O,
         s: usize,
+        handler: impl FnMut(Message) -> Message,
+    ) -> ServerRun {
+        self.run_worker_observed(os, s, None, handler)
+    }
+
+    /// [`Self::run_worker`] publishing into a telemetry slot: each
+    /// heartbeat expiry and every 64th request the worker's counter
+    /// window, the shard's queued backlog (`queue_depth`), its live
+    /// member count (`waiters`), and its processed total (`progress`)
+    /// land in the slot — only the worker's own cache-line-padded slot
+    /// is written, so the hot path stays write-free for readers.
+    pub fn run_worker_observed<O: OsServices>(
+        &self,
+        os: &O,
+        s: usize,
+        telemetry: Option<&crate::telemetry::TelemetryWriter>,
         mut handler: impl FnMut(Message) -> Message,
     ) -> ServerRun {
         let mut run = ServerRun::default();
@@ -612,14 +628,31 @@ impl ShardedServer {
         for &c in &self.members[s] {
             self.channels[c as usize].register_server_task(os.task_id());
         }
+        let publish = |run: &ServerRun| {
+            if let Some(w) = telemetry {
+                let now = os.metrics().map(|m| m.snapshot()).unwrap_or_default();
+                w.publish(&now.diff(&start));
+                w.set_queue_depth(self.shard_backlog(s) as u64);
+                w.set_waiters(self.live_members(s) as u64);
+                w.set_progress(run.processed);
+            }
+        };
         let ws = self.waitset(s);
         let mut cursor = 0usize;
+        publish(&run);
         while self.live_members(s) > 0 {
             match ws.wait_deadline(os, &mut cursor, self.cfg.heartbeat) {
-                Ok(slot) => self.drain_source(os, s, slot, &mut handler, &mut run),
+                Ok(slot) => {
+                    let before = run.processed;
+                    self.drain_source(os, s, slot, &mut handler, &mut run);
+                    if run.processed / 64 != before / 64 {
+                        publish(&run);
+                    }
+                }
                 Err(IpcError::Timeout) => {
                     self.scan_shard(os, s, &mut run);
                     self.try_steal(os, s, &mut handler, &mut run);
+                    publish(&run);
                 }
                 Err(_) => break,
             }
@@ -629,6 +662,7 @@ impl ShardedServer {
             .map(|m| m.snapshot())
             .unwrap_or_default()
             .diff(&start);
+        publish(&run);
         run
     }
 }

@@ -293,4 +293,41 @@ fn killed_child_is_detected_reaped_and_poisoned() {
     );
     assert!(run.victim_reply_poisoned, "victim's reply queue poisoned");
     assert!(run.survivor_exits.iter().all(|e| e.success()));
+
+    // The flight recorder armed for the drill must have produced a
+    // postmortem at the moment the death was detected: Perfetto JSON,
+    // span-balanced, naming the victim, and — the point of the whole
+    // exercise — carrying the victim's final events read back out of
+    // the shared segment after the SIGKILL.
+    let dump = run
+        .flight_dump
+        .as_deref()
+        .expect("peer death must trigger a flight-recorder dump");
+    assert!(
+        dump.starts_with("{\"traceEvents\":[") && dump.trim_end().ends_with('}'),
+        "dump is a Chrome/Perfetto JSON object"
+    );
+    assert!(
+        dump.contains("\"client0\""),
+        "the victim appears in the dump's thread names"
+    );
+    let begins = dump.matches("\"ph\":\"B\"").count();
+    let ends = dump.matches("\"ph\":\"E\"").count();
+    assert_eq!(begins, ends, "every span Begin pairs with an End");
+    assert!(begins > 0, "the dump is not empty of spans");
+    assert!(
+        dump.matches("\"pid\":0,\"tid\":1}").count() > 0,
+        "the victim's own final spans survived the SIGKILL in shared memory"
+    );
+
+    // The telemetry plane rode the same segment: the server's slot must
+    // hold a final published snapshot whose progress gauge matches the
+    // requests it actually served.
+    let readings = run.telemetry.expect("kill drill runs with telemetry on");
+    let server_slot = readings
+        .iter()
+        .find(|r| r.task_id == 0)
+        .expect("server telemetry slot published");
+    assert_eq!(server_slot.progress, run.server_run.processed);
+    assert!(server_slot.snapshot.requests_served > 0);
 }
