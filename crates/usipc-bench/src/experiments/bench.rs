@@ -14,17 +14,24 @@
 //! across a real `fork()`: parent server, child client, memfd segment —
 //! the paper's actual cross-address-space configuration. Those rows carry
 //! `"mode": "procs"` next to the `"mode": "threads"` baselines, so the
-//! thread-vs-process round-trip cost is recorded side by side. This file
-//! is the repo's recorded perf trajectory; future PRs regress against it.
+//! thread-vs-process round-trip cost is recorded side by side.
+//!
+//! Every thread-mode protocol is measured on **both queue kinds** — the
+//! pooled two-lock M&S queue and the wait-free arena ring
+//! (`"queue": "two_lock"` / `"queue": "ring"`) — so the queue-swap cost
+//! sits in the recorded matrix next to the protocol cost it rides under.
+//! This file is the repo's recorded perf trajectory; future PRs regress
+//! against it.
 
 use super::{ExperimentOutput, RunOpts};
 use crate::table::Table;
 use std::path::PathBuf;
 use std::time::Duration;
 use usipc::harness::{
-    run_native_experiment, run_waitset_load_experiment, Mechanism, NativeExperimentResult,
+    run_native_experiment_with_queue, run_waitset_load_experiment, Mechanism,
+    NativeExperimentResult,
 };
-use usipc::WaitStrategy;
+use usipc::{QueueKind, WaitStrategy};
 
 /// `MAX_SPIN` for the BSLS run (the paper's §4.2 sweet spot is workload
 /// dependent; 50 polls is the repo-wide default used by Fig. 10's midpoint).
@@ -37,6 +44,8 @@ struct ProtocolBaseline {
     /// `"threads"` (in-process, the library default) or `"procs"`
     /// (forked child over a memfd arena).
     mode: &'static str,
+    /// Channel queue representation: `"two_lock"` or `"ring"`.
+    queue: &'static str,
     round_trips: u64,
     elapsed_ms: f64,
     throughput: f64,
@@ -113,9 +122,14 @@ fn measure(
     strategy: WaitStrategy,
     clients: usize,
     msgs_per_client: u64,
+    queue_kind: QueueKind,
 ) -> Option<ProtocolBaseline> {
-    let run: NativeExperimentResult =
-        run_native_experiment(Mechanism::UserLevel(strategy), clients, msgs_per_client);
+    let run: NativeExperimentResult = run_native_experiment_with_queue(
+        Mechanism::UserLevel(strategy),
+        clients,
+        msgs_per_client,
+        queue_kind,
+    );
     // Each client's disconnect is a full round trip too (metrics include
     // it; the raw samples cover only the echoes), so divide by both.
     let rt = run.messages + clients as u64;
@@ -126,6 +140,7 @@ fn measure(
         name,
         detail: strategy.name(),
         mode: "threads",
+        queue: queue_kind.label(),
         round_trips: rt,
         elapsed_ms: run.elapsed.as_secs_f64() * 1e3,
         throughput: run.throughput,
@@ -164,6 +179,7 @@ fn measure_procs_all(clients: usize, msgs_per_client: u64) -> Vec<ProtocolBaseli
                 name,
                 detail: strategy.name(),
                 mode: "procs",
+                queue: QueueKind::default().label(),
                 round_trips: rt,
                 elapsed_ms: run.elapsed.as_secs_f64() * 1e3,
                 throughput: run.throughput,
@@ -270,7 +286,7 @@ fn to_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"usipc-bench-protocols/v3\",\n");
+    s.push_str("  \"schema\": \"usipc-bench-protocols/v4\",\n");
     s.push_str("  \"backend\": \"native\",\n");
     s.push_str("  \"quantiles\": \"exact\",\n");
     s.push_str(&format!("  \"clients\": {clients},\n"));
@@ -281,6 +297,7 @@ fn to_json(
         s.push_str(&format!("      \"name\": \"{}\",\n", r.name));
         s.push_str(&format!("      \"detail\": \"{}\",\n", r.detail));
         s.push_str(&format!("      \"mode\": \"{}\",\n", r.mode));
+        s.push_str(&format!("      \"queue\": \"{}\",\n", r.queue));
         s.push_str(&format!("      \"round_trips\": {},\n", r.round_trips));
         s.push_str(&format!("      \"elapsed_ms\": {},\n", num(r.elapsed_ms)));
         s.push_str(&format!(
@@ -439,9 +456,15 @@ pub(crate) fn run(opts: RunOpts) -> ExperimentOutput {
         Vec::new()
     };
 
-    let mut rows: Vec<ProtocolBaseline> = protocols()
+    // Both queue kinds, every protocol: the ring-vs-two-lock delta is
+    // the PR-over-PR signal `figures regress` bands on.
+    let mut rows: Vec<ProtocolBaseline> = [QueueKind::TwoLock, QueueKind::Ring]
         .iter()
-        .filter_map(|&(name, strategy)| measure(name, strategy, clients, opts.msgs_per_client))
+        .flat_map(|&kind| {
+            protocols().into_iter().filter_map(move |(name, strategy)| {
+                measure(name, strategy, clients, opts.msgs_per_client, kind)
+            })
+        })
         .collect();
 
     // The WaitSet load matrix: fan-in scaling from 1 to `load_max_clients`
@@ -453,7 +476,7 @@ pub(crate) fn run(opts: RunOpts) -> ExperimentOutput {
         .collect();
 
     let mut tables = vec![baseline_table(
-        "native protocol baseline (1 client, threads, round-trip latency + syscalls/RT)",
+        "native protocol baseline (1 client, threads, two_lock then ring rows)",
         &rows,
     )];
     if !proc_rows.is_empty() {
@@ -472,10 +495,11 @@ pub(crate) fn run(opts: RunOpts) -> ExperimentOutput {
         .enumerate()
         .map(|(i, r)| {
             format!(
-                "protocol {i} = {} [{}]: p50 {:.2} µs, p99 {:.2} µs, {:.2} sem ops/RT, \
+                "protocol {i} = {} [{}/{}]: p50 {:.2} µs, p99 {:.2} µs, {:.2} sem ops/RT, \
                  {:.3} kernel waits/RT, {:.3} kernel wakes/RT, block rate {:.3}",
                 r.detail,
                 r.mode,
+                r.queue,
                 r.p50_us,
                 r.p99_us,
                 r.sem_ops_per_rt,

@@ -24,11 +24,16 @@
 //!   `doorbells_rung ≤ waitset_wakes + shards` (each WaitSet wake is
 //!   paid for by at most one `V`; the `+ shards` slack covers end-of-run
 //!   rings that land after the worker's final wake).
+//! * **Queue-kind band** — within the fresh file, each protocol's
+//!   `"ring"` row may not fall below its `"two_lock"` sibling's
+//!   throughput ÷ tolerance: the wait-free queue is allowed to be
+//!   noise-equal, never structurally slower than the lock-based one it
+//!   replaces on the hot path.
 //!
-//! Rows are matched by (`name`, `mode`) for protocols and by `clients`
-//! for the load matrix; baseline rows missing from the fresh file are
-//! regressions (coverage must not silently shrink), fresh rows missing
-//! from the baseline are ignored (new coverage lands first, gets
+//! Rows are matched by (`name`, `mode`, `queue`) for protocols and by
+//! `clients` for the load matrix; baseline rows missing from the fresh
+//! file are regressions (coverage must not silently shrink), fresh rows
+//! missing from the baseline are ignored (new coverage lands first, gets
 //! baselined on the next re-baseline).
 
 use crate::json::Json;
@@ -90,9 +95,11 @@ fn sem_budget(name: &str) -> Option<f64> {
 
 fn row_key(row: &Json) -> String {
     format!(
-        "{}[{}]",
+        "{}[{}/{}]",
         row.str("name").unwrap_or("?"),
-        row.str("mode").unwrap_or("?")
+        row.str("mode").unwrap_or("?"),
+        // Pre-v4 files carried no queue field; every row was two_lock.
+        row.str("queue").unwrap_or("two_lock")
     )
 }
 
@@ -183,6 +190,40 @@ pub fn compare(baseline: &Json, fresh: &Json, tol: Tolerance) -> RegressReport {
         }
     }
 
+    // The queue-kind band: compare ring rows against their two_lock
+    // siblings *within the fresh file* (same machine, same run — no
+    // cross-run noise), banded by the same tolerance as the baseline
+    // comparisons. The ring replaced a lock-based queue to kill a crash
+    // hazard; this gate keeps that from quietly costing throughput.
+    for f in fresh_rows {
+        if f.str("queue") != Some("ring") {
+            continue;
+        }
+        let (name, mode) = (f.str("name"), f.str("mode"));
+        let Some(sibling) = fresh_rows.iter().find(|s| {
+            s.str("queue") == Some("two_lock") && s.str("name") == name && s.str("mode") == mode
+        }) else {
+            continue;
+        };
+        let key = row_key(f);
+        let tp = "throughput_msgs_per_ms";
+        if let (Some(ring_tp), Some(lock_tp)) = (f.num(tp), sibling.num(tp)) {
+            if ring_tp < lock_tp / tol.latency {
+                rep.violations.push(format!(
+                    "{key}: ring throughput {ring_tp:.3} below two_lock {lock_tp:.3} ÷ {} = {:.3} \
+                     — the wait-free queue must not be structurally slower",
+                    tol.latency,
+                    lock_tp / tol.latency
+                ));
+            } else {
+                rep.passes.push(format!(
+                    "{key}: ring throughput {ring_tp:.3} within two_lock {lock_tp:.3} ÷ {}",
+                    tol.latency
+                ));
+            }
+        }
+    }
+
     let base_load = baseline
         .get("load_matrix")
         .and_then(Json::as_arr)
@@ -254,18 +295,38 @@ mod tests {
     fn doc(p50: f64, p99: f64, tp: f64, sem: f64, dbw: f64) -> Json {
         Json::parse(&format!(
             r#"{{
-              "schema": "usipc-bench-protocols/v3",
+              "schema": "usipc-bench-protocols/v4",
               "protocols": [
-                {{"name": "BSW", "mode": "threads", "p50_us": {p50},
-                  "p99_us": {p99}, "throughput_msgs_per_ms": {tp},
-                  "sem_ops_per_rt": {sem}}},
-                {{"name": "BSS", "mode": "threads", "p50_us": 0.5,
-                  "p99_us": 1.0, "throughput_msgs_per_ms": 2000.0,
-                  "sem_ops_per_rt": 0.0}}
+                {{"name": "BSW", "mode": "threads", "queue": "two_lock",
+                  "p50_us": {p50}, "p99_us": {p99},
+                  "throughput_msgs_per_ms": {tp}, "sem_ops_per_rt": {sem}}},
+                {{"name": "BSS", "mode": "threads", "queue": "two_lock",
+                  "p50_us": 0.5, "p99_us": 1.0,
+                  "throughput_msgs_per_ms": 2000.0, "sem_ops_per_rt": 0.0}}
               ],
               "load_matrix": [
                 {{"clients": 8, "p99_us": {p99}, "doorbell_vs_per_wake": {dbw}}}
               ]
+            }}"#
+        ))
+        .unwrap()
+    }
+
+    /// A v4 doc with a two_lock / ring sibling pair for one protocol,
+    /// with the given throughputs.
+    fn doc_kinds(lock_tp: f64, ring_tp: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{
+              "schema": "usipc-bench-protocols/v4",
+              "protocols": [
+                {{"name": "BSW", "mode": "threads", "queue": "two_lock",
+                  "p50_us": 2.0, "p99_us": 10.0,
+                  "throughput_msgs_per_ms": {lock_tp}, "sem_ops_per_rt": 4.0}},
+                {{"name": "BSW", "mode": "threads", "queue": "ring",
+                  "p50_us": 2.0, "p99_us": 10.0,
+                  "throughput_msgs_per_ms": {ring_tp}, "sem_ops_per_rt": 4.0}}
+              ],
+              "load_matrix": []
             }}"#
         ))
         .unwrap()
@@ -328,9 +389,9 @@ mod tests {
     fn missing_row_and_null_metric_fail() {
         let b = doc(2.0, 10.0, 400.0, 4.0, 0.9);
         let f = Json::parse(
-            r#"{"schema": "usipc-bench-protocols/v3",
+            r#"{"schema": "usipc-bench-protocols/v4",
                 "protocols": [{"name": "BSW", "mode": "threads",
-                  "p50_us": null, "p99_us": 1.0,
+                  "queue": "two_lock", "p50_us": null, "p99_us": 1.0,
                   "throughput_msgs_per_ms": 400.0, "sem_ops_per_rt": 4.0}],
                 "load_matrix": []}"#,
         )
@@ -340,20 +401,61 @@ mod tests {
         assert!(rep
             .violations
             .iter()
-            .any(|v| v.contains("BSS[threads]") && v.contains("missing")));
+            .any(|v| v.contains("BSS[threads/two_lock]") && v.contains("missing")));
         assert!(rep
             .violations
             .iter()
             .any(|v| v.contains("load[8 clients]") && v.contains("missing")));
     }
 
+    /// The queue-kind band compares within the fresh file: a ring row
+    /// noise-equal to (or faster than) its two_lock sibling passes; one
+    /// below the ÷ tolerance band is a structural regression.
+    #[test]
+    fn ring_vs_two_lock_band_gates_within_the_fresh_file() {
+        let b = doc_kinds(400.0, 400.0);
+        let ok = doc_kinds(400.0, 150.0); // within 400 ÷ 4
+        let rep = compare(&b, &ok, Tolerance::default());
+        assert!(
+            rep.passes
+                .iter()
+                .any(|p| p.contains("ring throughput") && p.contains("within")),
+            "{:?}",
+            rep.passes
+        );
+        let bad = doc_kinds(400.0, 99.0); // below 400 ÷ 4
+        let rep = compare(&b, &bad, Tolerance::default());
+        assert!(
+            rep.violations
+                .iter()
+                .any(|v| v.contains("structurally slower")),
+            "{:?}",
+            rep.violations
+        );
+    }
+
+    /// Pre-v4 rows carry no `queue` field; they key as two_lock so a
+    /// re-baselined v4 file still matches them by name and mode.
+    #[test]
+    fn queueless_rows_key_as_two_lock() {
+        let rep = compare(
+            &doc(2.0, 10.0, 400.0, 4.0, 0.9),
+            &doc(2.0, 10.0, 400.0, 4.0, 0.9),
+            Tolerance::default(),
+        );
+        assert!(rep
+            .passes
+            .iter()
+            .any(|p| p.contains("BSW[threads/two_lock]")));
+    }
+
     #[test]
     fn skip_missing_demotes_coverage_gaps_only() {
         let b = doc(2.0, 10.0, 400.0, 4.0, 0.9);
         let f = Json::parse(
-            r#"{"schema": "usipc-bench-protocols/v3",
+            r#"{"schema": "usipc-bench-protocols/v4",
                 "protocols": [{"name": "BSW", "mode": "threads",
-                  "p50_us": 2.0, "p99_us": 10.0,
+                  "queue": "two_lock", "p50_us": 2.0, "p99_us": 10.0,
                   "throughput_msgs_per_ms": 400.0, "sem_ops_per_rt": 4.3}],
                 "load_matrix": []}"#,
         )

@@ -3,7 +3,8 @@
 //! Attaches the telemetry plane of a **live, foreign** segment — by
 //! memfd path (`--attach /proc/<pid>/fd/<n>`) or inherited descriptor
 //! (`--fd N`) — and renders what the writers are publishing: per-slot
-//! counter snapshots, live gauges (queue depth, waiters, progress) and
+//! counter snapshots, live gauges (queue depth, waiters, progress,
+//! leaked slots) and
 //! the streaming round-trip latency sketch. The reader performs **zero
 //! writes** to the segment: seqlock'd snapshot reads plus relaxed gauge
 //! loads, so attaching a profiler to a production server perturbs
@@ -273,6 +274,7 @@ fn render_snapshot_frame(readings: &[usipc::TelemetryReading], now_nanos: u64) -
             "progress".into(),
             "queue".into(),
             "waiters".into(),
+            "leaked".into(),
             "rt_total".into(),
             "p50_us".into(),
             "p99_us".into(),
@@ -288,6 +290,7 @@ fn render_snapshot_frame(readings: &[usipc::TelemetryReading], now_nanos: u64) -
                 r.progress as f64,
                 r.queue_depth as f64,
                 r.waiters as f64,
+                r.slots_leaked as f64,
                 r.latency.count as f64,
                 r.latency.quantile_us(0.50),
                 r.latency.quantile_us(0.99),
@@ -317,6 +320,7 @@ fn render_rate_frame(
             "win_p99_us".into(),
             "queue".into(),
             "waiters".into(),
+            "leaked".into(),
             "age_ms".into(),
         ],
     );
@@ -336,6 +340,7 @@ fn render_rate_frame(
                 win.quantile_us(0.99),
                 r.queue_depth as f64,
                 r.waiters as f64,
+                r.slots_leaked as f64,
                 now_nanos.saturating_sub(r.published_at) as f64 / 1e6,
             ],
         );
@@ -370,6 +375,7 @@ mod tests {
             queue_depth: 2,
             waiters: 1,
             progress,
+            slots_leaked: 0,
             latency,
         }
     }

@@ -13,6 +13,11 @@
 //!   [`ShmArena`](usipc_shm::ShmArena): test-and-set spinlocks, node pool,
 //!   fixed capacity with flow control (`enqueue` returns `false` when full,
 //!   which is what triggers the paper's `sleep(1)` back-off).
+//! * [`ShmRing`] — lock-free bounded ring in the arena (per-slot sequence
+//!   numbers, SPSC and MPSC producer modes, crash-robust: a SIGKILLed
+//!   producer can never wedge survivors the way an abandoned spinlock
+//!   does). [`AnyShmFifo`] dispatches between it and [`ShmQueue`] at
+//!   runtime so channels select their queue kind per configuration.
 //! * [`MsQueue`] — nonblocking M&S queue with ABA-protected tagged offsets.
 //! * [`SpscRing`] — wait-free single-producer/single-consumer ring.
 //! * [`MpmcRing`] — bounded multi-producer/multi-consumer ring
@@ -27,16 +32,20 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+mod dispatch;
 mod mpmc;
 mod ms_lockfree;
+mod shm_ring;
 mod shm_two_lock;
 mod spinlock;
 mod spsc;
 mod two_lock;
 
+pub use dispatch::{AnyShmFifo, EnqueueFlow, QueueKind};
 pub use mpmc::MpmcRing;
 pub use ms_lockfree::MsQueue;
-pub use shm_two_lock::{HeadLockBusy, ShmQueue};
+pub use shm_ring::{MpscShmRing, RingMode, RingPush, RingReclaim, ShmRing, SpscShmRing};
+pub use shm_two_lock::{HeadLockBusy, ShmQueue, TailLockBusy, POOL_SLACK};
 pub use spinlock::SpinLock;
 pub use spsc::SpscRing;
 pub use two_lock::TwoLockQueue;

@@ -63,6 +63,15 @@ unsafe impl ShmSafe for QueueHeader {}
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HeadLockBusy;
 
+/// [`ShmQueue::enqueue_bounded`] gave up: the tail lock stayed held past
+/// the spin budget — the producer-side twin of [`HeadLockBusy`], i.e. a
+/// *producer* SIGKILLed inside its enqueue critical section. The value was
+/// not enqueued; callers degrade exactly as they would for a full queue
+/// (back off and retry a bounded number of times), which turns the former
+/// unbounded wedge into ordinary flow control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TailLockBusy;
+
 /// Handle to a two-lock FIFO queue in an arena (plain offsets, `Copy`).
 #[derive(Debug)]
 pub struct ShmQueue {
@@ -82,8 +91,10 @@ unsafe impl ShmSafe for ShmQueue {}
 /// dequeuers that have unlinked a node but not yet returned it to the pool.
 /// With fewer concurrent dequeuers than `POOL_SLACK` the `count`-based
 /// capacity check is exact and pool exhaustion can never cause a spurious
-/// "full" report.
-const POOL_SLACK: usize = 8;
+/// "full" report. Exactness is a *contract*, not a best effort: channel
+/// construction rejects configurations whose worst-case concurrent-dequeuer
+/// count could exceed this bound.
+pub const POOL_SLACK: usize = 8;
 
 impl ShmQueue {
     /// Creates an empty queue with room for `capacity` elements.
@@ -127,37 +138,136 @@ impl ShmQueue {
         let Some(node) = self.pool.alloc(arena) else {
             return false; // all slack consumed: treat as full
         };
-        let qn = arena.get(node).value();
-        qn.value.store(value, Ordering::Relaxed);
-        qn.next.store(NULL_OFFSET, Ordering::Relaxed);
-
-        let mut full = false;
-        hdr.tail_lock.with(|| {
-            if hdr.count.load(Ordering::Relaxed) >= hdr.capacity {
-                full = true;
-                return;
-            }
-            let tail: NodePtr = ShmPtr::from_raw(hdr.tail.load(Ordering::Relaxed));
-            // Release: publishes the payload store above to the consumer's
-            // acquiring load of `next`.
-            arena
-                .get(tail)
-                .value()
-                .next
-                .store(node.raw(), Ordering::Release);
-            hdr.tail.store(node.raw(), Ordering::Relaxed);
-            // Release, paired with the Acquire load in `is_empty`/`len`: a
-            // reader that observes the incremented count also observes the
-            // link store above, so "saw non-empty" really implies a
-            // following `dequeue` can find the node. (A Relaxed increment
-            // would let the count become visible before the link — a
-            // spinner could see `len() == 1` yet dequeue `None`.)
-            hdr.count.fetch_add(1, Ordering::Release);
-        });
+        self.prepare_node(arena, node, value);
+        hdr.tail_lock.lock();
+        let full = self.enqueue_locked(arena, hdr, node);
         if full {
             self.pool.free(arena, node);
         }
         !full
+    }
+
+    /// [`Self::enqueue`] with a *bounded* tail-lock acquisition: gives up
+    /// with [`TailLockBusy`] after roughly `max_yields` scheduler yields
+    /// instead of spinning forever — the exact producer-side mirror of
+    /// [`Self::dequeue_bounded`].
+    ///
+    /// The tail lock lives in the shared segment, so a producer SIGKILLed
+    /// inside its enqueue critical section leaves it held for good; an
+    /// unbounded `enqueue` by any surviving producer would then livelock.
+    /// A *live* holder's critical section is a handful of loads and stores
+    /// and completes within a yield or two, so exhausting the budget is
+    /// the signature of an abandoned lock. `Ok(false)` still means "full";
+    /// callers treat `Err` the same way (back off, retry bounded, let the
+    /// deadline/poison machinery decide the peer is dead) — never as a
+    /// reason to spin harder.
+    ///
+    /// # Errors
+    ///
+    /// [`TailLockBusy`] when the tail lock could not be acquired within
+    /// the budget; nothing was enqueued.
+    pub fn enqueue_bounded(
+        &self,
+        arena: &ShmArena,
+        value: u64,
+        max_yields: u32,
+    ) -> Result<bool, TailLockBusy> {
+        let hdr = arena.get(self.header);
+        let Some(node) = self.pool.alloc(arena) else {
+            return Ok(false); // all slack consumed: treat as full
+        };
+        self.prepare_node(arena, node, value);
+        let mut yields = 0u32;
+        let mut spins = 0u32;
+        while !hdr.tail_lock.try_lock() {
+            spins += 1;
+            if spins > 100 {
+                spins = 0;
+                if yields >= max_yields {
+                    self.pool.free(arena, node);
+                    return Err(TailLockBusy);
+                }
+                yields += 1;
+                std::thread::yield_now();
+            } else {
+                core::hint::spin_loop();
+            }
+        }
+        let full = self.enqueue_locked(arena, hdr, node);
+        if full {
+            self.pool.free(arena, node);
+        }
+        Ok(!full)
+    }
+
+    fn prepare_node(&self, arena: &ShmArena, node: NodePtr, value: u64) {
+        let qn = arena.get(node).value();
+        qn.value.store(value, Ordering::Relaxed);
+        qn.next.store(NULL_OFFSET, Ordering::Relaxed);
+    }
+
+    /// The enqueue body. The caller holds `tail_lock` (released here) and
+    /// owns `node`, already prepared; returns `true` when the queue was
+    /// full (caller frees the node).
+    fn enqueue_locked(&self, arena: &ShmArena, hdr: &QueueHeader, node: NodePtr) -> bool {
+        if hdr.count.load(Ordering::Relaxed) >= hdr.capacity {
+            hdr.tail_lock.unlock();
+            return true;
+        }
+        let tail: NodePtr = ShmPtr::from_raw(hdr.tail.load(Ordering::Relaxed));
+        // Release: publishes the payload store in `prepare_node` to the
+        // consumer's acquiring load of `next`.
+        arena
+            .get(tail)
+            .value()
+            .next
+            .store(node.raw(), Ordering::Release);
+        hdr.tail.store(node.raw(), Ordering::Relaxed);
+        // Release, paired with the Acquire load in `is_empty`/`len`: a
+        // reader that observes the incremented count also observes the
+        // link store above, so "saw non-empty" really implies a
+        // following `dequeue` can find the node. (A Relaxed increment
+        // would let the count become visible before the link — a
+        // spinner could see `len() == 1` yet dequeue `None`.)
+        hdr.count.fetch_add(1, Ordering::Release);
+        hdr.tail_lock.unlock();
+        false
+    }
+
+    /// Kill-drill hook: performs the first `steps` micro-operations of an
+    /// enqueue and then stops dead — *without* releasing anything — leaving
+    /// the segment exactly as a producer SIGKILLed at that point would.
+    /// Steps: 1 = pool slot allocated; 2 = + tail lock seized; 3 = + new
+    /// node linked after the tail; 4 = + tail advanced. (Step 5 would add
+    /// the count increment and the unlock — a completed enqueue — so it is
+    /// not offered; use [`Self::enqueue`].) Returns `false` if the pool
+    /// had no free slot.
+    #[doc(hidden)]
+    pub fn enqueue_abandoned_at(&self, arena: &ShmArena, value: u64, steps: u32) -> bool {
+        assert!((1..=4).contains(&steps), "steps must be 1..=4");
+        let hdr = arena.get(self.header);
+        let Some(node) = self.pool.alloc(arena) else {
+            return false;
+        };
+        self.prepare_node(arena, node, value);
+        if steps < 2 {
+            return true; // died between pool alloc and lock
+        }
+        hdr.tail_lock.lock();
+        if steps < 3 {
+            return true; // died holding the lock, before linking
+        }
+        let tail: NodePtr = ShmPtr::from_raw(hdr.tail.load(Ordering::Relaxed));
+        arena
+            .get(tail)
+            .value()
+            .next
+            .store(node.raw(), Ordering::Release);
+        if steps < 4 {
+            return true; // died after linking, before advancing the tail
+        }
+        hdr.tail.store(node.raw(), Ordering::Relaxed);
+        true // died before the count increment / unlock
     }
 
     /// Removes the oldest element, or `None` if the queue is empty.
@@ -435,6 +545,59 @@ mod tests {
         a.get(q.header).head_lock.unlock();
         assert_eq!(q.dequeue_bounded(&a, 10), Ok(Some(7)));
         assert_eq!(q.dequeue_bounded(&a, 10), Ok(None));
+    }
+
+    /// The producer-side abandoned-lock drill: a producer "dies" holding
+    /// the tail lock (seized here and never released), and
+    /// `enqueue_bounded` must give up with `TailLockBusy` instead of
+    /// spinning forever — the wedge that used to take down every other
+    /// producer. Once the lock is released, the same call enqueues
+    /// normally, and the give-up leaked no pool slot.
+    #[test]
+    fn enqueue_bounded_gives_up_on_abandoned_tail_lock() {
+        let (a, q) = queue(8);
+        assert!(q.enqueue(&a, 7));
+        let free_before = q.pool.capacity(&a) - q.pool.in_use(&a);
+        a.get(q.header).tail_lock.lock(); // the corpse's lock
+        assert_eq!(q.enqueue_bounded(&a, 8, 10), Err(TailLockBusy));
+        assert_eq!(q.len(&a), 1, "giving up must enqueue nothing");
+        assert_eq!(
+            q.pool.capacity(&a) - q.pool.in_use(&a),
+            free_before,
+            "giving up must not leak the staged pool slot"
+        );
+        a.get(q.header).tail_lock.unlock();
+        assert_eq!(q.enqueue_bounded(&a, 8, 10), Ok(true));
+        assert_eq!(q.dequeue(&a), Some(7));
+        assert_eq!(q.dequeue(&a), Some(8));
+    }
+
+    /// Every abandonment point `enqueue_abandoned_at` offers leaves the
+    /// queue in a state `enqueue_bounded` + `dequeue_bounded` survive:
+    /// either the lock was never taken (survivors operate normally) or it
+    /// was (survivors get the bounded-busy signal, never a wedge).
+    #[test]
+    fn every_enqueue_abandonment_point_is_survivable() {
+        for steps in 1..=4u32 {
+            let (a, q) = queue(8);
+            assert!(q.enqueue(&a, 1), "step {steps}: pre-fill");
+            assert!(q.enqueue_abandoned_at(&a, 666, steps));
+            match q.enqueue_bounded(&a, 2, 10) {
+                Ok(true) => {
+                    // Lock was free (died before seizing it): fully live.
+                    assert!(steps < 2, "step {steps}: lock should be held");
+                    assert_eq!(q.dequeue_bounded(&a, 10), Ok(Some(1)));
+                    assert_eq!(q.dequeue_bounded(&a, 10), Ok(Some(2)));
+                }
+                Err(TailLockBusy) => {
+                    // Lock abandoned: producers degrade, consumers drain
+                    // what was fully published before the death.
+                    assert!(steps >= 2, "step {steps}: lock should be free");
+                    assert_eq!(q.dequeue_bounded(&a, 10), Ok(Some(1)));
+                }
+                Ok(false) => panic!("step {steps}: queue cannot be full"),
+            }
+        }
     }
 
     #[test]

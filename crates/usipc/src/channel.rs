@@ -17,7 +17,7 @@ use crate::protocol::WaitStrategy;
 use crate::trace::{Span, TracePoint};
 use core::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
-use usipc_queue::ShmQueue;
+use usipc_queue::{AnyShmFifo, EnqueueFlow, QueueKind, RingMode, RingReclaim, ShmRing};
 use usipc_shm::{CacheAligned, ShmArena, ShmError, ShmPtr, ShmSafe, ShmSlice, SlotPool};
 
 /// A FIFO queue plus the sleep/wake-up state of its single consumer: the
@@ -26,7 +26,7 @@ use usipc_shm::{CacheAligned, ShmArena, ShmError, ShmPtr, ShmSafe, ShmSlice, Slo
 /// convention of [`platform`](crate::platform) rather than stored here.
 ///
 /// The `awake` flag gets its own cache line: every producer `tas`es it on
-/// every wake-up check while the consumer hammers the adjacent `ShmQueue`
+/// every wake-up check while the consumer hammers the adjacent queue
 /// handle and, in the reply-queue array, the next client's state starts
 /// right after — without the padding each `tas` would ping-pong a line that
 /// innocent bystanders are reading. (`CacheAligned` also makes the struct
@@ -35,7 +35,7 @@ use usipc_shm::{CacheAligned, ShmArena, ShmError, ShmPtr, ShmSafe, ShmSlice, Slo
 #[repr(C)]
 #[derive(Debug)]
 pub struct WaitableQueue {
-    queue: ShmQueue,
+    queue: AnyShmFifo,
     awake: CacheAligned<AtomicU32>,
     fault: CacheAligned<FaultHeader>,
 }
@@ -65,9 +65,21 @@ unsafe impl ShmSafe for WaitableQueue {}
 
 impl WaitableQueue {
     /// Creates a queue (with its `awake` flag initially set) in `arena`.
-    pub(crate) fn create(arena: &ShmArena, capacity: usize) -> Result<Self, ShmError> {
+    /// `kind` selects the implementation; `mode` is the ring's producer
+    /// topology (ignored for the two-lock kind): the shared receive queue
+    /// is multi-producer, a reply queue has one producer at a time (the
+    /// server — or a work-stealing thief, but hand-overs are ordered by
+    /// the client's own round-trip: the thief only holds the request
+    /// because it dequeued what the client enqueued *after* consuming the
+    /// previous reply).
+    pub(crate) fn create(
+        arena: &ShmArena,
+        capacity: usize,
+        kind: QueueKind,
+        mode: RingMode,
+    ) -> Result<Self, ShmError> {
         Ok(WaitableQueue {
-            queue: ShmQueue::create(arena, capacity)?,
+            queue: AnyShmFifo::create(arena, capacity, kind, mode)?,
             awake: CacheAligned::new(AtomicU32::new(1)),
             fault: CacheAligned::new(FaultHeader {
                 poison: AtomicU32::new(0),
@@ -122,6 +134,20 @@ pub struct ChannelConfig {
     /// multiplexing topology — give each channel a disjoint block so
     /// their semaphores never alias.
     pub sem_base: u32,
+    /// Which queue implementation every queue of this channel uses:
+    /// [`QueueKind::TwoLock`] (the paper's baseline, the default) or
+    /// [`QueueKind::Ring`] (lock-free — a SIGKILLed producer can never
+    /// wedge survivors on an abandoned lock). The same protocol code runs
+    /// on both; flow-control signals are identical.
+    pub queue_kind: QueueKind,
+    /// Worst-case number of *concurrent dequeuers per queue* the
+    /// deployment can produce. The default of 2 covers every shipped
+    /// topology: a queue's single consumer plus one concurrent fault-path
+    /// drainer (poisoner or work-stealing thief). [`Channel::create`]
+    /// rejects values above [`usipc_queue::POOL_SLACK`], because the
+    /// two-lock queue's "full means full" exactness contract only holds
+    /// while dequeuers-in-flight cannot exhaust the node pool's slack.
+    pub max_dequeuers: usize,
 }
 
 impl ChannelConfig {
@@ -132,6 +158,8 @@ impl ChannelConfig {
             queue_capacity: 64,
             extra_bytes: 0,
             sem_base: 0,
+            queue_kind: QueueKind::TwoLock,
+            max_dequeuers: 2,
         }
     }
 
@@ -150,6 +178,13 @@ impl ChannelConfig {
         self
     }
 
+    /// Selects the queue implementation (see [`ChannelConfig::queue_kind`]).
+    #[must_use]
+    pub fn with_queue_kind(mut self, kind: QueueKind) -> Self {
+        self.queue_kind = kind;
+        self
+    }
+
     /// Arena bytes this channel needs — the exact sizing
     /// [`Channel::create`] uses, exposed so a caller building its *own*
     /// arena (e.g. a memfd segment that also holds the semaphore table and
@@ -163,10 +198,16 @@ impl ChannelConfig {
     pub fn bytes_needed(&self) -> usize {
         let queues = self.n_clients + 1;
         // Every in-flight message holds a pool slot; the worst case is all
-        // queues simultaneously full.
-        let pool_slots = queues * self.queue_capacity + 8;
+        // queues simultaneously full. The ring rounds its capacity up to a
+        // power of two and can really hold that many, so the pool must be
+        // budgeted against the *effective* capacity.
+        let per_queue_slots = match self.queue_kind {
+            QueueKind::TwoLock => self.queue_capacity,
+            QueueKind::Ring => ShmRing::effective_capacity(self.queue_capacity),
+        };
+        let pool_slots = queues * per_queue_slots + 8;
         SlotPool::<MsgSlot>::bytes_needed(pool_slots)
-            + queues * ShmQueue::bytes_needed(self.queue_capacity)
+            + queues * AnyShmFifo::bytes_needed(self.queue_capacity, self.queue_kind)
             + self.n_clients * core::mem::size_of::<WaitableQueue>()
             + core::mem::align_of::<WaitableQueue>()
             + core::mem::size_of::<ChannelRoot>()
@@ -212,13 +253,29 @@ impl Channel {
     pub fn create_in(arena: Arc<ShmArena>, cfg: &ChannelConfig) -> Result<Channel, ShmError> {
         assert!(cfg.n_clients >= 1, "channel needs at least one client");
         assert!(cfg.queue_capacity >= 2, "queues need capacity >= 2");
+        // The POOL_SLACK exactness contract (see ChannelConfig::max_dequeuers):
+        // enforced here, at the only point that knows the deployment's
+        // concurrency, so "enqueue said full" always means full.
+        assert!(
+            cfg.max_dequeuers >= 1 && cfg.max_dequeuers <= usipc_queue::POOL_SLACK,
+            "max_dequeuers {} outside 1..={}: more concurrent dequeuers than \
+             POOL_SLACK could exhaust the node pool and fake a full queue",
+            cfg.max_dequeuers,
+            usipc_queue::POOL_SLACK
+        );
         let queues = cfg.n_clients + 1;
-        let pool_slots = queues * cfg.queue_capacity + 8;
+        let per_queue_slots = match cfg.queue_kind {
+            QueueKind::TwoLock => cfg.queue_capacity,
+            QueueKind::Ring => ShmRing::effective_capacity(cfg.queue_capacity),
+        };
+        let pool_slots = queues * per_queue_slots + 8;
         let pool = SlotPool::create(&arena, pool_slots, |_| MsgSlot::default())?;
 
-        let receive = WaitableQueue::create(&arena, cfg.queue_capacity)?;
+        let receive =
+            WaitableQueue::create(&arena, cfg.queue_capacity, cfg.queue_kind, RingMode::Mpsc)?;
         let reply = arena.alloc_slice(cfg.n_clients, |_| {
-            WaitableQueue::create(&arena, cfg.queue_capacity).expect("arena sized for queues")
+            WaitableQueue::create(&arena, cfg.queue_capacity, cfg.queue_kind, RingMode::Spsc)
+                .expect("arena sized for queues")
         })?;
         let root = arena.alloc(ChannelRoot {
             receive,
@@ -268,6 +325,11 @@ impl Channel {
     /// Number of clients the channel was created for.
     pub fn n_clients(&self) -> u32 {
         self.root().n_clients
+    }
+
+    /// Which queue implementation this channel's queues run on.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.root().receive.queue.kind()
     }
 
     /// Registers the server's platform task number as the hand-off target.
@@ -399,18 +461,45 @@ impl<'a> QueueRef<'a> {
 
 impl QueueRef<'_> {
     /// `enqueue(Q, msg)`: `false` means the queue is full (flow control).
+    ///
+    /// On the two-lock queue the tail-lock acquisition is *bounded*: if a
+    /// producer was SIGKILLed inside its critical section, each attempt
+    /// gives up after the yield budget and reports "full", degrading to
+    /// the protocols' ordinary back-off loop — each retry is individually
+    /// bounded, so the old unbounded wedge cannot recur, and the fallible
+    /// paths' deadline/poison machinery eventually declares the peer dead.
+    /// The ring has no locks; a poison-drain racing this enqueue may eat
+    /// the claimed slot, which counts as enqueued-then-drained (dead-peer
+    /// semantics), so the caller still sees `true`.
     pub fn try_enqueue<O: OsServices>(&self, os: &O, m: Message) -> bool {
+        // A live tail-lock holder finishes its handful of stores within a
+        // yield or two; exhausting this budget means an abandoned lock.
+        const TAIL_LOCK_YIELDS: u32 = 100;
         os.charge(Cost::QueueOp);
         let Some(slot) = self.pool.alloc(self.arena) else {
             return false; // pool pressure equals queue-full for callers
         };
         self.arena.get(slot).value().store(m);
-        if self.wq.queue.enqueue(self.arena, slot.raw() as u64) {
-            os.record(ProtoEvent::Enqueue);
-            true
-        } else {
-            self.pool.free(self.arena, slot);
-            false
+        match self
+            .wq
+            .queue
+            .try_enqueue(self.arena, slot.raw() as u64, TAIL_LOCK_YIELDS)
+        {
+            EnqueueFlow::Queued => {
+                os.record(ProtoEvent::Enqueue);
+                true
+            }
+            EnqueueFlow::Dropped => {
+                // The message was accepted and immediately lost to a
+                // poison-drain; free our slot (the drain never saw it).
+                self.pool.free(self.arena, slot);
+                os.record(ProtoEvent::Enqueue);
+                true
+            }
+            EnqueueFlow::Full | EnqueueFlow::LockBusy => {
+                self.pool.free(self.arena, slot);
+                false
+            }
         }
     }
 
@@ -511,9 +600,15 @@ impl QueueRef<'_> {
     /// SIGKILLed inside its dequeue critical section left the queue's
     /// head lock held in the segment forever. Each dequeue therefore
     /// bounds its lock acquisition and the drain stops at an abandoned
-    /// lock, leaking the in-flight messages and their pool slots rather
+    /// lock, stranding the in-flight messages and their pool slots rather
     /// than livelocking the poisoner — the channel is already poisoned,
-    /// so that capacity was unreachable either way.
+    /// so that capacity was unreachable either way. Every slot stranded
+    /// this way is *counted* ([`ProtoEvent::SlotLeaked`], surfaced as a
+    /// telemetry gauge and a `usipc-top` column) so segment attrition is
+    /// visible instead of silent. On the ring kind the drain additionally
+    /// reclaims holes left by producers that died between claim and
+    /// publish: a reclaimed-with-value hole is freed normally, a truly
+    /// dead one costs exactly one counted slot.
     pub fn drain<O: OsServices>(&self, os: &O) {
         // A live lock holder's critical section is a few loads and stores
         // and finishes within a yield or two even on one CPU; a budget
@@ -531,7 +626,31 @@ impl QueueRef<'_> {
                     self.pool.free(self.arena, slot);
                     os.record(ProtoEvent::Dequeue);
                 }
-                Ok(None) | Err(usipc_queue::HeadLockBusy) => return,
+                Ok(None) => match self.wq.queue.reclaim_stuck(self.arena) {
+                    RingReclaim::Recovered(off) => {
+                        // The "dead" producer published in the race window:
+                        // the message is real, recycle it like a dequeue.
+                        let slot: ShmPtr<usipc_shm::PoolSlot<MsgSlot>> =
+                            ShmPtr::from_raw(off as u32);
+                        self.pool.free(self.arena, slot);
+                        os.record(ProtoEvent::Dequeue);
+                    }
+                    RingReclaim::Leaked => {
+                        // A corpse's claimed-unpublished hole: its pool
+                        // slot is unreachable for good. Count and keep
+                        // draining whatever queued behind the hole.
+                        os.record(ProtoEvent::SlotLeaked);
+                    }
+                    RingReclaim::Clean => return,
+                },
+                Err(usipc_queue::HeadLockBusy) => {
+                    // Two-lock only: everything still queued is stranded
+                    // behind the abandoned head lock. Count it, then stop.
+                    for _ in 0..self.wq.queue.len(self.arena) {
+                        os.record(ProtoEvent::SlotLeaked);
+                    }
+                    return;
+                }
             }
         }
     }
@@ -807,48 +926,113 @@ mod tests {
     #[test]
     fn arena_sizing_survives_worst_case_occupancy() {
         // 64 clients × 256-deep queues: every queue simultaneously full is
-        // the worst case the sizing must cover.
-        let cfg = ChannelConfig {
-            queue_capacity: 256,
-            ..ChannelConfig::new(64)
-        };
-        let ch = Channel::create(&cfg).expect("arena sized for large configs");
-        let os = NativeOs::new(NativeConfig::for_clients(1)).task(0);
-        let mut queues = vec![ch.receive_queue()];
-        for c in 0..cfg.n_clients as u32 {
-            queues.push(ch.reply_queue(c));
-        }
-        for q in &queues {
-            for i in 0..cfg.queue_capacity {
-                assert!(
-                    q.try_enqueue(&os, Message::echo(0, i as f64)),
-                    "queue refused message {i} with the arena supposedly sized"
-                );
+        // the worst case the sizing must cover — on both queue kinds.
+        for kind in [QueueKind::TwoLock, QueueKind::Ring] {
+            let cfg = ChannelConfig {
+                queue_capacity: 256,
+                queue_kind: kind,
+                ..ChannelConfig::new(64)
+            };
+            let ch = Channel::create(&cfg).expect("arena sized for large configs");
+            assert_eq!(ch.queue_kind(), kind);
+            let os = NativeOs::new(NativeConfig::for_clients(1)).task(0);
+            let mut queues = vec![ch.receive_queue()];
+            for c in 0..cfg.n_clients as u32 {
+                queues.push(ch.reply_queue(c));
             }
-        }
-        for q in &queues {
-            assert_eq!(q.queued_len(), cfg.queue_capacity);
+            for q in &queues {
+                for i in 0..cfg.queue_capacity {
+                    assert!(
+                        q.try_enqueue(&os, Message::echo(0, i as f64)),
+                        "{kind:?}: queue refused message {i} with the arena supposedly sized"
+                    );
+                }
+            }
+            for q in &queues {
+                assert_eq!(q.queued_len(), cfg.queue_capacity);
+            }
         }
     }
 
     #[test]
     fn arena_sizing_is_not_a_gross_overestimate() {
-        for cfg in [
-            ChannelConfig::new(1),
-            ChannelConfig::new(6),
-            ChannelConfig {
-                queue_capacity: 256,
-                ..ChannelConfig::new(64)
-            },
-        ] {
+        for kind in [QueueKind::TwoLock, QueueKind::Ring] {
+            for cfg in [
+                ChannelConfig::new(1).with_queue_kind(kind),
+                ChannelConfig::new(6).with_queue_kind(kind),
+                ChannelConfig {
+                    queue_capacity: 256,
+                    queue_kind: kind,
+                    ..ChannelConfig::new(64)
+                },
+            ] {
+                let ch = Channel::create(&cfg).expect("create");
+                let (capacity, used) = (ch.arena().capacity(), ch.arena().used());
+                assert!(
+                    capacity <= 2 * used,
+                    "{kind:?}: {} clients × {}: arena {capacity} B but only {used} B used",
+                    cfg.n_clients,
+                    cfg.queue_capacity
+                );
+            }
+        }
+    }
+
+    /// Regression for the POOL_SLACK exactness contract: a config that
+    /// admits more concurrent dequeuers than the node pool's slack could
+    /// make `enqueue` report a spurious "full", so creation must refuse it
+    /// loudly instead of letting the deployment discover it under load.
+    #[test]
+    #[should_panic(expected = "max_dequeuers")]
+    fn create_rejects_more_dequeuers_than_pool_slack() {
+        let cfg = ChannelConfig {
+            max_dequeuers: usipc_queue::POOL_SLACK + 1,
+            ..ChannelConfig::new(1)
+        };
+        let _ = Channel::create(&cfg);
+    }
+
+    /// The full boundary stays exact at the configured limit.
+    #[test]
+    fn create_accepts_dequeuers_up_to_pool_slack() {
+        let cfg = ChannelConfig {
+            max_dequeuers: usipc_queue::POOL_SLACK,
+            ..ChannelConfig::new(1)
+        };
+        Channel::create(&cfg).expect("POOL_SLACK dequeuers are within contract");
+    }
+
+    /// Both queue kinds run the same round trip through a QueueRef —
+    /// enqueue, wake bookkeeping, dequeue — and agree on flow control.
+    #[test]
+    fn queue_ref_roundtrip_on_both_kinds() {
+        for kind in [QueueKind::TwoLock, QueueKind::Ring] {
+            let cfg = ChannelConfig {
+                queue_capacity: 4,
+                queue_kind: kind,
+                ..ChannelConfig::new(1)
+            };
             let ch = Channel::create(&cfg).expect("create");
-            let (capacity, used) = (ch.arena().capacity(), ch.arena().used());
-            assert!(
-                capacity <= 2 * used,
-                "{} clients × {}: arena {capacity} B but only {used} B used",
-                cfg.n_clients,
-                cfg.queue_capacity
-            );
+            let os = NativeOs::new(NativeConfig::for_clients(1)).task(0);
+            let q = ch.receive_queue();
+            // The ring rounds capacity up to a power of two; both kinds
+            // must accept at least the configured depth and refuse beyond
+            // their real one.
+            for i in 0..4 {
+                assert!(q.try_enqueue(&os, Message::echo(0, i as f64)), "{kind:?}");
+            }
+            let real_cap = match kind {
+                QueueKind::TwoLock => 4,
+                QueueKind::Ring => 4, // 4 is already a power of two
+            };
+            assert_eq!(q.queued_len(), real_cap, "{kind:?}");
+            assert!(!q.try_enqueue(&os, Message::echo(0, 9.0)), "{kind:?}: full");
+            for i in 0..4 {
+                let m = q.try_dequeue(&os).expect("queued message");
+                assert_eq!(m.value, i as f64, "{kind:?}: FIFO");
+            }
+            assert!(q.try_dequeue(&os).is_none(), "{kind:?}");
+            assert!(q.is_empty(&os), "{kind:?}");
         }
     }
 }

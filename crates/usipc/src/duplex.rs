@@ -21,6 +21,7 @@ use crate::protocol::{
     Deadline,
 };
 use std::sync::Arc;
+use usipc_queue::{QueueKind, RingMode};
 use usipc_shm::{ShmArena, ShmError, ShmPtr, ShmSafe, ShmSlice, SlotPool};
 
 /// Semaphore index of the server thread serving client `c`.
@@ -75,9 +76,23 @@ impl DuplexChannel {
         let pool = SlotPool::create(&arena, 2 * n_clients * queue_capacity + 8, |_| {
             MsgSlot::default()
         })?;
+        // One server thread per connection: both directions are SPSC. The
+        // duplex ablation stays on the two-lock baseline queue.
         let pairs = arena.alloc_slice(n_clients, |_| DuplexPair {
-            request: WaitableQueue::create(&arena, queue_capacity).expect("arena sized"),
-            reply: WaitableQueue::create(&arena, queue_capacity).expect("arena sized"),
+            request: WaitableQueue::create(
+                &arena,
+                queue_capacity,
+                QueueKind::TwoLock,
+                RingMode::Spsc,
+            )
+            .expect("arena sized"),
+            reply: WaitableQueue::create(
+                &arena,
+                queue_capacity,
+                QueueKind::TwoLock,
+                RingMode::Spsc,
+            )
+            .expect("arena sized"),
         })?;
         let root = arena.alloc(DuplexRoot {
             pairs,

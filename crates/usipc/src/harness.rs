@@ -18,6 +18,7 @@ use crate::sysv::{sysv_disconnect, sysv_echo};
 use crate::trace::{TraceRegistry, UnifiedTrace};
 use crate::{NativeConfig, NativeOs};
 use std::sync::Arc;
+use usipc_queue::QueueKind;
 use usipc_sim::{MachineModel, PolicyKind, SimBuilder, SimReport, VDur};
 
 /// Mark code: a client is about to issue its first request.
@@ -682,6 +683,24 @@ pub fn run_native_experiment(
     run_native_experiment_traced(mechanism, n_clients, msgs_per_client, None)
 }
 
+/// [`run_native_experiment`] with an explicit channel queue
+/// representation ([`QueueKind::Ring`] for the wait-free arena rings,
+/// [`QueueKind::TwoLock`] for the pooled linked queue). The protocol
+/// layer is untouched — this is how the bench matrix isolates the queue
+/// swap's cost.
+///
+/// # Panics
+///
+/// On echo corruption or a poisoned thread.
+pub fn run_native_experiment_with_queue(
+    mechanism: Mechanism,
+    n_clients: usize,
+    msgs_per_client: u64,
+    queue_kind: QueueKind,
+) -> NativeExperimentResult {
+    native_experiment(mechanism, n_clients, msgs_per_client, None, queue_kind)
+}
+
 /// [`run_native_experiment`] with optional event tracing: `trace_capacity`
 /// records are kept per task (host-time stamps, oldest dropped on
 /// overflow) and collected into the result's [`UnifiedTrace`].
@@ -695,7 +714,24 @@ pub fn run_native_experiment_traced(
     msgs_per_client: u64,
     trace_capacity: Option<usize>,
 ) -> NativeExperimentResult {
-    let channel = Channel::create(&ChannelConfig::new(n_clients)).expect("channel creation");
+    native_experiment(
+        mechanism,
+        n_clients,
+        msgs_per_client,
+        trace_capacity,
+        QueueKind::default(),
+    )
+}
+
+fn native_experiment(
+    mechanism: Mechanism,
+    n_clients: usize,
+    msgs_per_client: u64,
+    trace_capacity: Option<usize>,
+    queue_kind: QueueKind,
+) -> NativeExperimentResult {
+    let channel = Channel::create(&ChannelConfig::new(n_clients).with_queue_kind(queue_kind))
+        .expect("channel creation");
     let mut cfg = NativeConfig::for_clients(n_clients);
     cfg.trace_capacity = trace_capacity;
     let os = NativeOs::new(cfg);
@@ -1562,6 +1598,7 @@ mod proc_harness {
         total_samples: usize,
         pin_cpu: i32,
         telemetry: Option<ProcTelemetry>,
+        queue_kind: QueueKind,
     ) -> (
         Arc<ShmArena>,
         Arc<NativeOs>,
@@ -1571,7 +1608,7 @@ mod proc_harness {
     ) {
         use core::mem::{align_of, size_of};
         assert!(n_clients >= 1);
-        let ch_cfg = ChannelConfig::new(n_clients);
+        let ch_cfg = ChannelConfig::new(n_clients).with_queue_kind(queue_kind);
         // Telemetry slots follow the task-id convention: slot 0 the
         // server, slot 1+c client c. Flight rings additionally cover the
         // monitor task (1 + n_clients) the kill drill uses.
@@ -1723,7 +1760,15 @@ mod proc_harness {
         n_clients: usize,
         msgs_per_client: u64,
     ) -> ProcExperimentResult {
-        run_proc_experiment_opts(strategy, n_clients, msgs_per_client, None, false, false)
+        run_proc_experiment_opts(
+            strategy,
+            n_clients,
+            msgs_per_client,
+            None,
+            false,
+            false,
+            QueueKind::default(),
+        )
     }
 
     /// [`run_proc_experiment`] with everyone — the server thread and every
@@ -1750,6 +1795,34 @@ mod proc_harness {
             Some(cpu),
             false,
             false,
+            QueueKind::default(),
+        )
+    }
+
+    /// [`run_proc_experiment_pinned`] with an explicit channel queue
+    /// representation — the cross-process leg of the queue-kind bench
+    /// matrix and of the accounting pins (BSW must cost exactly 4
+    /// semaphore ops per round trip on *both* kinds: the queue swap is
+    /// below the protocol layer).
+    ///
+    /// # Panics
+    ///
+    /// As [`run_proc_experiment_pinned`].
+    pub fn run_proc_experiment_pinned_queue(
+        strategy: WaitStrategy,
+        n_clients: usize,
+        msgs_per_client: u64,
+        cpu: usize,
+        queue_kind: QueueKind,
+    ) -> ProcExperimentResult {
+        run_proc_experiment_opts(
+            strategy,
+            n_clients,
+            msgs_per_client,
+            Some(cpu),
+            false,
+            false,
+            queue_kind,
         )
     }
 
@@ -1764,7 +1837,15 @@ mod proc_harness {
         msgs_per_client: u64,
         cpu: usize,
     ) -> ProcExperimentResult {
-        run_proc_experiment_opts(strategy, n_clients, msgs_per_client, Some(cpu), true, false)
+        run_proc_experiment_opts(
+            strategy,
+            n_clients,
+            msgs_per_client,
+            Some(cpu),
+            true,
+            false,
+            QueueKind::default(),
+        )
     }
 
     /// [`run_proc_experiment`] with the telemetry plane on and an extra
@@ -1777,9 +1858,18 @@ mod proc_harness {
         n_clients: usize,
         msgs_per_client: u64,
     ) -> ProcExperimentResult {
-        run_proc_experiment_opts(strategy, n_clients, msgs_per_client, None, true, true)
+        run_proc_experiment_opts(
+            strategy,
+            n_clients,
+            msgs_per_client,
+            None,
+            true,
+            true,
+            QueueKind::default(),
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_proc_experiment_opts(
         strategy: WaitStrategy,
         n_clients: usize,
@@ -1787,6 +1877,7 @@ mod proc_harness {
         pin_cpu: Option<usize>,
         telemetry: bool,
         observer: bool,
+        queue_kind: QueueKind,
     ) -> ProcExperimentResult {
         let total_samples = n_clients * msgs_per_client as usize;
         let pin = pin_cpu.map_or(-1, |c| c as i32);
@@ -1797,6 +1888,7 @@ mod proc_harness {
             total_samples,
             pin,
             telemetry.then_some(ProcTelemetry { flight_capacity: 0 }),
+            queue_kind,
         );
         let fd = arena.backing_fd().expect("memfd backing");
 
@@ -1838,6 +1930,7 @@ mod proc_harness {
                     w.set_progress(s.requests_served);
                     w.set_queue_depth(ch.receive_queue().queued_len() as u64);
                     w.set_waiters(n_clients as u64);
+                    w.set_slots_leaked(s.slots_leaked);
                     w.publish(&s);
                     if stop.load(Ordering::Acquire) {
                         return;
@@ -1983,6 +2076,7 @@ mod proc_harness {
             Some(ProcTelemetry {
                 flight_capacity: KILL_FLIGHT_CAPACITY,
             }),
+            QueueKind::default(),
         );
         let fd = arena.backing_fd().expect("memfd backing");
 
@@ -2088,6 +2182,7 @@ mod proc_harness {
     any(target_arch = "x86_64", target_arch = "aarch64")
 ))]
 pub use proc_harness::{
-    run_proc_experiment, run_proc_experiment_pinned, run_proc_experiment_pinned_telemetry,
-    run_proc_kill_experiment, run_proc_observed_experiment, ProcExperimentResult, ProcKillResult,
+    run_proc_experiment, run_proc_experiment_pinned, run_proc_experiment_pinned_queue,
+    run_proc_experiment_pinned_telemetry, run_proc_kill_experiment, run_proc_observed_experiment,
+    ProcExperimentResult, ProcKillResult,
 };

@@ -107,5 +107,6 @@ pub use trace::{
     bridge_sim_trace, SchedPoint, Span, TracePoint, TraceRecord, TraceRegistry, TraceRing,
     UnifiedTrace,
 };
+pub use usipc_queue::QueueKind;
 pub use usipc_shm::monotonic_nanos;
 pub use waitset::{MuxClient, ShardedConfig, ShardedServer, WaitSet, WaitSetRoot};

@@ -114,10 +114,20 @@ pub enum ProtoEvent {
     /// A shard worker stole a ready source from an overloaded sibling
     /// shard and drained it locally.
     WorkStolen,
+    /// A message pool slot became permanently unreachable while draining a
+    /// poisoned queue: either the drain stopped at a lock a dead process
+    /// abandoned (two-lock queue — everything still queued behind it is
+    /// stranded, one event per stranded message), or a ring hole left by a
+    /// producer that died between claim and publish was reclaimed with its
+    /// slot lost. Segment attrition, surfaced so `usipc-top` shows it
+    /// instead of hiding it. Advisory upper bound: in the rare
+    /// reclaim-vs-slow-producer race the producer frees its own slot after
+    /// the event was already counted.
+    SlotLeaked,
 }
 
 /// Number of distinct [`ProtoEvent`] kinds.
-pub const N_EVENTS: usize = 25;
+pub const N_EVENTS: usize = 26;
 
 impl ProtoEvent {
     /// Every event kind, in discriminant order (`ALL[e as usize] == e`).
@@ -149,6 +159,7 @@ impl ProtoEvent {
         ProtoEvent::DoorbellCoalesced,
         ProtoEvent::WaitSetWake,
         ProtoEvent::WorkStolen,
+        ProtoEvent::SlotLeaked,
     ];
 
     /// Inverse of `e as usize` (used by the trace codec); `None` when `i`
@@ -357,6 +368,7 @@ pub struct MetricsSnapshot {
     pub doorbells_coalesced: u64,
     pub waitset_wakes: u64,
     pub work_stolen: u64,
+    pub slots_leaked: u64,
 }
 
 impl MetricsSnapshot {
@@ -387,6 +399,7 @@ impl MetricsSnapshot {
             ProtoEvent::DoorbellCoalesced => &mut self.doorbells_coalesced,
             ProtoEvent::WaitSetWake => &mut self.waitset_wakes,
             ProtoEvent::WorkStolen => &mut self.work_stolen,
+            ProtoEvent::SlotLeaked => &mut self.slots_leaked,
         }
     }
 
@@ -417,6 +430,7 @@ impl MetricsSnapshot {
             ProtoEvent::DoorbellCoalesced => self.doorbells_coalesced,
             ProtoEvent::WaitSetWake => self.waitset_wakes,
             ProtoEvent::WorkStolen => self.work_stolen,
+            ProtoEvent::SlotLeaked => self.slots_leaked,
         }
     }
 

@@ -183,10 +183,12 @@ pub fn run_resilient_server_observed<O: OsServices>(
     };
     let publish = |run: &ServerRun, live: u32| {
         if let Some(w) = obs.telemetry {
-            w.publish(&task_snapshot(os).diff(&start));
+            let snap = task_snapshot(os).diff(&start);
             w.set_queue_depth(ch.receive_queue().queued_len() as u64);
             w.set_waiters(live as u64);
             w.set_progress(run.processed);
+            w.set_slots_leaked(snap.slots_leaked);
+            w.publish(&snap);
         }
     };
     publish(&run, live);

@@ -222,6 +222,10 @@ pub struct TelemetrySlot {
     waiters: AtomicU64,
     /// Live gauge: round trips completed (clients) / requests served.
     progress: AtomicU64,
+    /// Live gauge: message pool slots permanently stranded by poisoned-
+    /// queue drains that hit an abandoned lock or a dead producer's ring
+    /// hole — segment attrition (see `ProtoEvent::SlotLeaked`).
+    slots_leaked: AtomicU64,
     /// Sketch sample count (monotone).
     sketch_count: AtomicU64,
     /// Sketch nanosecond sum (monotone).
@@ -246,6 +250,7 @@ impl TelemetrySlot {
             queue_depth: AtomicU64::new(0),
             waiters: AtomicU64::new(0),
             progress: AtomicU64::new(0),
+            slots_leaked: AtomicU64::new(0),
             sketch_count: AtomicU64::new(0),
             sketch_sum: AtomicU64::new(0),
             sketch: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -314,6 +319,9 @@ pub struct TelemetryReading {
     pub waiters: u64,
     /// Live progress count (round trips / requests).
     pub progress: u64,
+    /// Pool slots permanently stranded on this endpoint's watch (segment
+    /// attrition; see `ProtoEvent::SlotLeaked`).
+    pub slots_leaked: u64,
     /// The streaming round-trip latency sketch.
     pub latency: SketchSnapshot,
 }
@@ -470,6 +478,7 @@ impl TelemetryPlane {
             queue_depth: s.queue_depth.load(Ordering::Relaxed),
             waiters: s.waiters.load(Ordering::Relaxed),
             progress: s.progress.load(Ordering::Relaxed),
+            slots_leaked: s.slots_leaked.load(Ordering::Relaxed),
             latency: s.read_sketch(),
         })
     }
@@ -529,6 +538,13 @@ impl TelemetryWriter {
     /// Updates the live progress gauge.
     pub fn set_progress(&self, progress: u64) {
         self.slot().progress.store(progress, Ordering::Relaxed);
+    }
+
+    /// Updates the stranded-slot gauge (segment attrition; fed from the
+    /// endpoint's `slots_leaked` counter so `usipc-top` shows pool decay
+    /// instead of hiding it).
+    pub fn set_slots_leaked(&self, leaked: u64) {
+        self.slot().slots_leaked.store(leaked, Ordering::Relaxed);
     }
 
     /// Streams one round-trip latency sample into the quantile sketch
@@ -741,6 +757,7 @@ mod tests {
         w.set_queue_depth(5);
         w.set_waiters(1);
         w.set_progress(42);
+        w.set_slots_leaked(2);
         w.record_latency_nanos(1_000);
 
         // A second attach through the same arena (heap: same mapping, but
@@ -753,6 +770,7 @@ mod tests {
         assert_eq!(r.queue_depth, 5);
         assert_eq!(r.waiters, 1);
         assert_eq!(r.progress, 42);
+        assert_eq!(r.slots_leaked, 2);
         assert_eq!(r.latency.count, 1);
         assert!((r.snapshot.block_rate() - 0.03).abs() < 1e-12);
         assert_eq!(p2.readings().len(), 1);

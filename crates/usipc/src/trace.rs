@@ -411,6 +411,7 @@ fn proto_label(e: ProtoEvent) -> &'static str {
         ProtoEvent::DoorbellCoalesced => "doorbell_coalesced",
         ProtoEvent::WaitSetWake => "waitset_wake",
         ProtoEvent::WorkStolen => "work_stolen",
+        ProtoEvent::SlotLeaked => "slot_leaked",
     }
 }
 

@@ -67,6 +67,7 @@ use crate::protocol::{
 };
 use crate::server::ServerRun;
 use crate::trace::{Span, TracePoint};
+use usipc_queue::QueueKind;
 use usipc_shm::{CacheAligned, ShmArena, ShmError, ShmPtr, ShmSafe, ShmSlice};
 
 /// Arena-resident state of one WaitSet: the aggregation object N
@@ -284,6 +285,12 @@ pub struct ShardedConfig {
     /// [`run_resilient_server`](crate::run_resilient_server)) and the
     /// work-stealing check.
     pub heartbeat: Duration,
+    /// Queue representation for every member channel (see
+    /// [`ChannelConfig::queue_kind`]). [`QueueKind::Ring`] makes the
+    /// shard data path wait-free: a client SIGKILLed mid-enqueue can no
+    /// longer wedge its shard's worker (or a thief) on an abandoned
+    /// tail lock.
+    pub queue_kind: QueueKind,
 }
 
 impl ShardedConfig {
@@ -296,6 +303,7 @@ impl ShardedConfig {
             queue_capacity: 64,
             steal_threshold: 32,
             heartbeat: Duration::from_millis(25),
+            queue_kind: QueueKind::default(),
         }
     }
 
@@ -381,6 +389,7 @@ impl ShardedServer {
                 Channel::create(&ChannelConfig {
                     queue_capacity: cfg.queue_capacity,
                     sem_base: (cfg.n_shards + 2 * c) as u32,
+                    queue_kind: cfg.queue_kind,
                     ..ChannelConfig::new(1)
                 })
             })
@@ -631,10 +640,12 @@ impl ShardedServer {
         let publish = |run: &ServerRun| {
             if let Some(w) = telemetry {
                 let now = os.metrics().map(|m| m.snapshot()).unwrap_or_default();
-                w.publish(&now.diff(&start));
+                let snap = now.diff(&start);
                 w.set_queue_depth(self.shard_backlog(s) as u64);
                 w.set_waiters(self.live_members(s) as u64);
                 w.set_progress(run.processed);
+                w.set_slots_leaked(snap.slots_leaked);
+                w.publish(&snap);
             }
         };
         let ws = self.waitset(s);

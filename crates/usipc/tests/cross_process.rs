@@ -14,15 +14,17 @@
 ))]
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use usipc::harness::{run_proc_experiment, run_proc_experiment_pinned, run_proc_kill_experiment};
 use usipc::{ChildProc, CountingSem, ExitStatus, WaitStrategy};
+use usipc_queue::{RingMode, RingReclaim, ShmQueue, ShmRing};
 use usipc_shm::ShmArena;
 
 const MSGS: u64 = 200;
 
 /// Forked two-process echo for every protocol, credit conservation
-/// across address spaces, and the pidfd death drill — sequentially.
+/// across address spaces, the pidfd death drill, and the queue
+/// kill-at-every-site sweeps — sequentially.
 #[test]
 fn cross_process_protocols_and_faults() {
     two_process_echo_per_protocol();
@@ -30,6 +32,9 @@ fn cross_process_protocols_and_faults() {
     shared_futex_credits_conserve_across_fork();
     shared_futex_timeout_expiry_loses_no_credit_across_fork();
     shared_futex_v_racing_timeout_across_fork();
+    ring_fifo_contract_across_fork();
+    two_lock_producer_kill_sweep();
+    ring_producer_kill_sweep();
     killed_child_is_detected_reaped_and_poisoned();
 }
 
@@ -330,4 +335,274 @@ fn killed_child_is_detected_reaped_and_poisoned() {
         .expect("server telemetry slot published");
     assert_eq!(server_slot.progress, run.server_run.processed);
     assert!(server_slot.snapshot.requests_served > 0);
+}
+
+/// The FIFO contract suite on the arena rings, across a real fork:
+/// order, credit (value) conservation, and observed-nonempty-is-
+/// dequeueable, all over a memfd segment the child attaches blind.
+/// SPSC leg first (forked producer, parent consumer, strict global
+/// order), then MPSC (two forked producers, per-producer order and
+/// exact conservation).
+fn ring_fifo_contract_across_fork() {
+    // SPSC: the child streams 0..N in order through a 128-slot ring.
+    const N: u64 = 20_000;
+    let arena = Arc::new(ShmArena::new_memfd(ShmRing::bytes_needed(128) + 4096).expect("arena"));
+    let ring = ShmRing::create(&arena, 128, RingMode::Spsc).expect("ring fits");
+    let ptr = arena.alloc(ring).expect("handle fits");
+    arena.publish_root(ptr);
+    let fd = arena.backing_fd().expect("memfd");
+    let child = ChildProc::spawn(move || {
+        let arena = match ShmArena::attach_memfd(fd) {
+            Ok(a) => a,
+            Err(_) => return 2,
+        };
+        let ring = match arena.root::<ShmRing>() {
+            Some(p) => *arena.get(p),
+            None => return 3,
+        };
+        for i in 0..N {
+            while !ring.enqueue(&arena, i) {
+                std::thread::yield_now(); // flow control, the sleep(1) analogue
+            }
+        }
+        0
+    })
+    .expect("fork");
+
+    let mut expect = 0u64;
+    let t0 = Instant::now();
+    while expect < N {
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "ring stalled at element {expect}"
+        );
+        if ring.is_empty(&arena) {
+            std::thread::yield_now();
+            continue;
+        }
+        // Observed-nonempty-is-dequeueable: `is_empty` keys on the head
+        // slot's *published* sequence, so a nonempty observation commits
+        // the ring to yielding a value to this (sole) consumer.
+        let v = ring
+            .dequeue(&arena)
+            .expect("nonempty observation must be dequeueable");
+        assert_eq!(v, expect, "FIFO order broken across the fork");
+        expect += 1;
+    }
+    assert_eq!(ring.dequeue(&arena), None, "exactly N values crossed");
+    assert!(child.wait().expect("reap").success());
+
+    // MPSC: two forked producers race tagged values through a 64-slot
+    // ring; the parent consumer checks conservation and per-producer
+    // order (the linearizable-FIFO witness the in-process explorer pins
+    // exhaustively, here under real scheduler interleavings).
+    const PER: u64 = 10_000;
+    let arena = Arc::new(ShmArena::new_memfd(ShmRing::bytes_needed(64) + 4096).expect("arena"));
+    let ring = ShmRing::create(&arena, 64, RingMode::Mpsc).expect("ring fits");
+    let ptr = arena.alloc(ring).expect("handle fits");
+    arena.publish_root(ptr);
+    let fd = arena.backing_fd().expect("memfd");
+    let children: Vec<ChildProc> = (0..2u64)
+        .map(|p| {
+            ChildProc::spawn(move || {
+                let arena = match ShmArena::attach_memfd(fd) {
+                    Ok(a) => a,
+                    Err(_) => return 2,
+                };
+                let ring = match arena.root::<ShmRing>() {
+                    Some(ptr) => *arena.get(ptr),
+                    None => return 3,
+                };
+                for i in 0..PER {
+                    while !ring.enqueue(&arena, (p << 32) | i) {
+                        std::thread::yield_now();
+                    }
+                }
+                0
+            })
+            .expect("fork producer")
+        })
+        .collect();
+
+    let mut next = [0u64; 2];
+    let mut taken = 0u64;
+    let t0 = Instant::now();
+    while taken < 2 * PER {
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "MPSC ring stalled after {taken} elements"
+        );
+        match ring.dequeue(&arena) {
+            Some(v) => {
+                let (p, i) = ((v >> 32) as usize, v & 0xffff_ffff);
+                assert!(p < 2, "corrupt tag {v:#x}");
+                assert_eq!(i, next[p], "producer {p}'s stream reordered");
+                next[p] += 1;
+                taken += 1;
+            }
+            None => std::thread::yield_now(),
+        }
+    }
+    assert_eq!(
+        ring.dequeue(&arena),
+        None,
+        "conservation: 2·PER and no more"
+    );
+    for c in children {
+        assert!(c.wait().expect("reap").success());
+    }
+}
+
+/// Builds a memfd world of one queue handle plus a ready-semaphore, runs
+/// `body` in a forked child (which signals readiness and then parks),
+/// SIGKILLs the child, and hands the queue back to the caller's
+/// survivor-side assertions. The park guarantees the kill lands while
+/// the abandoned state — not the child's exit path — owns the segment.
+fn kill_mid_operation<Q: Copy + usipc_shm::ShmSafe>(
+    arena: &Arc<ShmArena>,
+    q: Q,
+    body: impl FnOnce(Arc<ShmArena>, Q) + Send + 'static,
+) {
+    #[repr(C)]
+    struct KillRoot<Q> {
+        q: Q,
+        ready: CountingSem,
+    }
+    // SAFETY: Q is ShmSafe by bound; CountingSem is the shared-futex
+    // primitive designed for the segment. repr(C), no host pointers.
+    unsafe impl<Q: Copy + usipc_shm::ShmSafe> usipc_shm::ShmSafe for KillRoot<Q> {}
+
+    let root = arena
+        .alloc(KillRoot {
+            q,
+            ready: CountingSem::new_shared(0),
+        })
+        .expect("root fits");
+    arena.publish_root(root);
+    let fd = arena.backing_fd().expect("memfd");
+    let child = ChildProc::spawn(move || {
+        let arena = match ShmArena::attach_memfd(fd) {
+            Ok(a) => Arc::new(a),
+            Err(_) => return 2,
+        };
+        let root = match arena.root::<KillRoot<Q>>() {
+            Some(p) => p,
+            None => return 3,
+        };
+        let q = arena.get(root).q;
+        body(Arc::clone(&arena), q);
+        arena.get(root).ready.v();
+        loop {
+            std::thread::sleep(Duration::from_millis(50)); // park for the SIGKILL
+        }
+    })
+    .expect("fork victim");
+    let ready = &arena.get(root).ready;
+    assert!(
+        ready.p_timeout(Duration::from_secs(10)),
+        "victim never reached its abandonment point"
+    );
+    child.kill();
+    assert!(
+        child.dead_within(Duration::from_secs(10)),
+        "SIGKILL did not land"
+    );
+    let _ = child.wait();
+}
+
+/// The two-lock half of the acceptance drill: SIGKILL a producer at
+/// every micro-step of `ShmQueue::enqueue` (pool slot allocated; + tail
+/// lock seized; + node linked; + tail advanced) and assert every
+/// survivor path *degrades to flow control* — `enqueue_bounded` returns
+/// `TailLockBusy` within its budget instead of spinning forever, and the
+/// head side keeps working.
+fn two_lock_producer_kill_sweep() {
+    for steps in 1..=4u32 {
+        let arena = Arc::new(ShmArena::new_memfd(ShmQueue::bytes_needed(8) + 4096).expect("arena"));
+        let q = ShmQueue::create(&arena, 8).expect("queue fits");
+        assert!(q.enqueue(&arena, 100), "pre-kill element");
+        kill_mid_operation(&arena, q, move |arena, q| {
+            q.enqueue_abandoned_at(&arena, 7, steps);
+        });
+
+        // Survivor producer: bounded, never wedged. Steps ≥ 2 leave the
+        // corpse's tail lock held forever, so the *only* acceptable
+        // outcome is the TailLockBusy give-up; step 1 died before the
+        // lock, so the enqueue must simply succeed.
+        let t0 = Instant::now();
+        let r = q.enqueue_bounded(&arena, 200, 32);
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "step {steps}: enqueue_bounded blew its budget"
+        );
+        if steps == 1 {
+            assert_eq!(r, Ok(true), "step {steps}: lock was never taken");
+        } else {
+            assert!(r.is_err(), "step {steps}: abandoned tail lock must surface");
+        }
+
+        // Survivor consumer: the head lock was never the victim's, so
+        // dequeues proceed; the pre-kill element always comes out.
+        assert_eq!(
+            q.dequeue_bounded(&arena, 32),
+            Ok(Some(100)),
+            "step {steps}: head side must keep draining"
+        );
+    }
+}
+
+/// The ring half of the acceptance drill: SIGKILL a producer after each
+/// of its two micro-steps (ticket claimed / value published) and assert
+/// survivors make progress with zero spinning — enqueues land in later
+/// slots immediately, and the consumer either drains past the corpse's
+/// published value or reclaims its hole via `reclaim_stuck`. This is the
+/// structural fix: there is no lock to abandon.
+fn ring_producer_kill_sweep() {
+    for published in [false, true] {
+        let arena = Arc::new(ShmArena::new_memfd(ShmRing::bytes_needed(8) + 4096).expect("arena"));
+        let ring = ShmRing::create(&arena, 8, RingMode::Mpsc).expect("ring fits");
+        kill_mid_operation(&arena, ring, move |arena, ring| {
+            let pos = ring
+                .step_enqueue_claim(&arena)
+                .expect("empty ring has room");
+            if published {
+                assert!(ring.step_enqueue_publish(&arena, pos, 7));
+            }
+        });
+
+        // Survivor producers: every try_push is one CAS attempt — success
+        // or flow control, never a spin on the corpse's state.
+        for v in 0..5u64 {
+            assert!(
+                ring.enqueue(&arena, 10 + v),
+                "survivor enqueue {v} ({published})"
+            );
+        }
+
+        let mut got = Vec::new();
+        if published {
+            // The victim completed its enqueue; its value leads the FIFO.
+            while let Some(v) = ring.dequeue(&arena) {
+                got.push(v);
+            }
+            assert_eq!(got, [7, 10, 11, 12, 13, 14], "published={published}");
+        } else {
+            // The victim left a hole at the head: consumers read "empty"
+            // (and would sleep — no lost wakeup, no spin), the reclaimer
+            // detects the dead ticket and skips it, and everything behind
+            // it drains in order.
+            assert_eq!(ring.dequeue(&arena), None, "hole reads as empty");
+            assert!(ring.len(&arena) > 0, "but elements are queued behind it");
+            assert_eq!(
+                ring.reclaim_stuck(&arena),
+                RingReclaim::Leaked,
+                "the corpse's unpublished ticket is a leak, not a value"
+            );
+            while let Some(v) = ring.dequeue(&arena) {
+                got.push(v);
+            }
+            assert_eq!(got, [10, 11, 12, 13, 14], "published={published}");
+        }
+        assert!(ring.is_empty(&arena), "fully drained");
+    }
 }

@@ -22,15 +22,17 @@
 ))]
 
 use usipc::harness::{
-    run_proc_experiment_pinned, run_proc_experiment_pinned_telemetry, run_proc_observed_experiment,
+    run_proc_experiment_pinned, run_proc_experiment_pinned_queue,
+    run_proc_experiment_pinned_telemetry, run_proc_observed_experiment,
 };
-use usipc::{ExitStatus, Role, WaitStrategy};
+use usipc::{ExitStatus, QueueKind, Role, WaitStrategy};
 
 const MSGS: u64 = 200;
 
 #[test]
 fn telemetry_is_free_and_externally_readable() {
     bsw_still_exactly_four_sem_ops_with_telemetry_on();
+    bsw_still_exactly_four_sem_ops_on_the_ring_queue();
     telemetry_and_bare_runs_share_the_same_kernel_budget();
     external_observer_reads_consistent_advancing_snapshots();
 }
@@ -87,6 +89,38 @@ fn bsw_still_exactly_four_sem_ops_with_telemetry_on() {
         best,
         4 * rt,
         "BSW with telemetry on never hit exactly 4 sem ops per RT in 5 pinned runs"
+    );
+}
+
+/// The Fig. 6 pin on the *wait-free ring* queue kind: swapping the
+/// two-lock M&S queue for the arena ring must be invisible on the
+/// protocol axis — same pinned uniprocessor regime, still exactly 4
+/// semaphore ops per BSW round trip. The queue lives below the
+/// sleep/wake-up protocol; if the swap changed the credit accounting,
+/// the wake-up pairing itself would be broken.
+fn bsw_still_exactly_four_sem_ops_on_the_ring_queue() {
+    let mut best = 0u64;
+    let rt = MSGS + 1;
+    for attempt in 0..5 {
+        let run = run_proc_experiment_pinned_queue(WaitStrategy::Bsw, 1, MSGS, 0, QueueKind::Ring);
+        let total = run.server_metrics.sem_ops() + run.client_metrics.sem_ops();
+        assert!(
+            total <= 4 * rt,
+            "attempt {attempt}: {total} sem ops exceeds 4/RT on the ring — a credit leaked"
+        );
+        assert!(
+            total >= 4 * rt - 8,
+            "attempt {attempt}: {total} sem ops is far below 4/RT on the ring — pinning broke"
+        );
+        best = best.max(total);
+        if best == 4 * rt {
+            return;
+        }
+    }
+    assert_eq!(
+        best,
+        4 * rt,
+        "BSW on the ring queue never hit exactly 4 sem ops per RT in 5 pinned runs"
     );
 }
 
