@@ -286,7 +286,7 @@ fn to_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"usipc-bench-protocols/v4\",\n");
+    s.push_str("  \"schema\": \"usipc-bench-protocols/v5\",\n");
     s.push_str("  \"backend\": \"native\",\n");
     s.push_str("  \"quantiles\": \"exact\",\n");
     s.push_str(&format!("  \"clients\": {clients},\n"));

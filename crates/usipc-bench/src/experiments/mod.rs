@@ -2,6 +2,7 @@
 
 mod asynch;
 mod bench;
+mod chaos;
 mod explore;
 mod faults;
 mod fig10;
@@ -86,7 +87,7 @@ pub fn all_ids() -> &'static [&'static str] {
     &[
         "table1", "fig2", "fig3", "fig6", "fig8", "fig10", "fig11", "fig12", "stats", "syscalls",
         "throttle", "threaded", "mlfq", "async", "mixed", "explore", "trace", "bench", "faults",
-        "flight",
+        "flight", "chaos",
     ]
 }
 
@@ -113,6 +114,7 @@ pub fn describe(id: &str) -> Option<&'static str> {
         "bench" => "native protocol baseline: exact p50/p99/p999 round-trip latency + syscalls/RT + WaitSet load matrix → BENCH_protocols.json (--procs adds forked-client rows, --load-clients caps the matrix)",
         "faults" => "robustness: fault-free deadline-path overhead + explorer no-deadlock kill sweep",
         "flight" => "fault flight recorder: cross-process kill drill → Perfetto postmortem with the SIGKILLed victim's final events (fork-based; run first or alone)",
+        "chaos" => "fault storms: mass client SIGKILL, server kill at swept sites, poison cascades, kill-during-recovery → recovery latency + conservation ledgers into BENCH_protocols.json (fork-based; run first or alone)",
         _ => return None,
     })
 }
@@ -140,6 +142,7 @@ pub fn run_experiment(id: &str, opts: RunOpts) -> Option<ExperimentOutput> {
         "bench" => bench::run(opts),
         "faults" => faults::run(opts),
         "flight" => flight::run(opts),
+        "chaos" => chaos::run(opts),
         _ => return None,
     })
 }

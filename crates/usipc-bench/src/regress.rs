@@ -284,6 +284,63 @@ pub fn compare(baseline: &Json, fresh: &Json, tol: Tolerance) -> RegressReport {
         }
     }
 
+    // The chaos gate (schema v5): message conservation is an exact
+    // invariant, not a band — every recovery row in the fresh file must
+    // have a balanced ledger and nothing unresolved, regardless of what
+    // the baseline says. Recovery latency is banded against a matching
+    // baseline row (same drill/queue/kill_site) when one exists; chaos
+    // coverage itself is not gated (the fork-based drills only run when
+    // the chaos experiment is invoked).
+    fn recovery_rows(doc: &Json) -> &[Json] {
+        doc.get("chaos")
+            .and_then(|c| c.get("recovery"))
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+    }
+    let base_rec = recovery_rows(baseline);
+    for f in recovery_rows(fresh) {
+        let key = format!(
+            "chaos[{}/{}@{}]",
+            f.str("drill").unwrap_or("?"),
+            f.str("queue").unwrap_or("?"),
+            f.num("kill_site").map_or("-".into(), |k| format!("{k}"))
+        );
+        match f.get("ledger_balanced") {
+            Some(Json::Bool(true)) => rep.passes.push(format!("{key}: ledger balanced")),
+            _ => rep.violations.push(format!(
+                "{key}: conservation ledger did not balance — \
+                 a message was lost or invented across the takeover"
+            )),
+        }
+        match f.num("unresolved") {
+            Some(v) if v > 0.0 => rep.violations.push(format!(
+                "{key}: {v} in-flight clients left without a verdict"
+            )),
+            Some(_) => {}
+            None => rep
+                .violations
+                .push(format!("{key}: unresolved count missing from recovery row")),
+        }
+        let b = base_rec.iter().find(|b| {
+            b.str("drill") == f.str("drill")
+                && b.str("queue") == f.str("queue")
+                && b.num("kill_site") == f.num("kill_site")
+        });
+        if let (Some(bv), Some(fv)) = (b.and_then(|b| b.num("recovery_ms")), f.num("recovery_ms")) {
+            if fv > bv * tol.latency {
+                rep.violations.push(format!(
+                    "{key}: recovery_ms {fv:.3} exceeds {bv:.3} × {}",
+                    tol.latency
+                ));
+            } else {
+                rep.passes.push(format!(
+                    "{key}: recovery_ms {fv:.3} within {bv:.3} × {}",
+                    tol.latency
+                ));
+            }
+        }
+    }
+
     rep
 }
 
@@ -295,7 +352,7 @@ mod tests {
     fn doc(p50: f64, p99: f64, tp: f64, sem: f64, dbw: f64) -> Json {
         Json::parse(&format!(
             r#"{{
-              "schema": "usipc-bench-protocols/v4",
+              "schema": "usipc-bench-protocols/v5",
               "protocols": [
                 {{"name": "BSW", "mode": "threads", "queue": "two_lock",
                   "p50_us": {p50}, "p99_us": {p99},
@@ -312,12 +369,12 @@ mod tests {
         .unwrap()
     }
 
-    /// A v4 doc with a two_lock / ring sibling pair for one protocol,
+    /// A doc with a two_lock / ring sibling pair for one protocol,
     /// with the given throughputs.
     fn doc_kinds(lock_tp: f64, ring_tp: f64) -> Json {
         Json::parse(&format!(
             r#"{{
-              "schema": "usipc-bench-protocols/v4",
+              "schema": "usipc-bench-protocols/v5",
               "protocols": [
                 {{"name": "BSW", "mode": "threads", "queue": "two_lock",
                   "p50_us": 2.0, "p99_us": 10.0,
@@ -389,7 +446,7 @@ mod tests {
     fn missing_row_and_null_metric_fail() {
         let b = doc(2.0, 10.0, 400.0, 4.0, 0.9);
         let f = Json::parse(
-            r#"{"schema": "usipc-bench-protocols/v4",
+            r#"{"schema": "usipc-bench-protocols/v5",
                 "protocols": [{"name": "BSW", "mode": "threads",
                   "queue": "two_lock", "p50_us": null, "p99_us": 1.0,
                   "throughput_msgs_per_ms": 400.0, "sem_ops_per_rt": 4.0}],
@@ -453,7 +510,7 @@ mod tests {
     fn skip_missing_demotes_coverage_gaps_only() {
         let b = doc(2.0, 10.0, 400.0, 4.0, 0.9);
         let f = Json::parse(
-            r#"{"schema": "usipc-bench-protocols/v4",
+            r#"{"schema": "usipc-bench-protocols/v5",
                 "protocols": [{"name": "BSW", "mode": "threads",
                   "queue": "two_lock", "p50_us": 2.0, "p99_us": 10.0,
                   "throughput_msgs_per_ms": 400.0, "sem_ops_per_rt": 4.3}],
@@ -481,5 +538,60 @@ mod tests {
         }
         let rep = compare(&b, &f_src, Tolerance::default());
         assert!(rep.violations.iter().any(|v| v.contains("schema")));
+    }
+
+    /// The chaos gate: a fresh recovery row with an unbalanced ledger or
+    /// unresolved clients fails regardless of the baseline; a balanced
+    /// row is banded on recovery latency against its baseline sibling.
+    #[test]
+    fn chaos_ledger_is_gated_exactly_and_latency_banded() {
+        fn chaos_doc(balanced: bool, unresolved: u64, recovery_ms: f64) -> Json {
+            Json::parse(&format!(
+                r#"{{"schema": "usipc-bench-protocols/v5",
+                    "protocols": [], "load_matrix": [],
+                    "chaos": {{"msgs_per_client": 200, "recovery": [
+                      {{"drill": "takeover", "queue": "two_lock", "kill_site": 7,
+                        "generation": 2, "recovery_ms": {recovery_ms},
+                        "in_flight": 3, "drop_notices": 1, "unresolved": {unresolved},
+                        "ledger_balanced": {balanced}}}
+                    ]}}}}"#
+            ))
+            .unwrap()
+        }
+        let b = chaos_doc(true, 0, 2.0);
+        assert!(compare(&b, &chaos_doc(true, 0, 2.0), Tolerance::default()).ok());
+
+        let rep = compare(&b, &chaos_doc(false, 0, 2.0), Tolerance::default());
+        assert!(
+            rep.violations.iter().any(|v| v.contains("did not balance")),
+            "{:?}",
+            rep.violations
+        );
+        let rep = compare(&b, &chaos_doc(true, 2, 2.0), Tolerance::default());
+        assert!(
+            rep.violations
+                .iter()
+                .any(|v| v.contains("without a verdict")),
+            "{:?}",
+            rep.violations
+        );
+        let rep = compare(
+            &b,
+            &chaos_doc(true, 0, 2.0 * 4.0 + 0.1),
+            Tolerance::default(),
+        );
+        assert!(
+            rep.violations.iter().any(|v| v.contains("recovery_ms")),
+            "{:?}",
+            rep.violations
+        );
+        // A brand-new drill row with no baseline sibling is not a latency
+        // violation — only its ledger is gated.
+        let no_chaos = Json::parse(
+            r#"{"schema": "usipc-bench-protocols/v5",
+                "protocols": [], "load_matrix": []}"#,
+        )
+        .unwrap();
+        assert!(compare(&no_chaos, &chaos_doc(true, 0, 99.0), Tolerance::default()).ok());
     }
 }

@@ -121,8 +121,9 @@ mod imp {
         let plane = TelemetryPlane::attach(arena)
             .ok_or("segment attached but carries no telemetry plane")?;
         println!(
-            "usipc-top: {} slots, segment uptime {:.3} s",
+            "usipc-top: {} slots, generation {}, segment uptime {:.3} s",
             plane.n_slots(),
+            arena.generation(),
             arena.now_nanos() as f64 / 1e9
         );
         if opts.once {
@@ -263,7 +264,10 @@ fn role_code(r: usipc::Role) -> f64 {
     }
 }
 
-/// One absolute frame: totals since the slot's writer started.
+/// One absolute frame: totals since the slot's writer started. The
+/// last three columns are the recovery counters — fsck repairs, stray
+/// credits absorbed, ring holes retired — so a takeover's footprint is
+/// visible from a read-only attach.
 fn render_snapshot_frame(readings: &[usipc::TelemetryReading], now_nanos: u64) -> String {
     let mut t = Table::new(
         "telemetry snapshot (role 1=server 2=client 3=shard)",
@@ -280,6 +284,9 @@ fn render_snapshot_frame(readings: &[usipc::TelemetryReading], now_nanos: u64) -
             "p99_us".into(),
             "mean_us".into(),
             "age_ms".into(),
+            "repairs".into(),
+            "absorbed".into(),
+            "holes".into(),
         ],
     );
     for r in readings {
@@ -296,6 +303,9 @@ fn render_snapshot_frame(readings: &[usipc::TelemetryReading], now_nanos: u64) -
                 r.latency.quantile_us(0.99),
                 r.latency.mean_us(),
                 now_nanos.saturating_sub(r.published_at) as f64 / 1e6,
+                r.snapshot.fsck_repairs as f64,
+                r.snapshot.credits_absorbed as f64,
+                r.snapshot.holes_retired as f64,
             ],
         );
     }
@@ -386,6 +396,7 @@ mod tests {
         let s = render_snapshot_frame(&rs, 5_000_000);
         assert!(s.contains("telemetry snapshot"));
         assert!(s.contains("progress"));
+        assert!(s.contains("repairs"), "recovery counters surfaced:\n{s}");
         // Both task rows rendered (x column values 0 and 1).
         assert_eq!(s.lines().count(), 3 + 2, "title, header, rule, 2 rows");
     }

@@ -9,8 +9,8 @@
 //! which costs one extra `arena.get` per operation — noise next to the
 //! cache-line traffic of the operation itself.
 
-use crate::shm_ring::{RingMode, RingPush, RingReclaim, ShmRing};
-use crate::shm_two_lock::{HeadLockBusy, ShmQueue, TailLockBusy};
+use crate::shm_ring::{RingFsck, RingMode, RingPush, RingReclaim, ShmRing};
+use crate::shm_two_lock::{HeadLockBusy, ShmQueue, TailLockBusy, TwoLockFsck};
 use usipc_shm::{ShmArena, ShmError, ShmPtr, ShmSafe};
 
 /// Which queue implementation a channel runs on.
@@ -211,6 +211,66 @@ impl AnyShmFifo {
             q.len(arena)
         } else {
             self.as_ring(arena).unwrap().len(arena)
+        }
+    }
+
+    /// Segment fsck, dispatched by kind: [`ShmQueue::fsck`] (with
+    /// `break_locks` honored) or [`ShmRing::fsck`] (lock-free — the flag
+    /// is irrelevant). Both require quiescence and are strict no-ops on
+    /// clean queues; see each implementation's docs for the repairs.
+    pub fn fsck(&self, arena: &ShmArena, break_locks: bool) -> FifoFsck {
+        if let Some(q) = self.as_two_lock(arena) {
+            FifoFsck::TwoLock(q.fsck(arena, break_locks))
+        } else {
+            FifoFsck::Ring(self.as_ring(arena).unwrap().fsck(arena))
+        }
+    }
+}
+
+/// Outcome of [`AnyShmFifo::fsck`]: the kind-specific repair report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FifoFsck {
+    /// Two-lock report (locks, chain, count, node pool).
+    TwoLock(TwoLockFsck),
+    /// Ring report (holes, stranded claims).
+    Ring(RingFsck),
+}
+
+impl FifoFsck {
+    /// Whether the pass changed anything (a clean queue reports `false`).
+    pub fn repaired_anything(&self) -> bool {
+        self.repairs() > 0
+    }
+
+    /// Number of individual repairs performed (for the repair ledger).
+    pub fn repairs(&self) -> u32 {
+        match self {
+            FifoFsck::TwoLock(r) => r.repairs(),
+            FifoFsck::Ring(r) => r.repairs(),
+        }
+    }
+
+    /// Ring only: holes retired (0 on the two-lock kind, which has none).
+    pub fn holes_retired(&self) -> u32 {
+        match self {
+            FifoFsck::TwoLock(_) => 0,
+            FifoFsck::Ring(r) => r.holes_retired,
+        }
+    }
+
+    /// The committed values, in FIFO order, left in place in the queue.
+    pub fn values(&self) -> &[u64] {
+        match self {
+            FifoFsck::TwoLock(r) => &r.values,
+            FifoFsck::Ring(r) => &r.values,
+        }
+    }
+
+    /// Consumes the report, returning the committed values.
+    pub fn into_values(self) -> Vec<u64> {
+        match self {
+            FifoFsck::TwoLock(r) => r.values,
+            FifoFsck::Ring(r) => r.values,
         }
     }
 }

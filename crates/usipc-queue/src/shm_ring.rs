@@ -116,6 +116,35 @@ pub enum RingReclaim {
     Recovered(u64),
 }
 
+/// What [`ShmRing::fsck`] found and repaired.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RingFsck {
+    /// Holes (claimed-but-never-published tickets of dead producers) that
+    /// were retired so the values behind them became visible again.
+    pub holes_retired: u32,
+    /// Values recovered through the [`RingReclaim::Recovered`] race arm —
+    /// expected to be 0 under true quiescence, but counted faithfully.
+    pub recovered: u32,
+    /// Published values a dead consumer claimed but never finished taking
+    /// (sub-cursor stranded claims) — recovered and kept, in order, ahead
+    /// of the in-range values.
+    pub claims_recovered: u32,
+    /// The committed values, in FIFO order, left in place in the ring.
+    pub values: Vec<u64>,
+}
+
+impl RingFsck {
+    /// Whether the pass changed anything (a clean ring reports `false`).
+    pub fn repaired_anything(&self) -> bool {
+        self.repairs() > 0
+    }
+
+    /// Number of individual repairs performed (for the repair ledger).
+    pub fn repairs(&self) -> u32 {
+        self.holes_retired + self.recovered + self.claims_recovered
+    }
+}
+
 /// Handle to a lock-free bounded ring in an arena (plain offsets, `Copy`,
 /// position independent — fork-inheritable like every arena structure).
 #[derive(Debug)]
@@ -299,6 +328,116 @@ impl ShmRing {
                 RingReclaim::Recovered(value)
             }
         }
+    }
+
+    /// Fsck support: the published (committed) values currently in the
+    /// ring, in ticket order, holes skipped. Pure reads — never repairs
+    /// anything. Exact only under quiescence; under concurrency it is a
+    /// recent-past snapshot like [`Self::len`].
+    pub fn snapshot_published(&self, arena: &ShmArena) -> Vec<u64> {
+        let hdr = arena.get(self.header);
+        let mask = hdr.capacity - 1;
+        let d = hdr.dequeue_pos.load(Ordering::Acquire);
+        let e = hdr.enqueue_pos.load(Ordering::Acquire);
+        let mut out = Vec::new();
+        for pos in d..e {
+            let slot = arena.get(self.slots.at((pos & mask) as usize));
+            if slot.seq.load(Ordering::Acquire) == pos + 1 {
+                out.push(slot.value.load(Ordering::Relaxed));
+            }
+        }
+        out
+    }
+
+    /// Segment fsck for the ring: audits every slot's sequence word
+    /// against the cursors, retires every hole a dead producer left,
+    /// recovers values stranded by a dead *consumer*, and preserves every
+    /// committed value in order.
+    ///
+    /// **Requires quiescence** (the recovery window after the owner's
+    /// death). Three damage classes, keyed on slot `i`'s sequence word
+    /// `s` and the cursors `d = dequeue_pos`, `e = enqueue_pos`:
+    ///
+    /// * *Stranded claim* (`s ≡ i+1 (mod cap)` with ticket `s-1 < d`): a
+    ///   consumer claimed the head and died before finishing — the cursor
+    ///   moved past a still-published slot, which would otherwise never
+    ///   recycle (the ring reads "full" forever once the enqueue cursor
+    ///   laps to it). The value is intact and is **recovered**: it
+    ///   precedes everything still in `[d, e)` in FIFO order.
+    /// * *Stranded hole* (`s ≡ i (mod cap)` with ticket `s < d`): a
+    ///   reclaim interrupted between its cursor advance and its sequence
+    ///   CAS (kill-during-recovery). No value was ever published; the
+    ///   slot is refreshed for its next lap.
+    /// * *In-range hole* (`s == pos` for `pos ∈ [d, e)`): the classic
+    ///   dead-producer hole. [`Self::reclaim_stuck`] only retires these
+    ///   at the head, so when any exist fsck drains the whole ring —
+    ///   ordinary dequeues for published values, `reclaim_stuck` for
+    ///   holes — and re-enqueues the committed values in order.
+    ///
+    /// An undamaged ring takes the pure-read path: `fsck` on a clean ring
+    /// is a strict byte-level no-op (a drain-and-requeue would preserve
+    /// the logical content but advance cursors and sequence words, which
+    /// the idempotence tests would catch).
+    pub fn fsck(&self, arena: &ShmArena) -> RingFsck {
+        let hdr = arena.get(self.header);
+        let cap = hdr.capacity;
+        let mask = cap - 1;
+        let d = hdr.dequeue_pos.load(Ordering::Acquire);
+        let mut report = RingFsck::default();
+        // Sub-cursor audit: slots the dequeue cursor has passed must be
+        // consumed (`seq ≡ i + cap` for their old ticket). Anything else
+        // is a corpse's footprint. Both repairs store `ticket + cap` —
+        // the consumed state for the lap the cursor already credited —
+        // which is exactly where the next enqueue lap expects to find
+        // the slot (`e ≤ ticket + cap` always: no producer can lap past
+        // an unrecycled slot).
+        let mut stranded: Vec<(u64, u64)> = Vec::new();
+        for i in 0..cap {
+            let slot = arena.get(self.slots.at(i as usize));
+            let s = slot.seq.load(Ordering::Acquire);
+            if s < d && (s & mask) == i {
+                // Stranded hole: claimed ticket `s`, cursor already past.
+                slot.seq.store(s + cap, Ordering::Release);
+                report.holes_retired += 1;
+            } else if s >= 1 && s - 1 < d && ((s - 1) & mask) == i {
+                // Stranded claim: published ticket `s - 1`, cursor past,
+                // never finished — recover the value, retire the slot.
+                stranded.push((s - 1, slot.value.load(Ordering::Relaxed)));
+                slot.seq.store(s - 1 + cap, Ordering::Release);
+                report.claims_recovered += 1;
+            }
+        }
+        stranded.sort_unstable_by_key(|&(pos, _)| pos);
+        let published = self.snapshot_published(arena);
+        if stranded.is_empty() && self.len(arena) == published.len() {
+            // No stranded claims to reorder and no in-range holes:
+            // nothing to drain. (On a fully clean ring this path makes
+            // the whole pass a pure read.)
+            report.values = published;
+            return report;
+        }
+        // Drain-and-requeue: stranded claims are older than everything
+        // still in `[d, e)`, so they go first.
+        report.values = stranded.into_iter().map(|(_, v)| v).collect();
+        loop {
+            if let Some(v) = self.dequeue(arena) {
+                report.values.push(v);
+                continue;
+            }
+            match self.reclaim_stuck(arena) {
+                RingReclaim::Leaked => report.holes_retired += 1,
+                RingReclaim::Recovered(v) => {
+                    report.values.push(v);
+                    report.recovered += 1;
+                }
+                RingReclaim::Clean => break,
+            }
+        }
+        for &v in &report.values {
+            let pushed = self.try_push(arena, v);
+            debug_assert_eq!(pushed, RingPush::Queued, "requeue into a drained ring");
+        }
+        report
     }
 
     // --- stepped operations -------------------------------------------------
@@ -729,6 +868,108 @@ mod tests {
         assert_eq!(q.try_push(&a, 3), RingPush::Full);
         assert_eq!(q.try_push(&a, 4), RingPush::Full);
         assert_eq!(q.dequeue(&a), None);
+    }
+
+    /// Fsck on a clean ring is a pure read: zero repairs, the published
+    /// snapshot intact, and the ring still drains in order afterwards.
+    #[test]
+    fn fsck_on_clean_ring_reports_nothing() {
+        let (a, q) = ring(8, RingMode::Mpsc);
+        for i in 0..5u64 {
+            assert!(q.enqueue(&a, i));
+        }
+        assert_eq!(q.dequeue(&a), Some(0));
+        let report = q.fsck(&a);
+        assert!(!report.repaired_anything(), "{report:?}");
+        assert_eq!(report.values, vec![1, 2, 3, 4]);
+        for i in 1..5u64 {
+            assert_eq!(q.dequeue(&a), Some(i));
+        }
+    }
+
+    /// Fsck retires a mid-ring hole (dead producer) while preserving the
+    /// committed values on both sides of it, in order; a second pass is a
+    /// no-op.
+    #[test]
+    fn fsck_retires_mid_ring_hole_and_keeps_order() {
+        let (a, q) = ring(8, RingMode::Mpsc);
+        assert!(q.enqueue(&a, 1));
+        let _hole = q.step_enqueue_claim(&a).unwrap(); // corpse's ticket
+        assert!(q.enqueue(&a, 3));
+        assert!(q.enqueue(&a, 4));
+        let report = q.fsck(&a);
+        assert_eq!(report.holes_retired, 1);
+        assert_eq!(report.values, vec![1, 3, 4]);
+        assert!(!q.fsck(&a).repaired_anything(), "second pass must be clean");
+        assert_eq!(q.dequeue(&a), Some(1));
+        assert_eq!(q.dequeue(&a), Some(3));
+        assert_eq!(q.dequeue(&a), Some(4));
+        assert_eq!(q.dequeue(&a), None);
+        for i in 0..8u64 {
+            assert!(q.enqueue(&a, i), "capacity restored after retirement");
+        }
+    }
+
+    /// Fsck recovers a stranded dequeue claim — the consumer died between
+    /// its two dequeue steps, leaving a published slot below the cursor
+    /// that would otherwise never recycle (permanent "full") and a value
+    /// that would otherwise be lost. The recovered value keeps its FIFO
+    /// position ahead of everything still in range.
+    #[test]
+    fn fsck_recovers_stranded_dequeue_claim() {
+        let (a, q) = ring(2, RingMode::Mpsc);
+        assert!(q.enqueue(&a, 1));
+        let _claimed = q.step_dequeue_claim(&a).unwrap(); // corpse stops here
+        assert!(q.enqueue(&a, 2));
+        assert_eq!(q.try_push(&a, 3), RingPush::Full, "stranded slot wedges");
+        let report = q.fsck(&a);
+        assert_eq!(report.claims_recovered, 1);
+        assert_eq!(report.values, vec![1, 2], "recovered value leads");
+        assert!(!q.fsck(&a).repaired_anything(), "second pass must be clean");
+        assert_eq!(q.dequeue(&a), Some(1));
+        assert_eq!(q.dequeue(&a), Some(2));
+        // The slot recycles again: the permanent-full wedge is gone.
+        for i in 0..10u64 {
+            assert!(q.enqueue(&a, i));
+            assert_eq!(q.dequeue(&a), Some(i));
+        }
+    }
+
+    /// Kill-during-recovery: a reclaimer that died between its cursor
+    /// advance and its sequence CAS leaves a stranded hole below the
+    /// cursor; fsck refreshes the slot for its next lap.
+    #[test]
+    fn fsck_retires_hole_stranded_below_the_cursor() {
+        let (a, q) = ring(2, RingMode::Mpsc);
+        let hdr = a.get(q.header);
+        let _hole = q.step_enqueue_claim(&a).unwrap(); // ticket 0, never published
+        assert!(q.enqueue(&a, 7)); // ticket 1
+                                   // Simulate the dying reclaimer: cursor advanced, seq CAS never ran.
+        assert_eq!(
+            hdr.dequeue_pos
+                .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed),
+            Ok(0)
+        );
+        let report = q.fsck(&a);
+        assert_eq!(report.holes_retired, 1);
+        assert_eq!(report.values, vec![7]);
+        assert!(!q.fsck(&a).repaired_anything(), "second pass must be clean");
+        assert_eq!(q.dequeue(&a), Some(7));
+        for i in 0..10u64 {
+            assert!(q.enqueue(&a, i), "slot {i} recycles");
+            assert_eq!(q.dequeue(&a), Some(i));
+        }
+    }
+
+    #[test]
+    fn snapshot_published_skips_holes_without_repairing() {
+        let (a, q) = ring(8, RingMode::Mpsc);
+        assert!(q.enqueue(&a, 1));
+        let _hole = q.step_enqueue_claim(&a).unwrap();
+        assert!(q.enqueue(&a, 3));
+        assert_eq!(q.snapshot_published(&a), vec![1, 3]);
+        assert_eq!(q.len(&a), 3, "snapshot must not consume or repair");
+        assert_eq!(q.dequeue(&a), Some(1), "head still dequeues normally");
     }
 
     #[test]

@@ -363,6 +363,109 @@ impl ShmQueue {
     pub fn len(&self, arena: &ShmArena) -> usize {
         arena.get(self.header).count.load(Ordering::Acquire) as usize
     }
+
+    /// Segment fsck for the two-lock queue: audits and repairs every
+    /// invariant a SIGKILL can break, and snapshots the committed values.
+    ///
+    /// **Requires quiescence**: no live producer or consumer may touch the
+    /// queue during the pass (the recovery window after the owner's death).
+    /// The repairs, in order:
+    ///
+    /// 1. *Abandoned locks* (`break_locks` only): the head and tail
+    ///    spinlocks are broken if held — sound because quiescence means
+    ///    any holder is a corpse.
+    /// 2. *FIFO chain walk*: from the dummy node, following `next` links,
+    ///    cycle-capped at the pool size. Every linked node is **committed**
+    ///    — a producer that got as far as the link store published its
+    ///    value even if it died before advancing the tail or bumping the
+    ///    count (M&S dequeue follows links, not the tail).
+    /// 3. *Tail repair*: the tail pointer is re-aimed at the last chain
+    ///    node (a corpse at abandonment step 3 left it one node behind).
+    /// 4. *Count repair*: `count` is rewritten to the exact linked length.
+    ///    This also heals the underflow a dequeue of a linked-but-uncounted
+    ///    node would cause (`fetch_sub` on 0 wraps to `u32::MAX`, which
+    ///    reads as "full" forever).
+    /// 5. *Node-pool reclaim*: slots neither free nor chain-reachable were
+    ///    allocated by producers that died before linking (abandonment
+    ///    steps 1–2) — **uncommitted**, reclaimed to the free list.
+    ///
+    /// On a clean queue every repair is conditional, so the pass is a
+    /// strict byte-level no-op — the property the idempotence tests pin.
+    pub fn fsck(&self, arena: &ShmArena, break_locks: bool) -> TwoLockFsck {
+        let hdr = arena.get(self.header);
+        let mut report = TwoLockFsck::default();
+        if break_locks {
+            report.head_lock_broken = hdr.head_lock.force_unlock();
+            report.tail_lock_broken = hdr.tail_lock.force_unlock();
+        }
+        let max_nodes = hdr.capacity as usize + POOL_SLACK;
+        let mut reachable = Vec::with_capacity(max_nodes);
+        let mut cur: NodePtr = ShmPtr::from_raw(hdr.head.load(Ordering::Relaxed));
+        reachable.push(cur.raw());
+        while reachable.len() <= max_nodes {
+            let next_off = arena.get(cur).value().next.load(Ordering::Acquire);
+            if next_off == NULL_OFFSET {
+                break;
+            }
+            let next: NodePtr = ShmPtr::from_raw(next_off);
+            report
+                .values
+                .push(arena.get(next).value().value.load(Ordering::Relaxed));
+            reachable.push(next_off);
+            cur = next;
+        }
+        if hdr.tail.load(Ordering::Relaxed) != cur.raw() {
+            hdr.tail.store(cur.raw(), Ordering::Relaxed);
+            report.tail_repaired = true;
+        }
+        let linked = report.values.len() as u32;
+        if hdr.count.load(Ordering::Relaxed) != linked {
+            hdr.count.store(linked, Ordering::Relaxed);
+            report.count_repaired = true;
+        }
+        let audit = self.pool.audit_reclaim(arena, &reachable);
+        report.nodes_reclaimed = audit.reclaimed;
+        report.pool_in_use_fixed = audit.in_use_fixed;
+        report
+    }
+}
+
+/// What [`ShmQueue::fsck`] found and repaired.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TwoLockFsck {
+    /// The head spinlock was held by a corpse and was broken.
+    pub head_lock_broken: bool,
+    /// The tail spinlock was held by a corpse and was broken.
+    pub tail_lock_broken: bool,
+    /// The tail pointer lagged the last linked node and was re-aimed.
+    pub tail_repaired: bool,
+    /// The element count disagreed with the linked-chain length and was
+    /// rewritten.
+    pub count_repaired: bool,
+    /// Pool slots that were neither free nor chain-reachable (allocated by
+    /// producers that died before linking) and were reclaimed.
+    pub nodes_reclaimed: u32,
+    /// The pool's `in_use` statistic disagreed and was rewritten.
+    pub pool_in_use_fixed: bool,
+    /// The committed values, in FIFO order, left in place in the queue.
+    pub values: Vec<u64>,
+}
+
+impl TwoLockFsck {
+    /// Whether the pass changed anything (a clean queue reports `false`).
+    pub fn repaired_anything(&self) -> bool {
+        self.repairs() > 0
+    }
+
+    /// Number of individual repairs performed (for the repair ledger).
+    pub fn repairs(&self) -> u32 {
+        self.head_lock_broken as u32
+            + self.tail_lock_broken as u32
+            + self.tail_repaired as u32
+            + self.count_repaired as u32
+            + self.nodes_reclaimed
+            + self.pool_in_use_fixed as u32
+    }
 }
 
 impl ShmFifo for ShmQueue {
@@ -597,6 +700,88 @@ mod tests {
                 }
                 Ok(false) => panic!("step {steps}: queue cannot be full"),
             }
+        }
+    }
+
+    /// Fsck across every enqueue abandonment point: locks get broken,
+    /// uncommitted nodes reclaimed, linked-but-unaccounted nodes committed
+    /// (tail/count repaired), and afterwards the queue behaves as if the
+    /// corpse never existed — full capacity, FIFO order preserved.
+    #[test]
+    fn fsck_repairs_every_enqueue_abandonment_point() {
+        for steps in 1..=4u32 {
+            let (a, q) = queue(8);
+            assert!(q.enqueue(&a, 1), "step {steps}: pre-fill");
+            assert!(q.enqueue_abandoned_at(&a, 666, steps));
+            let report = q.fsck(&a, true);
+            assert!(report.repaired_anything(), "step {steps}: must repair");
+            if steps < 2 {
+                // Died before the lock: slot leaked, chain untouched.
+                assert_eq!(report.nodes_reclaimed, 1, "step {steps}");
+                assert!(!report.tail_lock_broken, "step {steps}");
+                assert_eq!(report.values, vec![1], "step {steps}");
+            } else if steps < 3 {
+                // Died holding the lock, before linking: lock + leak.
+                assert!(report.tail_lock_broken, "step {steps}");
+                assert_eq!(report.nodes_reclaimed, 1, "step {steps}");
+                assert_eq!(report.values, vec![1], "step {steps}");
+            } else {
+                // Linked: the value is committed; tail and/or count lagged.
+                assert!(report.tail_lock_broken, "step {steps}");
+                assert_eq!(report.nodes_reclaimed, 0, "step {steps}");
+                assert!(report.count_repaired, "step {steps}: count lagged");
+                assert_eq!(report.tail_repaired, steps < 4, "step {steps}");
+                assert_eq!(report.values, vec![1, 666], "step {steps}");
+            }
+            // Idempotence: the second pass finds a clean queue.
+            assert!(
+                !q.fsck(&a, true).repaired_anything(),
+                "step {steps}: second pass must be a no-op"
+            );
+            // The repaired queue is fully live again.
+            let expect: Vec<u64> = report.values;
+            for v in &expect {
+                assert_eq!(q.dequeue_bounded(&a, 10), Ok(Some(*v)), "step {steps}");
+            }
+            assert_eq!(q.dequeue_bounded(&a, 10), Ok(None), "step {steps}");
+            for i in 0..8u64 {
+                assert!(q.enqueue(&a, i), "step {steps}: capacity restored");
+            }
+            assert!(!q.enqueue(&a, 99), "step {steps}: capacity exact");
+        }
+    }
+
+    /// A consumer SIGKILLed inside its dequeue critical section (head lock
+    /// held, possibly mid-unlink) is repaired: the lock is broken and the
+    /// surviving chain drains in order.
+    #[test]
+    fn fsck_breaks_abandoned_head_lock() {
+        let (a, q) = queue(8);
+        assert!(q.enqueue(&a, 1) && q.enqueue(&a, 2));
+        a.get(q.header).head_lock.lock(); // the corpse's lock
+        assert_eq!(q.dequeue_bounded(&a, 10), Err(HeadLockBusy));
+        let report = q.fsck(&a, true);
+        assert!(report.head_lock_broken);
+        assert_eq!(report.values, vec![1, 2]);
+        assert_eq!(q.dequeue_bounded(&a, 10), Ok(Some(1)));
+        assert_eq!(q.dequeue_bounded(&a, 10), Ok(Some(2)));
+    }
+
+    /// On a clean queue fsck is a strict no-op even with lock breaking
+    /// requested — every repair is conditional, nothing is stored.
+    #[test]
+    fn fsck_on_clean_queue_reports_nothing() {
+        let (a, q) = queue(8);
+        for i in 0..5u64 {
+            assert!(q.enqueue(&a, i));
+        }
+        assert_eq!(q.dequeue(&a), Some(0));
+        let report = q.fsck(&a, true);
+        assert!(!report.repaired_anything(), "{report:?}");
+        assert_eq!(report.repairs(), 0);
+        assert_eq!(report.values, vec![1, 2, 3, 4]);
+        for i in 1..5u64 {
+            assert_eq!(q.dequeue(&a), Some(i));
         }
     }
 

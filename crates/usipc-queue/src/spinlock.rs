@@ -94,6 +94,25 @@ impl SpinLock {
     pub fn is_locked(&self) -> bool {
         self.0.load(Ordering::Relaxed) == LOCKED
     }
+
+    /// Recovery-path lock breaking: releases the lock *if it is held*,
+    /// returning whether it was. Conditional (CAS, not a blind store) so
+    /// that breaking the locks of a clean segment is a strict no-op — the
+    /// fsck no-op guarantee is byte-level, and an unconditional store
+    /// would dirty the word (and its cache line) for nothing.
+    ///
+    /// Only sound when the holder is provably dead (e.g. its process was
+    /// SIGKILLed and the segment is quiescent): breaking a *live* holder's
+    /// lock hands its critical section to a second owner and corrupts the
+    /// structure. That judgement belongs to the caller — typically an
+    /// arena fsck that has already established owner death via the fault
+    /// header's liveness words.
+    #[inline]
+    pub fn force_unlock(&self) -> bool {
+        self.0
+            .compare_exchange(LOCKED, UNLOCKED, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
 }
 
 #[cfg(test)]
@@ -111,6 +130,17 @@ mod tests {
         assert!(!l.try_lock());
         l.unlock();
         assert!(l.try_lock());
+        l.unlock();
+    }
+
+    #[test]
+    fn force_unlock_breaks_only_held_locks() {
+        let l = SpinLock::new();
+        assert!(!l.force_unlock(), "free lock: nothing to break");
+        l.lock();
+        assert!(l.force_unlock(), "held lock: broken");
+        assert!(!l.is_locked());
+        assert!(l.try_lock(), "broken lock is acquirable again");
         l.unlock();
     }
 

@@ -113,6 +113,13 @@ struct ArenaHeader {
     /// telemetry plane registers itself here so observability can piggyback
     /// on any segment without stealing the application's root object.
     aux: AtomicU32,
+    /// Generation epoch: starts at 1 and is bumped by a recovery takeover
+    /// (`bump_generation`). Structures inside the segment stamp the epoch
+    /// they were (re)validated under; a stamp older than the header's word
+    /// marks state that predates the last takeover and must not be trusted
+    /// without re-validation. Zero never occurs, so a zeroed stamp always
+    /// reads as stale.
+    generation: AtomicU32,
 }
 
 const _: () = assert!(core::mem::size_of::<ArenaHeader>() <= CACHE_LINE);
@@ -221,6 +228,7 @@ impl ShmArena {
         hdr.next.store(HEADER as u64, Ordering::Relaxed);
         hdr.clock_epoch
             .store(crate::monotonic_nanos(), Ordering::Relaxed);
+        hdr.generation.store(1, Ordering::Relaxed);
         hdr.magic.store(MAGIC, Ordering::Release);
     }
 
@@ -372,6 +380,20 @@ impl ShmArena {
     /// Bytes still available for allocation.
     pub fn available(&self) -> usize {
         self.cap - self.used()
+    }
+
+    /// Copies the allocated portion of the segment (`used()` bytes from
+    /// the base) into a `Vec` — the evidence a recovery audit compares to
+    /// prove that fscking a *clean* segment is a byte-level no-op.
+    ///
+    /// Only meaningful while the segment is quiescent: the copy is a
+    /// plain byte read, so concurrent writers make the result a torn
+    /// snapshot (harmless — it is diagnostics, not data).
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        // SAFETY: `base..base+used` is owned, mapped, initialized memory
+        // for the lifetime of `self` (zeroed at creation, then written by
+        // allocations); reading it as raw bytes is always defined here.
+        unsafe { core::slice::from_raw_parts(self.base as *const u8, self.used()) }.to_vec()
     }
 
     /// Reserves `size` bytes at `align` and returns the offset.
@@ -535,6 +557,23 @@ impl ShmArena {
     /// axis — the timestamp source for cross-process traces and telemetry.
     pub fn now_nanos(&self) -> u64 {
         crate::monotonic_nanos().saturating_sub(self.clock_epoch())
+    }
+
+    /// The segment's current generation epoch. Starts at 1; each recovery
+    /// takeover bumps it. A structure whose stamped generation is older
+    /// than this word belongs to a previous incarnation of the segment's
+    /// owner and must be re-validated before use.
+    pub fn generation(&self) -> u32 {
+        self.hdr().generation.load(Ordering::Acquire)
+    }
+
+    /// Advances the generation epoch by one and returns the new value.
+    ///
+    /// Called by a recovery successor *after* fsck repairs complete and
+    /// *before* re-stamping the structures it vouches for: everything not
+    /// re-stamped is left behind in the old epoch and reads as stale.
+    pub fn bump_generation(&self) -> u32 {
+        self.hdr().generation.fetch_add(1, Ordering::AcqRel) + 1
     }
 }
 

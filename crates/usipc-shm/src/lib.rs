@@ -49,7 +49,7 @@ mod sys;
 
 pub use arena::{ShmArena, ShmBacking, ShmError, ShmToken};
 pub use layout::{CacheAligned, CACHE_LINE};
-pub use pool::{PoolSlot, SlotPool, SlotPoolHeader};
+pub use pool::{PoolAudit, PoolSlot, SlotPool, SlotPoolHeader};
 pub use ptr::{RawOffset, ShmPtr, ShmSlice, TaggedAtomicPtr, TaggedPtr, NULL_OFFSET};
 
 /// Marker trait for types that may be stored inside a [`ShmArena`].

@@ -199,6 +199,83 @@ impl<T: ShmSafe> SlotPool<T> {
         assert!(self.owns(slot));
         ((slot.raw() - self.slots.raw()) as usize) / core::mem::size_of::<PoolSlot<T>>()
     }
+
+    /// Fsck support: the raw offsets currently threaded on the free list,
+    /// top first. **Requires quiescence** — the walk follows `next` links
+    /// without re-checking the tag, so a concurrent `alloc`/`free` could
+    /// splice the list mid-walk. The walk is cycle-bounded at `capacity`
+    /// hops, so even a corrupted list terminates.
+    pub fn free_list_offsets(&self, arena: &ShmArena) -> Vec<u32> {
+        let hdr = arena.get(self.header);
+        let mut out = Vec::new();
+        let cap = hdr.capacity as usize;
+        let mut cur = hdr.free.load(Ordering::Acquire);
+        while !cur.is_null() && out.len() < cap {
+            out.push(cur.off);
+            let node: ShmPtr<PoolSlot<T>> = ShmPtr::from_raw(cur.off);
+            if !self.owns(node) {
+                break; // corrupted link: stop rather than chase it
+            }
+            cur = arena.get(node).next.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+/// What [`SlotPool::audit_reclaim`] found and repaired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolAudit {
+    /// Slots on the free list before the audit.
+    pub free: u32,
+    /// Slots that were neither free nor reachable — leaked by a dead
+    /// holder — and were returned to the free list.
+    pub reclaimed: u32,
+    /// Whether the `in_use` statistic disagreed with the post-audit truth
+    /// and was rewritten.
+    pub in_use_fixed: bool,
+}
+
+impl<T: ShmSafe> SlotPool<T> {
+    /// Fsck support: free-list vs. reachable-slot accounting.
+    ///
+    /// `reachable` names (by raw offset) every slot legitimately checked
+    /// out — e.g. every node a queue's link chain can still reach. Any
+    /// slot that is neither on the free list nor in `reachable` was
+    /// checked out by a holder that died before publishing or returning
+    /// it; such slots are reclaimed onto the free list. The `in_use`
+    /// statistic is then rewritten to the exact surviving checkout count.
+    ///
+    /// **Requires quiescence** (see [`Self::free_list_offsets`]): run it
+    /// only while no peer can be mid-`alloc`/`free` — the recovery window
+    /// after the owner's death, before a successor resumes service. On a
+    /// consistent pool this is a strict no-op.
+    pub fn audit_reclaim(&self, arena: &ShmArena, reachable: &[u32]) -> PoolAudit {
+        let free: std::collections::HashSet<u32> =
+            self.free_list_offsets(arena).into_iter().collect();
+        let mut audit = PoolAudit {
+            free: free.len() as u32,
+            ..PoolAudit::default()
+        };
+        let mut live = 0u32;
+        for i in 0..self.slots.len() {
+            let p = self.slots.at(i);
+            if free.contains(&p.raw()) {
+                continue;
+            }
+            if reachable.contains(&p.raw()) {
+                live += 1;
+            } else {
+                self.free(arena, p);
+                audit.reclaimed += 1;
+            }
+        }
+        let hdr = arena.get(self.header);
+        if hdr.in_use.load(Ordering::Relaxed) != live {
+            hdr.in_use.store(live, Ordering::Relaxed);
+            audit.in_use_fixed = true;
+        }
+        audit
+    }
 }
 
 #[cfg(test)]

@@ -217,10 +217,26 @@ impl ChannelConfig {
 }
 
 /// Host-side handle to a channel (owns the arena; clone freely).
+///
+/// Besides the arena and root offset, the handle carries a process-local
+/// *generation stamp*: the segment generation
+/// ([`ShmArena::generation`]) observed when this handle was built. A
+/// successor server that takes over a crashed segment bumps the segment
+/// generation after repairing it (see [`recover`](crate::recover)), which
+/// makes every handle stamped under the old incarnation *stale*: its
+/// fallible calls fail fast with
+/// [`IpcError::StaleGeneration`](crate::fault::IpcError::StaleGeneration)
+/// instead of operating on state that was audited — and possibly
+/// repaired — out from under them. A stale holder opts back in explicitly
+/// with [`Channel::revalidate`]. Clones share one stamp, so revalidating
+/// any clone revalidates them all.
 #[derive(Debug, Clone)]
 pub struct Channel {
     arena: Arc<ShmArena>,
     root: ShmPtr<ChannelRoot>,
+    /// Segment generation this handle considers current (shared across
+    /// clones within the process; *not* segment state).
+    stamp: Arc<AtomicU32>,
 }
 
 impl Channel {
@@ -285,7 +301,8 @@ impl Channel {
             sem_base: cfg.sem_base,
             server_task: AtomicU32::new(u32::MAX),
         })?;
-        Ok(Channel { arena, root })
+        let stamp = Arc::new(AtomicU32::new(arena.generation()));
+        Ok(Channel { arena, root, stamp })
     }
 
     /// Rebuilds a handle from an explicit root pointer — the attaching
@@ -293,7 +310,8 @@ impl Channel {
     /// in a larger bootstrap structure instead of published as the arena
     /// root. The pointer is validated (bounds, alignment) on first use.
     pub fn from_root(arena: Arc<ShmArena>, root: ShmPtr<ChannelRoot>) -> Channel {
-        Channel { arena, root }
+        let stamp = Arc::new(AtomicU32::new(arena.generation()));
+        Channel { arena, root, stamp }
     }
 
     /// This channel's root offset, for embedding in a caller-owned
@@ -310,11 +328,18 @@ impl Channel {
     /// Returns `None` if no channel root was published in this arena.
     pub fn attach(arena: Arc<ShmArena>) -> Option<Channel> {
         let root: ShmPtr<ChannelRoot> = arena.root()?;
-        Some(Channel { arena, root })
+        let stamp = Arc::new(AtomicU32::new(arena.generation()));
+        Some(Channel { arena, root, stamp })
     }
 
     fn root(&self) -> &ChannelRoot {
         self.arena.get(self.root)
+    }
+
+    /// The channel's message pool (recovery: free-list vs. reachability
+    /// audit across *all* queues at once).
+    pub(crate) fn msg_pool(&self) -> SlotPool<MsgSlot> {
+        self.root().pool
     }
 
     /// The shared arena (for applications that co-locate bulk data).
@@ -340,6 +365,38 @@ impl Channel {
     /// The server's platform task number (`u32::MAX` if unregistered).
     pub fn server_task(&self) -> u32 {
         self.root().server_task.load(Ordering::Acquire)
+    }
+
+    /// The segment generation this handle was validated against (see the
+    /// type-level docs on staleness).
+    pub fn generation(&self) -> u32 {
+        self.stamp.load(Ordering::Acquire)
+    }
+
+    /// The segment's *current* generation — what
+    /// [`ShmArena::generation`] reports right now. Differs from
+    /// [`Self::generation`] exactly when a takeover reincarnated the
+    /// segment after this handle was built.
+    pub fn segment_generation(&self) -> u32 {
+        self.arena.generation()
+    }
+
+    /// Whether a takeover has moved the segment past this handle's
+    /// incarnation. One shared-memory load plus a process-local load — no
+    /// kernel entry — so fallible call paths check it on entry.
+    pub fn is_stale(&self) -> bool {
+        self.stamp.load(Ordering::Acquire) != self.arena.generation()
+    }
+
+    /// Accepts the segment's current incarnation: re-stamps this handle
+    /// (and every clone sharing its stamp) with the live segment
+    /// generation. Called by a successor after it bumps the generation,
+    /// and by any stale client that has re-synchronized with the new
+    /// server and wants back in. Returns the generation adopted.
+    pub fn revalidate(&self) -> u32 {
+        let g = self.arena.generation();
+        self.stamp.store(g, Ordering::Release);
+        g
     }
 
     /// View of the server receive queue.
@@ -472,9 +529,6 @@ impl QueueRef<'_> {
     /// the claimed slot, which counts as enqueued-then-drained (dead-peer
     /// semantics), so the caller still sees `true`.
     pub fn try_enqueue<O: OsServices>(&self, os: &O, m: Message) -> bool {
-        // A live tail-lock holder finishes its handful of stores within a
-        // yield or two; exhausting this budget means an abandoned lock.
-        const TAIL_LOCK_YIELDS: u32 = 100;
         os.charge(Cost::QueueOp);
         let Some(slot) = self.pool.alloc(self.arena) else {
             return false; // pool pressure equals queue-full for callers
@@ -483,7 +537,7 @@ impl QueueRef<'_> {
         match self
             .wq
             .queue
-            .try_enqueue(self.arena, slot.raw() as u64, TAIL_LOCK_YIELDS)
+            .try_enqueue(self.arena, slot.raw() as u64, usipc_queue::LOCK_BUDGET)
         {
             EnqueueFlow::Queued => {
                 os.record(ProtoEvent::Enqueue);
@@ -610,16 +664,12 @@ impl QueueRef<'_> {
     /// publish: a reclaimed-with-value hole is freed normally, a truly
     /// dead one costs exactly one counted slot.
     pub fn drain<O: OsServices>(&self, os: &O) {
-        // A live lock holder's critical section is a few loads and stores
-        // and finishes within a yield or two even on one CPU; a budget
-        // this size only runs out on a lock nobody will ever release.
-        const ABANDONED_LOCK_YIELDS: u32 = 100;
         loop {
             os.charge(Cost::QueueOp);
             match self
                 .wq
                 .queue
-                .dequeue_bounded(self.arena, ABANDONED_LOCK_YIELDS)
+                .dequeue_bounded(self.arena, usipc_queue::LOCK_BUDGET)
             {
                 Ok(Some(off)) => {
                     let slot: ShmPtr<usipc_shm::PoolSlot<MsgSlot>> = ShmPtr::from_raw(off as u32);
@@ -679,6 +729,67 @@ impl QueueRef<'_> {
     pub fn heartbeat(&self) -> u32 {
         self.wq.fault.heartbeat.load(Ordering::Acquire)
     }
+
+    // --- recovery hooks ([`recover`](crate::recover)) ---------------------
+    //
+    // Everything below runs only under fsck's quiescence contract: the dead
+    // incarnation's server is gone, and every surviving client is either
+    // blocked in the kernel or failing fast on poison/staleness — nobody
+    // else is mutating this queue. All repairs are conditional so that
+    // recovery of a clean segment is a byte-level no-op.
+
+    /// Structural fsck of the underlying FIFO: break provably-abandoned
+    /// locks (two-lock), retire stranded ring slots, reclaim uncommitted
+    /// nodes, and return the committed message offsets in order.
+    pub(crate) fn fsck_fifo(&self, break_locks: bool) -> usipc_queue::FifoFsck {
+        self.wq.queue.fsck(self.arena, break_locks)
+    }
+
+    /// Whether the consumer announced intent to sleep (`awake == 0`): the
+    /// recovery-time signature of a client parked mid-call. A raw load —
+    /// no cost charge, because fsck runs outside any protocol.
+    pub(crate) fn awake_down(&self) -> bool {
+        self.wq.awake.load(Ordering::Acquire) == 0
+    }
+
+    /// Restores the `awake` flag to its created state (`1`). Returns
+    /// whether it was actually down — a consumer that died between
+    /// `clear_awake` and its semaphore `P`.
+    pub(crate) fn restore_awake(&self) -> bool {
+        if self.wq.awake.load(Ordering::Acquire) == 0 {
+            self.wq.awake.store(1, Ordering::SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Clears the fault words back to live-and-unpoisoned — the one
+    /// deliberate exception to the "poison is sticky" contract. It is
+    /// sound only because the caller bumps the segment generation in the
+    /// same recovery: handles stamped under the old incarnation are fenced
+    /// off by the generation check *before* they can observe (and wrongly
+    /// trust) the cleared poison. Returns whether anything was reset.
+    pub(crate) fn reset_fault_state(&self) -> bool {
+        let mut did = false;
+        if self.wq.fault.poison.load(Ordering::Acquire) != 0 {
+            self.wq.fault.poison.store(0, Ordering::SeqCst);
+            did = true;
+        }
+        if self.wq.fault.consumer_live.load(Ordering::Acquire) == 0 {
+            self.wq.fault.consumer_live.store(1, Ordering::SeqCst);
+            did = true;
+        }
+        did
+    }
+
+    /// Reads the message at pool offset `off` without dequeuing or freeing
+    /// it — fsck interprets committed queue entries for its conservation
+    /// ledger while leaving them queued for the successor to serve.
+    pub(crate) fn peek_message(&self, off: u64) -> Message {
+        let slot: ShmPtr<usipc_shm::PoolSlot<MsgSlot>> = ShmPtr::from_raw(off as u32);
+        self.arena.get(slot).value().load()
+    }
 }
 
 /// Client-side endpoint: synchronous `Send` (and the asynchronous
@@ -722,6 +833,10 @@ impl<O: OsServices> ClientEndpoint<'_, O> {
     /// Fallible synchronous `Send`, bounded by `timeout` and aware of the
     /// failure model (DESIGN.md, "Failure model"):
     ///
+    /// * a handle stamped under a superseded segment incarnation — a
+    ///   successor took over and bumped the generation — is rejected
+    ///   immediately with [`IpcError::StaleGeneration`](crate::fault::IpcError::StaleGeneration);
+    ///   re-opt-in via [`Channel::revalidate`];
     /// * a poisoned channel is rejected **immediately** — one shared-memory
     ///   load, no kernel entry, no queue traffic ([`IpcError::Poisoned`]);
     /// * expiry while the request is still queued-or-unqueued returns
@@ -739,6 +854,12 @@ impl<O: OsServices> ClientEndpoint<'_, O> {
     ) -> Result<Message, crate::fault::IpcError> {
         use crate::fault::IpcError;
         msg.channel = self.id;
+        // Generation check first: after a takeover the old incarnation's
+        // poison flags have been audited away, so a stale handle must not
+        // read (or, worse, trust) any per-queue state. One load each side.
+        if self.ch.is_stale() {
+            return Err(IpcError::StaleGeneration);
+        }
         let srv = self.ch.receive_queue();
         let rq = self.ch.reply_queue(self.id);
         if srv.is_poisoned() || rq.is_poisoned() {
@@ -1000,6 +1121,40 @@ mod tests {
             ..ChannelConfig::new(1)
         };
         Channel::create(&cfg).expect("POOL_SLACK dequeuers are within contract");
+    }
+
+    /// Generation fencing: bumping the segment generation strands every
+    /// handle stamped before it — fallible calls fail fast with
+    /// `StaleGeneration` and put **nothing** on the queues — while
+    /// `revalidate` on any clone opts the whole process-local handle
+    /// family back in.
+    #[test]
+    fn stale_generation_fails_fast_and_revalidates() {
+        use crate::fault::IpcError;
+        let ch = Channel::create(&ChannelConfig::new(1)).expect("create");
+        let clone = ch.clone();
+        assert!(!ch.is_stale());
+        assert_eq!(ch.generation(), ch.segment_generation());
+
+        ch.arena().bump_generation();
+        assert!(ch.is_stale(), "bump must strand the old stamp");
+        assert!(clone.is_stale(), "clones share the stamp");
+
+        let os = NativeOs::new(NativeConfig::for_clients(1)).task(0);
+        let client = ch.client(&os, 0, WaitStrategy::Bsw);
+        assert_eq!(
+            client.call_deadline(Message::echo(0, 1.0), core::time::Duration::from_millis(5)),
+            Err(IpcError::StaleGeneration),
+            "stale handle must fail fast, not time out"
+        );
+        assert_eq!(
+            ch.receive_queue().queued_len(),
+            0,
+            "a stale call must leave no request behind"
+        );
+
+        assert_eq!(clone.revalidate(), ch.segment_generation());
+        assert!(!ch.is_stale(), "revalidating one clone revalidates all");
     }
 
     /// Both queue kinds run the same round trip through a QueueRef —

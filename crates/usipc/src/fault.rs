@@ -97,6 +97,16 @@ pub enum IpcError {
     /// The bounded queue was full and the deadline expired before space
     /// appeared.
     QueueFull,
+    /// The segment's generation epoch has moved past this channel's stamp:
+    /// the server died and a successor took the arena over (or the channel
+    /// was abandoned during recovery). The endpoint's view of the segment
+    /// is from a previous incarnation — re-attach and re-validate instead
+    /// of operating on reincarnated state.
+    StaleGeneration,
+    /// `call_retry` exhausted its attempt budget: every attempt timed out
+    /// and the backoff schedule ran dry. The reply queue has been poisoned
+    /// (a late reply can no longer be matched to a live attempt).
+    RetriesExhausted,
 }
 
 impl core::fmt::Display for IpcError {
@@ -106,6 +116,8 @@ impl core::fmt::Display for IpcError {
             IpcError::PeerDead => "peer died mid-protocol",
             IpcError::Poisoned => "channel is poisoned",
             IpcError::QueueFull => "queue full past deadline",
+            IpcError::StaleGeneration => "segment generation moved past this endpoint",
+            IpcError::RetriesExhausted => "retry budget exhausted",
         })
     }
 }
@@ -206,6 +218,8 @@ mod tests {
             IpcError::PeerDead,
             IpcError::Poisoned,
             IpcError::QueueFull,
+            IpcError::StaleGeneration,
+            IpcError::RetriesExhausted,
         ];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {

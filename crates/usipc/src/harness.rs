@@ -2175,6 +2175,961 @@ mod proc_harness {
             telemetry: plane.map(|p| p.readings()),
         }
     }
+
+    /// The bootstrap root for the **takeover drill**: like [`ProcRoot`],
+    /// but the *server* is the forked child (doomed to SIGKILL itself at
+    /// an instrumented kill site) and the parent is the successor.
+    #[repr(C)]
+    struct TakeoverRoot {
+        /// Attach barrier: every client and the doomed server `V` once up.
+        ready: CountingSem,
+        /// Go signal for the client barrage.
+        go: CountingSem,
+        /// Gate for the late prober (the pinned accounting leg): the
+        /// parent releases it only after the takeover completed and every
+        /// other client finished, so the prober's conversation runs in
+        /// clean lockstep against the successor. Lives outside the
+        /// channel, so the fsck never touches it.
+        prober_go: CountingSem,
+        /// The channel's root object.
+        channel: ShmPtr<ChannelRoot>,
+        /// The shared semaphore table.
+        sems: ShmSlice<CountingSem>,
+        /// One result cell per client.
+        cells: ShmSlice<ProcCell>,
+        /// Per-client count of requests re-issued after a
+        /// [`DROPPED`](crate::msg::opcode::DROPPED) notice.
+        retries: ShmSlice<AtomicU64>,
+        /// Number of clients.
+        n_clients: u32,
+        /// Clients `0..n_victims` are storm victims: they barrage
+        /// endlessly and are SIGKILLed by the parent mid-run.
+        n_victims: u32,
+        /// Echo round trips per client.
+        msgs_per_client: u64,
+        /// Echo requests the doomed incarnation serves before SIGKILLing
+        /// itself **mid-handler** — the request in hand is consumed but
+        /// its reply never commits, which is the nastiest kill site the
+        /// explorer sweeps surface (everything else is either still
+        /// committed in the receive queue or already committed as a
+        /// reply).
+        kill_site: u64,
+        /// CPU everyone pins to (`-1`: run free).
+        pin_cpu: i32,
+        /// Nonzero: client `n_clients - 1` is the late prober.
+        prober: u32,
+    }
+
+    // SAFETY: sems in shared-futex mode, offset handles and plain
+    // scalars; mutated fields are atomics. No host pointers.
+    unsafe impl usipc_shm::ShmSafe for TakeoverRoot {}
+
+    /// A client of the takeover drill: barrage with the *infallible*
+    /// protocol (it must survive the server's death without ever seeing
+    /// an error), re-issuing any request the takeover dropped.
+    fn takeover_client_body(fd: i32, c: u32, strategy: WaitStrategy) -> i32 {
+        let arena = match ShmArena::attach_memfd(fd) {
+            Ok(a) => Arc::new(a),
+            Err(_) => return EXIT_ATTACH_FAILED,
+        };
+        let root = match arena.root::<TakeoverRoot>() {
+            Some(r) => r,
+            None => return EXIT_NO_ROOT,
+        };
+        let pr = arena.get(root);
+        if pr.pin_cpu >= 0
+            && (crate::proc::pin_to_cpu(pr.pin_cpu as usize).is_err()
+                || crate::proc::set_sched_batch().is_err())
+        {
+            return EXIT_PIN_FAILED;
+        }
+        let os = NativeOs::attach_shared(
+            NativeConfig::for_clients(pr.n_clients as usize),
+            Arc::clone(&arena),
+            pr.sems,
+        );
+        let task = os.task(1 + c);
+        let cell = &arena.get_slice(pr.cells)[c as usize];
+        let retries = &arena.get_slice(pr.retries)[c as usize];
+        let is_prober = pr.prober != 0 && c + 1 == pr.n_clients;
+
+        pr.ready.v();
+        pr.go.p();
+        if is_prober {
+            // Park outside the channel until the parent opens the
+            // accounting window; the handle is built afterwards, stamped
+            // under the successor's generation.
+            pr.prober_go.p();
+        }
+        let ch = Channel::from_root(Arc::clone(&arena), pr.channel);
+        let ep = ch.client(&task, c, strategy);
+        // Storm victims barrage forever; the parent's SIGKILL is their
+        // only exit, so the kill provably lands mid-conversation.
+        let iters = if c < pr.n_victims {
+            u64::MAX
+        } else {
+            pr.msgs_per_client
+        };
+        for i in 0..iters {
+            loop {
+                let reply = ep.call(crate::Message::echo(c, i as f64));
+                if reply.opcode == crate::msg::opcode::DROPPED {
+                    // At-most-once service: the takeover dropped the
+                    // request the dead server had in hand. Re-issue it —
+                    // the notice is the retry signal the infallible
+                    // protocol otherwise lacks.
+                    retries.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                if reply.value != i as f64 {
+                    return EXIT_ECHO_CORRUPTED;
+                }
+                break;
+            }
+            cell.progress.fetch_add(1, Ordering::Relaxed);
+        }
+        ep.disconnect();
+
+        let snap = os
+            .metrics()
+            .map(|m| m.task_snapshot(1 + c))
+            .unwrap_or_default();
+        for (slot, v) in cell.events.iter().zip(snap.to_array()) {
+            slot.store(v, Ordering::Relaxed);
+        }
+        cell.state.store(1, Ordering::Release);
+        0
+    }
+
+    /// The doomed incarnation: a forked server child that serves exactly
+    /// `kill_site` echoes, then SIGKILLs itself **inside the handler** —
+    /// request dequeued, reply uncommitted, no unwind guard, no
+    /// tombstone. Exactly what an external `kill -9` at that protocol
+    /// point produces.
+    fn takeover_server_body(fd: i32, strategy: WaitStrategy) -> i32 {
+        let arena = match ShmArena::attach_memfd(fd) {
+            Ok(a) => Arc::new(a),
+            Err(_) => return EXIT_ATTACH_FAILED,
+        };
+        let root = match arena.root::<TakeoverRoot>() {
+            Some(r) => r,
+            None => return EXIT_NO_ROOT,
+        };
+        let pr = arena.get(root);
+        if pr.pin_cpu >= 0
+            && (crate::proc::pin_to_cpu(pr.pin_cpu as usize).is_err()
+                || crate::proc::set_sched_batch().is_err())
+        {
+            return EXIT_PIN_FAILED;
+        }
+        let os = NativeOs::attach_shared(
+            NativeConfig::for_clients(pr.n_clients as usize),
+            Arc::clone(&arena),
+            pr.sems,
+        );
+        let ch = Channel::from_root(Arc::clone(&arena), pr.channel);
+        let task = os.task(0);
+        let kill_site = pr.kill_site;
+        let mut served = 0u64;
+        pr.ready.v();
+        let _ = crate::server::run_resilient_server(
+            &ch,
+            &task,
+            strategy,
+            Duration::from_millis(5),
+            move |m| {
+                if m.opcode == crate::msg::opcode::ECHO {
+                    if served == kill_site {
+                        crate::proc::raise_sigkill();
+                    }
+                    served += 1;
+                }
+                m
+            },
+        );
+        // Reachable only if the kill site exceeds the traffic — the
+        // harness rejects such sites up front.
+        0
+    }
+
+    /// Results of one generational-takeover drill
+    /// ([`run_proc_takeover_experiment`]).
+    #[derive(Debug)]
+    pub struct ProcTakeoverResult {
+        /// The kill site the doomed incarnation died at.
+        pub kill_site: u64,
+        /// How the doomed server died (`Signaled(SIGKILL)`).
+        pub server_exit: ExitStatus,
+        /// The successor's takeover record: generations and the
+        /// [`FsckReport`](crate::FsckReport) with its conservation ledger.
+        pub takeover: crate::recover::Takeover,
+        /// The successor's serving run (it finishes the whole barrage).
+        pub server_run: ServerRun,
+        /// Death detection (pidfd readable) → fsck complete, including
+        /// the quiescence wait — the end-to-end recovery latency.
+        pub recovery: Duration,
+        /// Per-client count of requests re-issued after a DROPPED notice
+        /// (the drill kills mid-handler, so the total is exactly 1).
+        pub drop_retries: Vec<u64>,
+        /// Verdict of a fallible call issued on a handle stamped under
+        /// the dead generation, raced against the fsck on purpose: must
+        /// be `Err(StaleGeneration)`, never a hang.
+        pub stale_probe: Result<crate::Message, crate::IpcError>,
+        /// Each client's exit status (all `Exited(0)` on success).
+        pub exits: Vec<ExitStatus>,
+        /// ECHO messages completed across the run (both incarnations).
+        pub messages: u64,
+        /// Protocol events summed over every client process.
+        pub client_metrics: MetricsSnapshot,
+        /// The late prober's own events (pinned accounting leg only):
+        /// entirely post-takeover, entirely lockstep.
+        pub prober_metrics: Option<MetricsSnapshot>,
+        /// The successor task's semaphore ops inside the prober window
+        /// (pinned accounting leg only).
+        pub successor_window_sem_ops: Option<u64>,
+    }
+
+    /// Knobs for [`run_proc_takeover_opts`].
+    struct TakeoverOpts {
+        pin_cpu: i32,
+        prober: bool,
+        heartbeat: Duration,
+    }
+
+    /// The generational-takeover drill: forked clients barrage a forked
+    /// server over a memfd segment; the server SIGKILLs itself
+    /// mid-handler at `kill_site`; the parent detects the death by pidfd,
+    /// waits for the surviving clients to quiesce (parked in their reply
+    /// waits — the fsck precondition), then runs
+    /// [`take_over`](crate::take_over) and serves the rest of the barrage
+    /// as the new incarnation. Every client completes without ever
+    /// observing the crash, except the one whose in-hand request was
+    /// dropped — it gets a DROPPED notice and re-issues.
+    ///
+    /// Same fork discipline as [`run_proc_experiment`].
+    ///
+    /// # Panics
+    ///
+    /// On a client failing, the doomed server dying any way but its own
+    /// SIGKILL, or a wedged process (watchdog).
+    pub fn run_proc_takeover_experiment(
+        strategy: WaitStrategy,
+        n_clients: usize,
+        msgs_per_client: u64,
+        kill_site: u64,
+        queue_kind: QueueKind,
+    ) -> ProcTakeoverResult {
+        run_proc_takeover_opts(
+            strategy,
+            n_clients,
+            msgs_per_client,
+            kill_site,
+            queue_kind,
+            TakeoverOpts {
+                pin_cpu: -1,
+                prober: false,
+                heartbeat: Duration::from_millis(5),
+            },
+        )
+    }
+
+    /// The pinned accounting leg of the drill: everyone on one CPU under
+    /// `SCHED_BATCH`, with client 1 held back as a **late prober** that
+    /// starts only after the takeover completed and client 0 drained —
+    /// so its whole conversation is lockstep BSW against the successor,
+    /// and the paper's 4-semaphore-ops-per-round-trip accounting can be
+    /// pinned *post-takeover*. The long heartbeat keeps liveness-scan
+    /// timeouts out of the measured window.
+    pub fn run_proc_takeover_pinned_experiment(
+        strategy: WaitStrategy,
+        msgs_per_client: u64,
+        kill_site: u64,
+        cpu: usize,
+    ) -> ProcTakeoverResult {
+        run_proc_takeover_opts(
+            strategy,
+            2,
+            msgs_per_client,
+            kill_site,
+            QueueKind::default(),
+            TakeoverOpts {
+                pin_cpu: cpu as i32,
+                prober: true,
+                heartbeat: Duration::from_secs(1),
+            },
+        )
+    }
+
+    /// Builds the memfd world of the takeover-family drills: arena,
+    /// shared semaphore table, channel and the published
+    /// [`TakeoverRoot`].
+    #[allow(clippy::type_complexity)]
+    fn build_takeover_world(
+        n_clients: usize,
+        n_victims: usize,
+        msgs_per_client: u64,
+        kill_site: u64,
+        queue_kind: QueueKind,
+        pin_cpu: i32,
+        prober: bool,
+    ) -> (
+        Arc<ShmArena>,
+        Arc<NativeOs>,
+        Channel,
+        usipc_shm::ShmPtr<TakeoverRoot>,
+    ) {
+        use core::mem::{align_of, size_of};
+        let ch_cfg = ChannelConfig::new(n_clients).with_queue_kind(queue_kind);
+        let cap = ch_cfg.bytes_needed()
+            + (1 + n_clients) * size_of::<CountingSem>()
+            + align_of::<CountingSem>()
+            + n_clients * (size_of::<ProcCell>() + size_of::<AtomicU64>())
+            + align_of::<ProcCell>()
+            + align_of::<AtomicU64>()
+            + size_of::<TakeoverRoot>()
+            + align_of::<TakeoverRoot>()
+            + 256;
+        let arena = Arc::new(ShmArena::new_memfd(cap).expect("memfd arena for takeover"));
+        let (os, sems) =
+            NativeOs::new_shared(NativeConfig::for_clients(n_clients), Arc::clone(&arena))
+                .expect("shared semaphore table fits the arena");
+        let channel =
+            Channel::create_in(Arc::clone(&arena), &ch_cfg).expect("channel fits the arena");
+        let cells = arena
+            .alloc_slice(n_clients, |_| ProcCell::new())
+            .expect("cells fit the arena");
+        let retries = arena
+            .alloc_slice(n_clients, |_| AtomicU64::new(0))
+            .expect("retry counters fit the arena");
+        let root = arena
+            .alloc(TakeoverRoot {
+                ready: CountingSem::new_shared(0),
+                go: CountingSem::new_shared(0),
+                prober_go: CountingSem::new_shared(0),
+                channel: channel.root_ptr(),
+                sems,
+                cells,
+                retries,
+                n_clients: n_clients as u32,
+                n_victims: n_victims as u32,
+                msgs_per_client,
+                kill_site,
+                pin_cpu,
+                prober: u32::from(prober),
+            })
+            .expect("root fits the arena");
+        arena.publish_root(root);
+        (arena, os, channel, root)
+    }
+
+    /// Results of one fault storm ([`run_proc_storm_experiment`]).
+    #[derive(Debug)]
+    pub struct ProcStormResult {
+        /// How many clients were SIGKILLed mid-barrage.
+        pub n_victims: usize,
+        /// Victim exit statuses (all `Signaled(SIGKILL)`).
+        pub victim_exits: Vec<ExitStatus>,
+        /// Survivor exit statuses (all `Exited(0)` on success).
+        pub survivor_exits: Vec<ExitStatus>,
+        /// The doomed server's death, when the storm included one
+        /// (`kill_server_at` was set).
+        pub server_exit: Option<ExitStatus>,
+        /// The takeover record, when the storm killed the server.
+        pub takeover: Option<crate::recover::Takeover>,
+        /// Death detection → fsck complete, when the storm killed the
+        /// server.
+        pub recovery: Option<Duration>,
+        /// The (final) server's run: `reaped` counts every storm victim.
+        pub server_run: ServerRun,
+        /// Whether each victim's reply queue ended poisoned — the
+        /// cascade's visible residue.
+        pub victim_poisoned: Vec<bool>,
+        /// Per-client DROPPED-retry counts (only a surviving client whose
+        /// in-hand request the takeover dropped ever retries).
+        pub drop_retries: Vec<u64>,
+        /// Echo round trips the survivors completed (their full barrage).
+        pub survivor_messages: u64,
+    }
+
+    /// Echo round trips a storm victim must complete before its SIGKILL
+    /// when the server is still alive, so the kill provably lands
+    /// mid-conversation.
+    const STORM_KILL_PROGRESS: u64 = 25;
+
+    /// The fault storm: `n_victims` of `n_clients` forked clients are
+    /// SIGKILLed mid-barrage — and, when `kill_server_at` is set, the
+    /// forked server *also* SIGKILLs itself mid-handler at that site, so
+    /// mass client death and server death land in the same run.
+    ///
+    /// Without a server kill this is the poison-cascade drill: the
+    /// parent's resilient server reaps every victim on its heartbeat
+    /// scan (their deaths detected by pidfd and fed through
+    /// [`mark_consumer_dead`](crate::QueueRef::mark_consumer_dead)),
+    /// poisons their reply queues, and finishes the survivors untouched.
+    ///
+    /// With a server kill, the parent waits for the doomed incarnation
+    /// to die, quiesces, runs [`take_over`](crate::take_over) — and then
+    /// **re-marks the storm victims dead**: the fsck's fault-state reset
+    /// revives every consumer-liveness word, which is correct for clients
+    /// that merely lost their server but wrong for actual corpses; the
+    /// successor re-feeds the pidfd verdicts before serving so its first
+    /// heartbeat scan re-reaps them.
+    ///
+    /// Same fork discipline as [`run_proc_experiment`].
+    pub fn run_proc_storm_experiment(
+        strategy: WaitStrategy,
+        n_clients: usize,
+        n_victims: usize,
+        msgs_per_client: u64,
+        kill_server_at: Option<u64>,
+        heartbeat: Duration,
+    ) -> ProcStormResult {
+        assert!(n_victims >= 1 && n_victims < n_clients);
+        let survivors = n_clients - n_victims;
+        if let Some(site) = kill_server_at {
+            assert!(
+                site < survivors as u64 * msgs_per_client,
+                "the doomed server must die before the survivors drain (site {site})"
+            );
+        }
+        // kill_site is only read by a forked server body; without one it
+        // is inert.
+        let (arena, os, channel, root) = build_takeover_world(
+            n_clients,
+            n_victims,
+            msgs_per_client,
+            kill_server_at.unwrap_or(0),
+            QueueKind::default(),
+            -1,
+            false,
+        );
+        let fd = arena.backing_fd().expect("memfd backing");
+
+        let mut children: Vec<ChildProc> = (0..n_clients as u32)
+            .map(|c| {
+                ChildProc::spawn(move || takeover_client_body(fd, c, strategy))
+                    .expect("fork client")
+            })
+            .collect();
+        let doomed = kill_server_at.map(|_| {
+            ChildProc::spawn(move || takeover_server_body(fd, strategy)).expect("fork server")
+        });
+
+        let pr = arena.get(root);
+        let participants = n_clients + usize::from(doomed.is_some());
+        for _ in 0..participants {
+            assert!(
+                pr.ready.p_timeout(WATCHDOG_JOIN),
+                "a participant never reached the ready barrier"
+            );
+        }
+
+        // Plain storm: the parent itself is the (resilient) server; it
+        // must be serving before the clients start.
+        let mut server_thread = None;
+        if doomed.is_none() {
+            let ch = channel.clone();
+            let t0 = os.task(0);
+            server_thread = Some(std::thread::spawn(move || {
+                crate::server::run_resilient_server(&ch, &t0, strategy, heartbeat, |m| m)
+            }));
+        }
+        for _ in 0..n_clients {
+            pr.go.v();
+        }
+
+        let cells = arena.get_slice(pr.cells);
+        let has_doomed = doomed.is_some();
+        let mut server_exit = None;
+        if let Some(d) = doomed {
+            // Server-death-during-storm ordering: the doomed incarnation
+            // dies first, every client (victims included — they are
+            // endless) parks against the dead server, and only then do
+            // the victims get their SIGKILL: they die *in flight*, parked
+            // in their reply waits, which is the state the fsck must then
+            // issue verdicts into.
+            assert!(
+                d.dead_within(WATCHDOG_JOIN),
+                "doomed server never reached its kill site"
+            );
+            server_exit = Some(d.wait().expect("reap doomed server"));
+            let deadline = Instant::now() + WATCHDOG_JOIN;
+            for c in 0..n_clients as u32 {
+                while !channel.reply_queue(c).awake_down() {
+                    assert!(
+                        Instant::now() < deadline,
+                        "client {c} never quiesced after the server kill"
+                    );
+                    std::thread::yield_now();
+                }
+            }
+        } else {
+            // Live-server storm: let every victim make real progress
+            // first, so the kills land mid-conversation.
+            let deadline = Instant::now() + WATCHDOG_JOIN;
+            for (v, cell) in cells.iter().enumerate().take(n_victims) {
+                while cell.progress.load(Ordering::Relaxed) < STORM_KILL_PROGRESS {
+                    assert!(Instant::now() < deadline, "victim {v} never made progress");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+
+        // The mass kill, and race-free detection through each pidfd.
+        let victims: Vec<ChildProc> = children.drain(..n_victims).collect();
+        for v in &victims {
+            v.kill();
+        }
+        for (i, v) in victims.iter().enumerate() {
+            assert!(
+                v.dead_within(WATCHDOG_JOIN),
+                "pidfd never signalled victim {i}'s death"
+            );
+        }
+        let monitor = os.task(1 + n_clients as u32);
+
+        let mut takeover = None;
+        let mut recovery = None;
+        if has_doomed {
+            let t_detect = Instant::now();
+            let tk = crate::recover::take_over(&channel, &os.task(0));
+            recovery = Some(t_detect.elapsed());
+            takeover = Some(tk);
+        }
+        // Feed the corpses into the failure model — *after* any fsck,
+        // whose fault-state reset revived their liveness words.
+        for v in 0..n_victims as u32 {
+            channel.reply_queue(v).mark_consumer_dead(&monitor);
+        }
+        if has_doomed {
+            let ch = channel.clone();
+            let t0 = os.task(0);
+            server_thread = Some(std::thread::spawn(move || {
+                let _watch = crate::fault::ServerDeathWatch::arm(&ch, &t0);
+                crate::server::run_resilient_server(&ch, &t0, strategy, heartbeat, |m| m)
+            }));
+        }
+
+        let server_run = join_server(server_thread.expect("a server ran"), "storm server");
+        let victim_exits: Vec<ExitStatus> = victims
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let e = v.wait().expect("reap victim");
+                assert_eq!(e, ExitStatus::Signaled(9), "victim {i} died oddly: {e:?}");
+                e
+            })
+            .collect();
+        let survivor_exits: Vec<ExitStatus> = children
+            .into_iter()
+            .enumerate()
+            .map(|(i, child)| reap_child(child, &format!("storm survivor {i}")))
+            .collect();
+        for (i, e) in survivor_exits.iter().enumerate() {
+            assert!(e.success(), "storm survivor {i} failed: {e:?}");
+        }
+        let victim_poisoned = (0..n_victims as u32)
+            .map(|v| channel.reply_queue(v).is_poisoned())
+            .collect();
+        let drop_retries = arena
+            .get_slice(pr.retries)
+            .iter()
+            .map(|r| r.load(Ordering::Relaxed))
+            .collect();
+
+        ProcStormResult {
+            n_victims,
+            victim_exits,
+            survivor_exits,
+            server_exit,
+            takeover,
+            recovery,
+            server_run,
+            victim_poisoned,
+            drop_retries,
+            survivor_messages: survivors as u64 * msgs_per_client,
+        }
+    }
+
+    /// The half-recoverer of the relay drill: attaches the inherited
+    /// segment and dies by its own SIGKILL **during recovery** — either
+    /// right after the generation bump (fsck never ran: the wreckage is
+    /// still the first server's) or right after the fsck (verdicts
+    /// issued, nothing served).
+    fn relay_recoverer_body(fd: i32, n_clients: usize, fsck: bool) -> i32 {
+        let arena = match ShmArena::attach_memfd(fd) {
+            Ok(a) => Arc::new(a),
+            Err(_) => return EXIT_ATTACH_FAILED,
+        };
+        let root = match arena.root::<TakeoverRoot>() {
+            Some(r) => r,
+            None => return EXIT_NO_ROOT,
+        };
+        let pr = arena.get(root);
+        let os = NativeOs::attach_shared(
+            NativeConfig::for_clients(n_clients),
+            Arc::clone(&arena),
+            pr.sems,
+        );
+        let ch = Channel::from_root(Arc::clone(&arena), pr.channel);
+        if fsck {
+            let _ = crate::recover::take_over(&ch, &os.task(0));
+        } else {
+            arena.bump_generation();
+        }
+        crate::proc::raise_sigkill()
+    }
+
+    /// Results of one relay-takeover drill
+    /// ([`run_proc_relay_takeover_experiment`]).
+    #[derive(Debug)]
+    pub struct ProcRelayResult {
+        /// The first incarnation's death (`Signaled(SIGKILL)`).
+        pub server_exit: ExitStatus,
+        /// The half-recoverer's death (`Signaled(SIGKILL)`).
+        pub recoverer_exit: ExitStatus,
+        /// Whether the half-recoverer completed its fsck before dying.
+        pub fsck_before_death: bool,
+        /// The *final* takeover record (the one that served).
+        pub takeover: crate::recover::Takeover,
+        /// The arena generation after the final takeover (3: created at
+        /// 1, half-recovery bumped to 2, final takeover to 3).
+        pub final_generation: u32,
+        /// The final incarnation's serving run.
+        pub server_run: ServerRun,
+        /// Half-recoverer death detection → final fsck complete.
+        pub recovery: Duration,
+        /// Per-client DROPPED-retry counts (≤ 1 per recovery wave).
+        pub drop_retries: Vec<u64>,
+        /// Client exit statuses (all `Exited(0)` on success).
+        pub exits: Vec<ExitStatus>,
+    }
+
+    /// The kill-during-recovery drill: the first server dies at its kill
+    /// site, a forked **half-recoverer** starts the takeover and is
+    /// itself SIGKILLed mid-recovery (after the generation bump, with
+    /// the fsck either done or never run), and the parent performs the
+    /// *third* takeover over a segment the previous recovery already
+    /// half-mutated — the fsck idempotence property, exercised in anger.
+    /// Every client still finishes its full barrage.
+    ///
+    /// Same fork discipline as [`run_proc_experiment`]; the
+    /// half-recoverer is forked only after the first server's death, at
+    /// which point the parent has no threads yet.
+    pub fn run_proc_relay_takeover_experiment(
+        strategy: WaitStrategy,
+        n_clients: usize,
+        msgs_per_client: u64,
+        kill_site: u64,
+        fsck_before_death: bool,
+    ) -> ProcRelayResult {
+        assert!(n_clients >= 1 && kill_site < n_clients as u64 * msgs_per_client);
+        let (arena, os, channel, root) = build_takeover_world(
+            n_clients,
+            0,
+            msgs_per_client,
+            kill_site,
+            QueueKind::default(),
+            -1,
+            false,
+        );
+        let fd = arena.backing_fd().expect("memfd backing");
+
+        let clients: Vec<ChildProc> = (0..n_clients as u32)
+            .map(|c| {
+                ChildProc::spawn(move || takeover_client_body(fd, c, strategy))
+                    .expect("fork client")
+            })
+            .collect();
+        let doomed =
+            ChildProc::spawn(move || takeover_server_body(fd, strategy)).expect("fork server");
+
+        let pr = arena.get(root);
+        for _ in 0..=n_clients {
+            assert!(
+                pr.ready.p_timeout(WATCHDOG_JOIN),
+                "a participant never reached the ready barrier"
+            );
+        }
+        for _ in 0..n_clients {
+            pr.go.v();
+        }
+        assert!(
+            doomed.dead_within(WATCHDOG_JOIN),
+            "first server never reached kill site {kill_site}"
+        );
+        let server_exit = doomed.wait().expect("reap first server");
+
+        let quiesce = |what: &str| {
+            let deadline = Instant::now() + WATCHDOG_JOIN;
+            let cells = arena.get_slice(pr.cells);
+            for c in 0..n_clients as u32 {
+                while cells[c as usize].state.load(Ordering::Acquire) == 0
+                    && !channel.reply_queue(c).awake_down()
+                {
+                    assert!(
+                        Instant::now() < deadline,
+                        "client {c} never quiesced {what}"
+                    );
+                    std::thread::yield_now();
+                }
+            }
+        };
+        quiesce("after the first kill");
+
+        // The half-recoverer: forked (the parent is still threadless),
+        // dies by its own hand mid-recovery.
+        let recoverer =
+            ChildProc::spawn(move || relay_recoverer_body(fd, n_clients, fsck_before_death))
+                .expect("fork recoverer");
+        assert!(
+            recoverer.dead_within(WATCHDOG_JOIN),
+            "half-recoverer never died"
+        );
+        let t_detect = Instant::now();
+        let recoverer_exit = recoverer.wait().expect("reap recoverer");
+        assert_eq!(
+            recoverer_exit,
+            ExitStatus::Signaled(9),
+            "the half-recoverer must die by its own SIGKILL"
+        );
+        // If it fscked, clients it dropped are awake and re-enqueueing
+        // right now; wait for them to park again.
+        quiesce("after the half-recovery");
+
+        let takeover = crate::recover::take_over(&channel, &os.task(0));
+        let recovery = t_detect.elapsed();
+        let final_generation = arena.generation();
+        let server_run = {
+            let ch = channel.clone();
+            let t0 = os.task(0);
+            let handle = std::thread::spawn(move || {
+                let _watch = crate::fault::ServerDeathWatch::arm(&ch, &t0);
+                crate::server::run_resilient_server(
+                    &ch,
+                    &t0,
+                    strategy,
+                    Duration::from_millis(5),
+                    |m| m,
+                )
+            });
+            join_server(handle, "relay successor")
+        };
+
+        let exits: Vec<ExitStatus> = clients
+            .into_iter()
+            .enumerate()
+            .map(|(c, child)| reap_child(child, &format!("relay client {c}")))
+            .collect();
+        for (c, e) in exits.iter().enumerate() {
+            assert!(e.success(), "relay client {c} failed: {e:?}");
+        }
+        let drop_retries = arena
+            .get_slice(pr.retries)
+            .iter()
+            .map(|r| r.load(Ordering::Relaxed))
+            .collect();
+
+        ProcRelayResult {
+            server_exit,
+            recoverer_exit,
+            fsck_before_death,
+            takeover,
+            final_generation,
+            server_run,
+            recovery,
+            drop_retries,
+            exits,
+        }
+    }
+
+    fn run_proc_takeover_opts(
+        strategy: WaitStrategy,
+        n_clients: usize,
+        msgs_per_client: u64,
+        kill_site: u64,
+        queue_kind: QueueKind,
+        opts: TakeoverOpts,
+    ) -> ProcTakeoverResult {
+        assert!(n_clients >= 1);
+        let normal = if opts.prober {
+            n_clients - 1
+        } else {
+            n_clients
+        };
+        assert!(
+            normal >= 1 && kill_site < normal as u64 * msgs_per_client,
+            "the doomed server must die mid-barrage (site {kill_site})"
+        );
+        let (arena, os, channel, root) = build_takeover_world(
+            n_clients,
+            0,
+            msgs_per_client,
+            kill_site,
+            queue_kind,
+            opts.pin_cpu,
+            opts.prober,
+        );
+        let fd = arena.backing_fd().expect("memfd backing");
+
+        let clients: Vec<ChildProc> = (0..n_clients as u32)
+            .map(|c| {
+                ChildProc::spawn(move || takeover_client_body(fd, c, strategy))
+                    .expect("fork client")
+            })
+            .collect();
+        let doomed =
+            ChildProc::spawn(move || takeover_server_body(fd, strategy)).expect("fork server");
+
+        let pr = arena.get(root);
+        for _ in 0..=n_clients {
+            assert!(
+                pr.ready.p_timeout(WATCHDOG_JOIN),
+                "a participant never reached the ready barrier"
+            );
+        }
+        for _ in 0..n_clients {
+            pr.go.v();
+        }
+
+        // The doomed incarnation reaches its kill site and dies; the
+        // pidfd is the successor's death signal.
+        assert!(
+            doomed.dead_within(WATCHDOG_JOIN),
+            "doomed server never reached kill site {kill_site}"
+        );
+        let t_detect = Instant::now();
+        let server_exit = doomed.wait().expect("reap doomed server");
+
+        // Quiescence: with the server dead no replies flow, so within a
+        // bounded time every running client has committed its next
+        // request and parked in its reply wait (`awake` down) — after
+        // which its only remaining write is the `P` on its own
+        // semaphore, which the fsck leaves strictly alone for in-flight
+        // clients. The prober (if any) is parked on its gate.
+        let quiesce_deadline = Instant::now() + WATCHDOG_JOIN;
+        let cells_ref = arena.get_slice(pr.cells);
+        for c in 0..normal as u32 {
+            while cells_ref[c as usize].state.load(Ordering::Acquire) == 0
+                && !channel.reply_queue(c).awake_down()
+            {
+                assert!(
+                    Instant::now() < quiesce_deadline,
+                    "client {c} never quiesced after the kill"
+                );
+                std::thread::yield_now();
+            }
+        }
+
+        // A handle stamped under the dead generation, for the staleness
+        // probe below.
+        let stale_ch = Channel::from_root(Arc::clone(&arena), pr.channel);
+
+        // The successor: bump + fsck + re-arm + serve, on its own thread
+        // so the parent can probe staleness and orchestrate the pinned
+        // accounting window.
+        let successor = {
+            let ch = channel.clone();
+            let os0 = os.task(0);
+            let pin = opts.pin_cpu;
+            let heartbeat = opts.heartbeat;
+            std::thread::spawn(move || {
+                if pin >= 0 {
+                    crate::proc::pin_to_cpu(pin as usize).expect("pin successor");
+                    crate::proc::set_sched_batch().expect("batch successor");
+                }
+                let takeover = crate::recover::take_over(&ch, &os0);
+                let fsck_done = Instant::now();
+                let _watch = crate::fault::ServerDeathWatch::arm(&ch, &os0);
+                let run =
+                    crate::server::run_resilient_server(&ch, &os0, strategy, heartbeat, |m| m);
+                (takeover, fsck_done, run)
+            })
+        };
+
+        // Staleness probe, deliberately racing the fsck: the generation
+        // bump alone must fence this handle — the call fails fast with a
+        // local stamp check before touching any queue.
+        while arena.generation() < 2 {
+            std::thread::yield_now();
+        }
+        let probe_task = os.task(1 + n_clients as u32);
+        let stale_probe = stale_ch
+            .client(&probe_task, 0, strategy)
+            .call_deadline(crate::Message::echo(0, 0.0), Duration::from_millis(250));
+
+        // Pinned accounting leg: wait out the normal clients, open the
+        // metrics window on the successor task, release the prober.
+        let mut window_start = None;
+        if opts.prober {
+            let deadline = Instant::now() + WATCHDOG_JOIN;
+            for (c, cell) in cells_ref.iter().enumerate().take(normal) {
+                while cell.state.load(Ordering::Acquire) == 0 {
+                    assert!(
+                        Instant::now() < deadline,
+                        "client {c} never finished against the successor"
+                    );
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            window_start = Some(os.metrics().expect("metrics on").task_snapshot(0));
+            pr.prober_go.v();
+        }
+
+        let (takeover, fsck_done, server_run) = join_server(successor, "takeover successor");
+        let successor_window_sem_ops = window_start.map(|s0| {
+            let s1 = os.metrics().expect("metrics on").task_snapshot(0);
+            (s1.sem_p - s0.sem_p) + (s1.sem_v - s0.sem_v)
+        });
+
+        let exits: Vec<ExitStatus> = clients
+            .into_iter()
+            .enumerate()
+            .map(|(c, child)| reap_child(child, &format!("takeover client {c}")))
+            .collect();
+        for (c, e) in exits.iter().enumerate() {
+            assert!(e.success(), "takeover client {c} failed: {e:?}");
+        }
+
+        let mut client_metrics = MetricsSnapshot::default();
+        let mut prober_metrics = None;
+        for (c, cell) in cells_ref.iter().enumerate() {
+            assert_eq!(
+                cell.state.load(Ordering::Acquire),
+                1,
+                "cell {c} not finalized"
+            );
+            let mut a = [0u64; N_EVENTS];
+            for (dst, src) in a.iter_mut().zip(cell.events.iter()) {
+                *dst = src.load(Ordering::Relaxed);
+            }
+            let snap = MetricsSnapshot::from_array(&a);
+            if opts.prober && c == normal {
+                prober_metrics = Some(snap);
+            }
+            client_metrics = client_metrics.add(&snap);
+        }
+        let drop_retries: Vec<u64> = arena
+            .get_slice(pr.retries)
+            .iter()
+            .map(|r| r.load(Ordering::Relaxed))
+            .collect();
+
+        ProcTakeoverResult {
+            kill_site,
+            server_exit,
+            recovery: fsck_done.duration_since(t_detect),
+            takeover,
+            server_run,
+            drop_retries,
+            stale_probe,
+            exits,
+            messages: msgs_per_client * n_clients as u64,
+            client_metrics,
+            prober_metrics,
+            successor_window_sem_ops,
+        }
+    }
 }
 
 #[cfg(all(
@@ -2184,5 +3139,7 @@ mod proc_harness {
 pub use proc_harness::{
     run_proc_experiment, run_proc_experiment_pinned, run_proc_experiment_pinned_queue,
     run_proc_experiment_pinned_telemetry, run_proc_kill_experiment, run_proc_observed_experiment,
-    ProcExperimentResult, ProcKillResult,
+    run_proc_relay_takeover_experiment, run_proc_storm_experiment, run_proc_takeover_experiment,
+    run_proc_takeover_pinned_experiment, ProcExperimentResult, ProcKillResult, ProcRelayResult,
+    ProcStormResult, ProcTakeoverResult,
 };

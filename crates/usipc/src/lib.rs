@@ -66,6 +66,7 @@ pub mod platform;
 ))]
 pub mod proc;
 pub mod protocol;
+pub mod recover;
 pub mod scenarios;
 pub mod sem;
 mod server;
@@ -91,8 +92,13 @@ pub use platform::{Cost, HandoffHint, OsServices};
     target_os = "linux",
     any(target_arch = "x86_64", target_arch = "aarch64")
 ))]
-pub use proc::{pin_to_cpu, set_sched_batch, ChildProc, ExitStatus, ProcError};
+pub use proc::{
+    getpid, pin_to_cpu, raise_sigkill, set_sched_batch, ChildProc, ExitStatus, ProcError,
+};
 pub use protocol::WaitStrategy;
+pub use recover::{
+    take_over, take_over_and_serve, ArenaFsck, FsckReport, Ledger, QueueReport, Takeover,
+};
 pub use sem::{CountingSem, PortableSem};
 pub use server::{
     run_calculator_server, run_echo_server, run_resilient_server, run_resilient_server_observed,
@@ -109,4 +115,4 @@ pub use trace::{
 };
 pub use usipc_queue::QueueKind;
 pub use usipc_shm::monotonic_nanos;
-pub use waitset::{MuxClient, ShardedConfig, ShardedServer, WaitSet, WaitSetRoot};
+pub use waitset::{MuxClient, ShardedConfig, ShardedServer, WaitSet, WaitSetFsck, WaitSetRoot};

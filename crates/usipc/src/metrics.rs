@@ -124,10 +124,28 @@ pub enum ProtoEvent {
     /// reclaim-vs-slow-producer race the producer frees its own slot after
     /// the event was already counted.
     SlotLeaked,
+    /// A `call_retry` attempt was (re)issued after a timeout: the bounded
+    /// jittered-backoff layer went around once more. First attempts are
+    /// not counted — this measures *extra* work caused by loss/slowness.
+    RetryAttempted,
+    /// A `call_retry` ran out of attempts and surfaced
+    /// [`RetriesExhausted`](crate::IpcError::RetriesExhausted).
+    RetryExhausted,
+    /// One repair performed by an arena fsck pass (lock broken, tail or
+    /// count rewritten, node reclaimed, waitset word rebuilt, …). Zero on
+    /// a clean segment — the idempotence property, live.
+    FsckRepair,
+    /// A stray semaphore credit absorbed by the fsck credit-conservation
+    /// audit (a wakeup a corpse posted, or was posted to the corpse, that
+    /// no live waiter should ever consume).
+    CreditAbsorbed,
+    /// A ring hole (or stranded sub-cursor slot) retired by recovery —
+    /// fsck's hole audit or the live `reclaim_stuck` path during takeover.
+    HoleRetired,
 }
 
 /// Number of distinct [`ProtoEvent`] kinds.
-pub const N_EVENTS: usize = 26;
+pub const N_EVENTS: usize = 31;
 
 impl ProtoEvent {
     /// Every event kind, in discriminant order (`ALL[e as usize] == e`).
@@ -160,6 +178,11 @@ impl ProtoEvent {
         ProtoEvent::WaitSetWake,
         ProtoEvent::WorkStolen,
         ProtoEvent::SlotLeaked,
+        ProtoEvent::RetryAttempted,
+        ProtoEvent::RetryExhausted,
+        ProtoEvent::FsckRepair,
+        ProtoEvent::CreditAbsorbed,
+        ProtoEvent::HoleRetired,
     ];
 
     /// Inverse of `e as usize` (used by the trace codec); `None` when `i`
@@ -369,6 +392,11 @@ pub struct MetricsSnapshot {
     pub waitset_wakes: u64,
     pub work_stolen: u64,
     pub slots_leaked: u64,
+    pub retries_attempted: u64,
+    pub retries_exhausted: u64,
+    pub fsck_repairs: u64,
+    pub credits_absorbed: u64,
+    pub holes_retired: u64,
 }
 
 impl MetricsSnapshot {
@@ -400,6 +428,11 @@ impl MetricsSnapshot {
             ProtoEvent::WaitSetWake => &mut self.waitset_wakes,
             ProtoEvent::WorkStolen => &mut self.work_stolen,
             ProtoEvent::SlotLeaked => &mut self.slots_leaked,
+            ProtoEvent::RetryAttempted => &mut self.retries_attempted,
+            ProtoEvent::RetryExhausted => &mut self.retries_exhausted,
+            ProtoEvent::FsckRepair => &mut self.fsck_repairs,
+            ProtoEvent::CreditAbsorbed => &mut self.credits_absorbed,
+            ProtoEvent::HoleRetired => &mut self.holes_retired,
         }
     }
 
@@ -431,6 +464,11 @@ impl MetricsSnapshot {
             ProtoEvent::WaitSetWake => self.waitset_wakes,
             ProtoEvent::WorkStolen => self.work_stolen,
             ProtoEvent::SlotLeaked => self.slots_leaked,
+            ProtoEvent::RetryAttempted => self.retries_attempted,
+            ProtoEvent::RetryExhausted => self.retries_exhausted,
+            ProtoEvent::FsckRepair => self.fsck_repairs,
+            ProtoEvent::CreditAbsorbed => self.credits_absorbed,
+            ProtoEvent::HoleRetired => self.holes_retired,
         }
     }
 

@@ -22,6 +22,13 @@ pub mod opcode {
     pub const MUL: u32 = 4;
     /// Calculator example: read the accumulator.
     pub const READ: u32 = 5;
+    /// Recovery drop notice: a successor server's fsck determined that this
+    /// client's in-flight request did *not* survive the crash (it was never
+    /// committed to the receive queue). Sent on the reply queue in place of
+    /// the real reply so a blocked client unblocks with a definite verdict
+    /// instead of waiting forever; `value` echoes the incarnation that
+    /// dropped it and `aux` carries the dropped-request count.
+    pub const DROPPED: u32 = 6;
     /// First opcode free for applications.
     pub const USER_BASE: u32 = 64;
 }

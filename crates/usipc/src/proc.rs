@@ -37,6 +37,7 @@ mod sys {
         pub const CLONE: usize = 56;
         pub const WAIT4: usize = 61;
         pub const KILL: usize = 62;
+        pub const GETPID: usize = 39;
         pub const EXIT_GROUP: usize = 231;
         pub const PPOLL: usize = 271;
         pub const PIDFD_OPEN: usize = 434;
@@ -51,6 +52,7 @@ mod sys {
         pub const CLONE: usize = 220;
         pub const WAIT4: usize = 260;
         pub const KILL: usize = 129;
+        pub const GETPID: usize = 172;
         pub const EXIT_GROUP: usize = 94;
         pub const PPOLL: usize = 73;
         pub const PIDFD_OPEN: usize = 434;
@@ -257,6 +259,29 @@ pub fn set_sched_batch() -> Result<(), ProcError> {
         return Err(err("sched_setscheduler", ret));
     }
     Ok(())
+}
+
+/// The calling process's pid — a raw `getpid(2)`, no libc caching (after
+/// a raw `clone` the glibc pid cache would be stale anyway).
+pub fn getpid() -> i32 {
+    // SAFETY: no arguments, cannot fail.
+    unsafe { syscall2(nr::GETPID, 0, 0) as i32 }
+}
+
+/// SIGKILLs the **calling process** — the kill-site primitive of the
+/// takeover drill: a server child calls this at an instrumented point in
+/// its protocol sequence to die exactly as hard as an external `kill -9`
+/// (no unwind guard, no tombstone, no flushes), leaving the shared
+/// segment in whatever intermediate state that site produces.
+///
+/// Diverges: if the kernel somehow returns (it does not for SIGKILL to
+/// self), fall through to `exit_group` so the signature stays honest.
+pub fn raise_sigkill() -> ! {
+    // SAFETY: kill(getpid(), SIGKILL) takes no pointers.
+    unsafe {
+        syscall2(nr::KILL, getpid() as usize, SIGKILL);
+    }
+    exit_group(137)
 }
 
 /// A forked child process, watched through a pidfd.

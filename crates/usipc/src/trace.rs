@@ -412,6 +412,11 @@ fn proto_label(e: ProtoEvent) -> &'static str {
         ProtoEvent::WaitSetWake => "waitset_wake",
         ProtoEvent::WorkStolen => "work_stolen",
         ProtoEvent::SlotLeaked => "slot_leaked",
+        ProtoEvent::RetryAttempted => "retry_attempted",
+        ProtoEvent::RetryExhausted => "retry_exhausted",
+        ProtoEvent::FsckRepair => "fsck_repair",
+        ProtoEvent::CreditAbsorbed => "credit_absorbed",
+        ProtoEvent::HoleRetired => "hole_retired",
     }
 }
 

@@ -68,7 +68,7 @@ use crate::protocol::{
 use crate::server::ServerRun;
 use crate::trace::{Span, TracePoint};
 use usipc_queue::QueueKind;
-use usipc_shm::{CacheAligned, ShmArena, ShmError, ShmPtr, ShmSafe, ShmSlice};
+use usipc_shm::{monotonic_nanos, CacheAligned, ShmArena, ShmError, ShmPtr, ShmSafe, ShmSlice};
 
 /// Arena-resident state of one WaitSet: the aggregation object N
 /// producers notify and one waiter sleeps on.
@@ -228,6 +228,74 @@ impl<'a> WaitSet<'a> {
         }
     }
 
+    /// Recovery-time rebuild of the waitset's wake state (the WaitSet leg
+    /// of [`recover`](crate::recover)): re-derives every ready word from
+    /// the *actual* backlog of its source, then re-establishes the
+    /// latch/credit invariant — any source ready ⇒ pending latch held and
+    /// exactly one doorbell credit banked; none ⇒ latch clear, zero
+    /// credits.
+    ///
+    /// The caller supplies `backlog` (does source `s` have undrained
+    /// messages?) because the waitset does not know what its sources are.
+    /// Must only run under the recovery quiescence contract: the waiter is
+    /// dead and no producer is concurrently notifying. A consistent
+    /// waitset is left untouched and reports all-zero (the banked credit
+    /// of a ready cycle is absorbed and re-posted, which nets out in both
+    /// the report and the semaphore words).
+    pub fn fsck<O: OsServices>(
+        &self,
+        os: &O,
+        mut backlog: impl FnMut(usize) -> bool,
+    ) -> WaitSetFsck {
+        let mut r = WaitSetFsck::default();
+        // Bank every outstanding doorbell credit: with the waiter dead,
+        // each is either the live cycle's single credit (re-posted below)
+        // or a stray that would cost the successor a spurious wake.
+        let mut banked = 0u32;
+        while os.sem_p_deadline(self.root.doorbell_sem, Duration::ZERO) {
+            banked += 1;
+        }
+        let mut any_ready = false;
+        for s in 0..self.n_sources() {
+            let want = backlog(s);
+            any_ready |= want;
+            let w = self.ready_word(s);
+            let have = w.load(Ordering::SeqCst) != 0;
+            if want && !have {
+                // The dead waiter claimed the edge (swapped it to 0) but
+                // never drained the source: re-raise it or the backlog is
+                // invisible forever.
+                w.store(1, Ordering::SeqCst);
+                r.ready_raised += 1;
+            } else if !want && have {
+                // Stale edge over an empty source (a thief drained it):
+                // clear, so the successor does not burn a scan on it.
+                w.store(0, Ordering::SeqCst);
+                r.ready_cleared += 1;
+            }
+        }
+        let want_latch = any_ready;
+        if (self.root.pending.load(Ordering::SeqCst) != 0) != want_latch {
+            self.root.pending.store(want_latch as u32, Ordering::SeqCst);
+            r.latch_repaired = true;
+        }
+        let needed = u32::from(any_ready);
+        for _ in 0..needed.saturating_sub(banked) {
+            r.doorbell_rung = true; // a wake cycle had no credit banked
+        }
+        if needed > 0 {
+            os.sem_v(self.root.doorbell_sem);
+        }
+        r.credits_absorbed = banked.saturating_sub(needed);
+        for _ in 0..r.credits_absorbed {
+            os.record(ProtoEvent::CreditAbsorbed);
+        }
+        if r.repairs() > 0 {
+            os.record(ProtoEvent::FsckRepair);
+        }
+        r
+    }
+
     /// [`Self::wait`] bounded by `timeout`: expiry returns
     /// [`IpcError::Timeout`] without consuming a doorbell credit (the
     /// [`sem_p_deadline`](OsServices::sem_p_deadline) no-credit-lost
@@ -264,6 +332,42 @@ impl<'a> WaitSet<'a> {
                 return Err(IpcError::Timeout);
             }
         }
+    }
+}
+
+/// Report of one [`WaitSet::fsck`] pass. Every repair is conditional, so
+/// a consistent waitset reports the `Default` (all-zero) value.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WaitSetFsck {
+    /// Ready words re-raised: the dead waiter had claimed the edge but
+    /// never drained the source's backlog.
+    pub ready_raised: u32,
+    /// Ready words cleared: stale edges over sources with no backlog.
+    pub ready_cleared: u32,
+    /// Stray doorbell credits absorbed (beyond the single credit a ready
+    /// cycle is entitled to).
+    pub credits_absorbed: u32,
+    /// The pending latch disagreed with the rebuilt ready state.
+    pub latch_repaired: bool,
+    /// A wake cycle was owed a doorbell credit that was not banked (the
+    /// waiter died between the latch swap and the `V`, or consumed the
+    /// credit without draining).
+    pub doorbell_rung: bool,
+}
+
+impl WaitSetFsck {
+    /// Number of individual repairs performed.
+    pub fn repairs(&self) -> u32 {
+        self.ready_raised
+            + self.ready_cleared
+            + self.credits_absorbed
+            + u32::from(self.latch_repaired)
+            + u32::from(self.doorbell_rung)
+    }
+
+    /// Whether the pass changed anything (a consistent waitset: `false`).
+    pub fn repaired_anything(&self) -> bool {
+        self.repairs() > 0
     }
 }
 
@@ -537,6 +641,11 @@ impl ShardedServer {
             } else {
                 let mut ans = handler(m);
                 ans.channel = 0;
+                // `aux` is the mux layer's correlation tag: it crosses
+                // the channel verbatim so a retrying client can match a
+                // reply to the attempt that asked for it — handlers
+                // answer in `opcode`/`value`.
+                ans.aux = m.aux;
                 match self.reply_to(os, c, ans) {
                     Ok(()) => {}
                     Err(IpcError::PeerDead) | Err(IpcError::Poisoned) => {
@@ -733,10 +842,32 @@ impl<O: OsServices> MuxClient<'_, O> {
     /// [`IpcError::Timeout`], or [`IpcError::PeerDead`] as above.
     pub fn call_deadline(&self, mut msg: Message, timeout: Duration) -> Result<Message, IpcError> {
         msg.channel = 0;
+        self.attempt(msg, timeout, None, true)
+    }
+
+    /// One bounded call attempt — the shared body of [`Self::call_deadline`]
+    /// (which poisons on expiry, keeping its documented semantics) and
+    /// [`Self::call_retry`] (whose inner attempts must NOT poison: the
+    /// queue has to stay usable for the next attempt).
+    ///
+    /// `want_aux` filters replies by correlation tag: a reply carrying a
+    /// different tag is a late answer to an earlier, timed-out attempt —
+    /// recognizably stale, silently discarded, and the wait continues on
+    /// the same deadline.
+    fn attempt(
+        &self,
+        msg: Message,
+        timeout: Duration,
+        want_aux: Option<u64>,
+        poison_on_timeout: bool,
+    ) -> Result<Message, IpcError> {
         let ch = &self.srv.channels[self.c as usize];
         let (shard, slot) = self.srv.route[self.c as usize];
         let srv_q = ch.receive_queue();
         let rq = ch.reply_queue(0);
+        if ch.is_stale() {
+            return Err(IpcError::StaleGeneration);
+        }
         if srv_q.is_poisoned() || rq.is_poisoned() {
             return Err(IpcError::Poisoned);
         }
@@ -745,29 +876,116 @@ impl<O: OsServices> MuxClient<'_, O> {
         self.srv
             .waitset(shard as usize)
             .notify(self.os, slot as usize);
-        match blocking_dequeue_deadline(&rq, self.os, &deadline, || {}) {
-            Ok(reply) => Ok(reply),
-            Err(IpcError::Timeout) => {
-                if !srv_q.consumer_alive() {
-                    self.os.record(ProtoEvent::PeerDeathDetected);
-                    rq.poison(self.os);
-                    srv_q.poison(self.os);
-                    Err(IpcError::PeerDead)
-                } else {
-                    rq.poison(self.os);
-                    Err(IpcError::Timeout)
+        loop {
+            return match blocking_dequeue_deadline(&rq, self.os, &deadline, || {}) {
+                Ok(reply) => {
+                    if want_aux.is_some_and(|w| reply.aux != w) {
+                        continue;
+                    }
+                    Ok(reply)
                 }
-            }
-            Err(IpcError::Poisoned) => {
-                if !srv_q.consumer_alive() {
-                    self.os.record(ProtoEvent::PeerDeathDetected);
-                    Err(IpcError::PeerDead)
-                } else {
-                    Err(IpcError::Poisoned)
+                Err(IpcError::Timeout) => {
+                    if !srv_q.consumer_alive() {
+                        self.os.record(ProtoEvent::PeerDeathDetected);
+                        rq.poison(self.os);
+                        srv_q.poison(self.os);
+                        Err(IpcError::PeerDead)
+                    } else {
+                        if poison_on_timeout {
+                            rq.poison(self.os);
+                        }
+                        Err(IpcError::Timeout)
+                    }
                 }
-            }
-            Err(e) => Err(e),
+                Err(IpcError::Poisoned) => {
+                    if !srv_q.consumer_alive() {
+                        self.os.record(ProtoEvent::PeerDeathDetected);
+                        Err(IpcError::PeerDead)
+                    } else {
+                        Err(IpcError::Poisoned)
+                    }
+                }
+                Err(e) => Err(e),
+            };
         }
+    }
+
+    /// [`Self::call_deadline`] with bounded, jittered-exponential-backoff
+    /// retries — the pattern every caller of a fallible IPC path was
+    /// re-implementing by hand, now with the failure taxonomy enforced:
+    ///
+    /// * **Retried**: [`IpcError::Timeout`] only — the one verdict that
+    ///   means "the server may merely be slow". Inner attempts do *not*
+    ///   poison the reply queue (unlike a bare `call_deadline`), so the
+    ///   channel stays usable between attempts.
+    /// * **Fail fast**: [`IpcError::PeerDead`], [`IpcError::Poisoned`],
+    ///   [`IpcError::StaleGeneration`] (a takeover happened under this
+    ///   handle — retrying cannot help; revalidate instead), and
+    ///   [`IpcError::QueueFull`] propagate on first occurrence.
+    /// * **Exhaustion**: after `attempts` timeouts the reply queue is
+    ///   poisoned (now the caller *has* given up) and
+    ///   [`IpcError::RetriesExhausted`] is returned.
+    ///
+    /// Each attempt is stamped with a fresh correlation tag in `aux` (the
+    /// caller's `aux` is not preserved); the mux server echoes the tag,
+    /// so a late reply to a timed-out attempt is discarded instead of
+    /// being mistaken for the current attempt's answer — re-sends cannot
+    /// pair the wrong reply with the wrong request.
+    ///
+    /// Pacing: attempt `i` is preceded by a sleep drawn uniformly from
+    /// `[T·2ⁱ⁻¹/16, T·2ⁱ⁻¹/8)` (capped at `T`, where `T` is
+    /// `attempt_timeout`) — exponential so persistent overload sheds
+    /// load, jittered (xorshift seeded from the shared monotonic clock)
+    /// so a cohort of clients that timed out together does not re-send in
+    /// lockstep. The sleep is host time even on simulated backends; only
+    /// pacing depends on it, never correctness. Retries are observable as
+    /// [`ProtoEvent::RetryAttempted`] / [`ProtoEvent::RetryExhausted`].
+    ///
+    /// # Errors
+    ///
+    /// As classified above.
+    ///
+    /// # Panics
+    ///
+    /// If `attempts` is zero.
+    pub fn call_retry(
+        &self,
+        mut msg: Message,
+        attempt_timeout: Duration,
+        attempts: u32,
+    ) -> Result<Message, IpcError> {
+        assert!(attempts >= 1, "call_retry needs at least one attempt");
+        msg.channel = 0;
+        let mut rng = monotonic_nanos() | 1;
+        let mut next_rand = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for i in 0..attempts {
+            if i > 0 {
+                self.os.record(ProtoEvent::RetryAttempted);
+                let full = attempt_timeout
+                    .saturating_mul(1u32 << (i - 1).min(3))
+                    .min(attempt_timeout.saturating_mul(8))
+                    / 8;
+                let nanos = full.min(attempt_timeout).as_nanos().max(2) as u64;
+                std::thread::sleep(Duration::from_nanos(nanos / 2 + next_rand() % (nanos / 2)));
+            }
+            msg.aux = next_rand();
+            match self.attempt(msg, attempt_timeout, Some(msg.aux), false) {
+                Err(IpcError::Timeout) => continue,
+                verdict => return verdict,
+            }
+        }
+        // Only final exhaustion poisons: the server must stop burning
+        // work on a caller that has, as of now, definitively given up.
+        self.srv.channels[self.c as usize]
+            .reply_queue(0)
+            .poison(self.os);
+        self.os.record(ProtoEvent::RetryExhausted);
+        Err(IpcError::RetriesExhausted)
     }
 
     /// Convenience: ECHO round trip, returning the echoed value.
@@ -875,6 +1093,173 @@ mod tests {
             ws.wait_deadline(&os, &mut cursor, Duration::from_secs(5)),
             Ok(1)
         );
+    }
+
+    #[test]
+    fn waitset_fsck_rebuilds_wake_state() {
+        let arena = ShmArena::new(WaitSetRoot::bytes_needed(3)).unwrap();
+        let root = WaitSetRoot::create_in(&arena, 3, 0).unwrap();
+        let ws = WaitSet::attach(&arena, root);
+        let os = native(1).task(0);
+        // Fully closes a claimed wake cycle the way a live waiter loop
+        // does across its next block: the `P` takes the banked credit and
+        // the post-wake store clears the latch. (`wait` polls first, so a
+        // claim of an already-ready source leaves both in place.)
+        let close = |expect_credit: bool| {
+            assert_eq!(
+                os.sem_p_deadline(ws.doorbell_sem(), Duration::ZERO),
+                expect_credit
+            );
+            ws.root.pending.store(0, Ordering::SeqCst);
+        };
+
+        // Consistent idle waitset: strict no-op.
+        assert_eq!(ws.fsck(&os, |_| false), WaitSetFsck::default());
+
+        // Consistent *ready* cycle (edge raised, latch held, one credit
+        // banked): also a no-op — the banked credit is absorbed and
+        // re-posted, netting to zero — and the cycle still works.
+        ws.notify(&os, 2);
+        assert_eq!(ws.fsck(&os, |s| s == 2), WaitSetFsck::default());
+        let mut cursor = 0;
+        assert_eq!(ws.wait(&os, &mut cursor), 2);
+        close(true);
+
+        // A waiter that died between claiming the edge (its wake `P` had
+        // consumed the credit and reopened the cycle) and draining the
+        // source: ready word down, latch clear, no credit — yet the
+        // backlog is real. fsck must resurrect the whole cycle.
+        ws.notify(&os, 1);
+        assert_eq!(ws.wait(&os, &mut cursor), 1);
+        close(true); // ...and the waiter "dies" here, backlog undrained
+        let r = ws.fsck(&os, |s| s == 1);
+        assert_eq!(
+            r,
+            WaitSetFsck {
+                ready_raised: 1,
+                latch_repaired: true,
+                doorbell_rung: true,
+                ..WaitSetFsck::default()
+            }
+        );
+        assert_eq!(
+            ws.wait_deadline(&os, &mut cursor, Duration::from_secs(5)),
+            Ok(1),
+            "resurrected cycle must wake a successor"
+        );
+        close(true);
+
+        // A stale edge over a drained source plus its banked credit: both
+        // absorbed, latch released.
+        ws.notify(&os, 0);
+        let r = ws.fsck(&os, |_| false);
+        assert_eq!(
+            r,
+            WaitSetFsck {
+                ready_cleared: 1,
+                credits_absorbed: 1,
+                latch_repaired: true,
+                ..WaitSetFsck::default()
+            }
+        );
+        // Second pass on the now-consistent state: idempotent, and no
+        // credit survived the absorption.
+        assert_eq!(ws.fsck(&os, |_| false), WaitSetFsck::default());
+        close(false);
+    }
+
+    fn native_for(srv: &ShardedServer) -> Arc<NativeOs> {
+        let mut cfg = NativeConfig::for_clients(0);
+        cfg.n_sems = srv.config().n_sems();
+        cfg.n_msgqs = 0;
+        NativeOs::new(cfg)
+    }
+
+    #[test]
+    fn call_retry_first_attempt_success_needs_no_retries() {
+        let cfg = ShardedConfig {
+            heartbeat: Duration::from_millis(5),
+            ..ShardedConfig::new(2, 1)
+        };
+        let srv = Arc::new(ShardedServer::create(cfg).unwrap());
+        let os = native_for(&srv);
+        let worker = {
+            let srv = Arc::clone(&srv);
+            let os = os.task(0);
+            std::thread::spawn(move || srv.run_worker(&os, 0, |m| m))
+        };
+
+        let t1 = os.task(1);
+        let c0 = srv.client(&t1, 0);
+        let reply = c0
+            .call_retry(Message::echo(0, 9.0), Duration::from_secs(5), 3)
+            .expect("healthy server answers on the first attempt");
+        assert_eq!(reply.value, 9.0);
+        c0.disconnect();
+        srv.client(&t1, 1).disconnect();
+        worker.join().unwrap();
+
+        let m = os.metrics().unwrap().task_snapshot(1);
+        assert_eq!(m.retries_attempted, 0);
+        assert_eq!(m.retries_exhausted, 0);
+    }
+
+    #[test]
+    fn call_retry_exhausts_then_poisons_against_a_silent_server() {
+        // No worker at all: every attempt times out (the server is
+        // "wedged", not provably dead — its liveness word still reads
+        // alive), so the taxonomy says retry, retry, then give up.
+        let srv = Arc::new(ShardedServer::create(ShardedConfig::new(1, 1)).unwrap());
+        let os = native_for(&srv);
+        let t1 = os.task(1);
+        let c0 = srv.client(&t1, 0);
+
+        let err = c0
+            .call_retry(Message::echo(0, 1.0), Duration::from_millis(2), 3)
+            .unwrap_err();
+        assert_eq!(err, IpcError::RetriesExhausted);
+        let m = os.metrics().unwrap().task_snapshot(1);
+        assert_eq!(m.retries_attempted, 2, "attempts 2 and 3 are retries");
+        assert_eq!(m.retries_exhausted, 1);
+
+        // Inner attempts did not poison — only the final exhaustion did,
+        // and from here on the failure is fail-fast, not retried.
+        assert!(srv.channel(0).reply_queue(0).is_poisoned());
+        assert_eq!(
+            c0.call_retry(Message::echo(0, 2.0), Duration::from_millis(2), 3)
+                .unwrap_err(),
+            IpcError::Poisoned
+        );
+        assert_eq!(
+            os.metrics().unwrap().task_snapshot(1).retries_attempted,
+            2,
+            "fail-fast verdicts must not burn retry attempts"
+        );
+    }
+
+    #[test]
+    fn call_retry_fails_fast_on_stale_generation() {
+        let srv = Arc::new(ShardedServer::create(ShardedConfig::new(1, 1)).unwrap());
+        let os = native_for(&srv);
+        let t1 = os.task(1);
+        let c0 = srv.client(&t1, 0);
+
+        // A takeover happened under this handle: retrying cannot help,
+        // the caller must revalidate, so not one attempt is spent.
+        srv.channel(0).arena().bump_generation();
+        assert_eq!(
+            c0.call_retry(Message::echo(0, 3.0), Duration::from_secs(1), 5)
+                .unwrap_err(),
+            IpcError::StaleGeneration
+        );
+        let m = os.metrics().unwrap().task_snapshot(1);
+        assert_eq!(m.retries_attempted, 0);
+        assert_eq!(m.retries_exhausted, 0);
+
+        // Revalidation adopts the new incarnation and the queue was
+        // never poisoned by the stale refusals.
+        srv.channel(0).revalidate();
+        assert!(!srv.channel(0).reply_queue(0).is_poisoned());
     }
 
     #[test]

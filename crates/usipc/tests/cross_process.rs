@@ -15,8 +15,12 @@
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use usipc::harness::{run_proc_experiment, run_proc_experiment_pinned, run_proc_kill_experiment};
-use usipc::{ChildProc, CountingSem, ExitStatus, WaitStrategy};
+use usipc::harness::{
+    run_proc_experiment, run_proc_experiment_pinned, run_proc_kill_experiment,
+    run_proc_relay_takeover_experiment, run_proc_storm_experiment, run_proc_takeover_experiment,
+    run_proc_takeover_pinned_experiment, ProcTakeoverResult,
+};
+use usipc::{ChildProc, CountingSem, ExitStatus, IpcError, QueueKind, WaitStrategy};
 use usipc_queue::{RingMode, RingReclaim, ShmQueue, ShmRing};
 use usipc_shm::ShmArena;
 
@@ -36,6 +40,12 @@ fn cross_process_protocols_and_faults() {
     two_lock_producer_kill_sweep();
     ring_producer_kill_sweep();
     killed_child_is_detected_reaped_and_poisoned();
+    takeover_drill_two_lock();
+    takeover_drill_ring();
+    takeover_bsw_is_exactly_four_sem_ops_pinned();
+    storm_mass_client_death_is_reaped_and_poisoned();
+    storm_with_server_kill_takes_over_and_reaps();
+    relay_takeover_survives_a_killed_recoverer();
 }
 
 /// The paper's five wait strategies, each over a real fork: parent
@@ -604,5 +614,223 @@ fn ring_producer_kill_sweep() {
             assert_eq!(got, [10, 11, 12, 13, 14], "published={published}");
         }
         assert!(ring.is_empty(&arena), "fully drained");
+    }
+}
+
+/// The shared verdict for one takeover drill run: the doomed server died
+/// by its own SIGKILL mid-handler, the successor bumped the generation
+/// and balanced the conservation ledger with exactly one dropped request
+/// (the one the corpse had in hand), every client finished its full
+/// barrage (the dropped request via a DROPPED-notice retry), a handle
+/// stamped under the dead generation failed fast instead of hanging, and
+/// the successor's run covered exactly the traffic the corpse didn't.
+fn check_takeover(run: &ProcTakeoverResult, site: u64, n: u64, active: u64) {
+    let what = format!("site {site}, {n} clients ({active} at kill time)");
+    assert_eq!(
+        run.server_exit,
+        ExitStatus::Signaled(9),
+        "{what}: doomed server must die by its own SIGKILL"
+    );
+    assert_eq!(run.takeover.old_generation, 1, "{what}");
+    assert_eq!(run.takeover.generation, 2, "{what}");
+    let ledger = &run.takeover.report.ledger;
+    assert!(ledger.balanced(), "{what}: unbalanced ledger {ledger:?}");
+    assert_eq!(
+        ledger.drop_notices, 1,
+        "{what}: a mid-handler kill drops exactly the request in hand: {ledger:?}"
+    );
+    assert_eq!(ledger.unresolved, 0, "{what}: {ledger:?}");
+    // At quiescence every client active at kill time is parked
+    // in-flight: all but one with their next request still committed in
+    // the receive queue, one in the dropped window. No server death can
+    // land mid-`reply`, so no client is ever resolved by a committed
+    // reply here. (A late prober hasn't started and counts in neither.)
+    assert_eq!(u64::from(ledger.in_flight), active, "{what}: {ledger:?}");
+    assert_eq!(
+        u64::from(ledger.served_by_request),
+        active - 1,
+        "{what}: {ledger:?}"
+    );
+    assert_eq!(ledger.served_by_reply, 0, "{what}: {ledger:?}");
+    assert_eq!(
+        run.drop_retries.iter().sum::<u64>(),
+        1,
+        "{what}: exactly one client re-issues after a DROPPED notice: {:?}",
+        run.drop_retries
+    );
+    assert!(
+        matches!(run.stale_probe, Err(IpcError::StaleGeneration)),
+        "{what}: a dead-generation handle must fail fast, got {:?}",
+        run.stale_probe
+    );
+    assert_eq!(run.server_run.disconnects as u64, n, "{what}");
+    // The corpse served `site` echoes; the successor serves the rest of
+    // the barrage (including the re-issued dropped request) plus the
+    // disconnects.
+    assert_eq!(
+        run.server_run.processed,
+        n * MSGS - site + n,
+        "{what}: successor served the wrong share ({:?})",
+        run.server_run
+    );
+    assert!(
+        run.recovery < Duration::from_secs(5),
+        "{what}: recovery took {:?}",
+        run.recovery
+    );
+}
+
+/// The takeover drill over the two-lock queue at three kill sites:
+/// first request in hand (nothing yet served), mid-barrage, and deep in
+/// the barrage. Three clients, so the fsck sees committed requests from
+/// the survivors alongside the dropped window.
+fn takeover_drill_two_lock() {
+    for site in [0u64, 7, 23] {
+        let run =
+            run_proc_takeover_experiment(WaitStrategy::Bsw, 3, MSGS, site, QueueKind::TwoLock);
+        check_takeover(&run, site, 3, 3);
+    }
+}
+
+/// The same drill over the lock-free ring — the fsck path with hole
+/// retirement instead of lock breaking.
+fn takeover_drill_ring() {
+    let run = run_proc_takeover_experiment(WaitStrategy::Bsw, 3, MSGS, 7, QueueKind::Ring);
+    check_takeover(&run, 7, 3, 3);
+}
+
+/// The paper's Fig. 6 accounting must survive a takeover: after the
+/// doomed server dies and the successor fscks and resumes, a *late
+/// prober* client (released only once the takeover completed and the
+/// other client drained) runs its whole barrage in lockstep BSW against
+/// the successor — and still costs exactly 4 semaphore ops per round
+/// trip, counted across both address spaces. Same retry-for-the-exact-
+/// schedule discipline as the pre-takeover pin above; the ceiling allows
+/// the successor's single parked-`P` boundary at window open.
+fn takeover_bsw_is_exactly_four_sem_ops_pinned() {
+    let rt = MSGS + 1;
+    let mut seen = Vec::new();
+    for _ in 0..5 {
+        let run = run_proc_takeover_pinned_experiment(WaitStrategy::Bsw, MSGS, 3, 0);
+        check_takeover(&run, 3, 2, 1);
+        let cl = run.prober_metrics.expect("pinned drill runs a prober");
+        let sv = run
+            .successor_window_sem_ops
+            .expect("pinned drill opens a metrics window");
+        assert!(
+            cl.sem_ops() + sv <= 4 * rt + 2,
+            "prober window leaked credits: client {} + server {sv} > 4*{rt}+2",
+            cl.sem_ops()
+        );
+        if cl.sem_v == rt && cl.sem_p == rt && sv >= 2 * rt - 2 && sv <= 2 * rt + 2 {
+            return;
+        }
+        seen.push((cl.sem_p, cl.sem_v, sv));
+    }
+    panic!(
+        "post-takeover BSW never hit 4 sem ops/RT in 5 pinned runs \
+         (client P, client V, server window): {seen:?}"
+    );
+}
+
+/// The poison-cascade half of the fault storm: three of five clients
+/// SIGKILLed mid-barrage against a live resilient server. Every corpse
+/// is reaped and its reply queue poisoned; the survivors never notice.
+fn storm_mass_client_death_is_reaped_and_poisoned() {
+    let run = run_proc_storm_experiment(
+        WaitStrategy::Bsw,
+        5,
+        3,
+        MSGS,
+        None,
+        Duration::from_millis(5),
+    );
+    assert!(run
+        .victim_exits
+        .iter()
+        .all(|e| *e == ExitStatus::Signaled(9)));
+    assert_eq!(run.server_run.reaped, 3, "{:?}", run.server_run);
+    assert_eq!(run.server_run.disconnects, 2, "{:?}", run.server_run);
+    assert!(
+        run.victim_poisoned.iter().all(|&p| p),
+        "every corpse's reply queue must end poisoned: {:?}",
+        run.victim_poisoned
+    );
+    assert!(run.takeover.is_none() && run.server_exit.is_none());
+}
+
+/// The full storm: mass client death AND a server SIGKILL in one run.
+/// The successor fscks a segment holding both kinds of corpse, re-marks
+/// the dead clients after the fault-state reset revived their liveness
+/// words, re-reaps them, and still finishes the survivors' barrages.
+fn storm_with_server_kill_takes_over_and_reaps() {
+    let run = run_proc_storm_experiment(
+        WaitStrategy::Bsw,
+        5,
+        2,
+        MSGS,
+        Some(40),
+        Duration::from_millis(5),
+    );
+    assert_eq!(run.server_exit, Some(ExitStatus::Signaled(9)));
+    let tk = run
+        .takeover
+        .as_ref()
+        .expect("server kill forces a takeover");
+    assert_eq!(tk.old_generation, 1);
+    assert_eq!(tk.generation, 2);
+    assert!(
+        tk.report.ledger.balanced(),
+        "storm ledger unbalanced: {:?}",
+        tk.report.ledger
+    );
+    assert_eq!(tk.report.ledger.unresolved, 0);
+    assert_eq!(run.server_run.reaped, 2, "{:?}", run.server_run);
+    assert_eq!(run.server_run.disconnects, 3, "{:?}", run.server_run);
+    assert!(run.victim_poisoned.iter().all(|&p| p));
+    assert!(run.recovery.expect("recovery timed") < Duration::from_secs(5));
+}
+
+/// Kill-during-recovery: the half-recoverer dies by SIGKILL mid-takeover
+/// (once before its fsck ran, once after), and the third incarnation
+/// recovers the half-mutated segment — generation 3, balanced ledger,
+/// every client's barrage completed.
+fn relay_takeover_survives_a_killed_recoverer() {
+    for fsck_first in [false, true] {
+        let run = run_proc_relay_takeover_experiment(WaitStrategy::Bsw, 3, MSGS, 11, fsck_first);
+        let what = format!("fsck_before_death={fsck_first}");
+        assert_eq!(run.server_exit, ExitStatus::Signaled(9), "{what}");
+        assert_eq!(run.recoverer_exit, ExitStatus::Signaled(9), "{what}");
+        assert_eq!(run.takeover.generation, 3, "{what}");
+        assert_eq!(run.final_generation, 3, "{what}");
+        let ledger = &run.takeover.report.ledger;
+        assert!(ledger.balanced(), "{what}: {ledger:?}");
+        assert_eq!(ledger.unresolved, 0, "{what}");
+        if fsck_first {
+            // The first fsck already dropped the in-hand request and its
+            // client re-enqueued; the final fsck finds only committed
+            // requests.
+            assert_eq!(ledger.drop_notices, 0, "{what}: {ledger:?}");
+            assert_eq!(run.drop_retries.iter().sum::<u64>(), 1, "{what}");
+        } else {
+            // The bump-only recoverer left the original wreckage: the
+            // final fsck issues the drop.
+            assert_eq!(ledger.drop_notices, 1, "{what}: {ledger:?}");
+            assert_eq!(run.drop_retries.iter().sum::<u64>(), 1, "{what}");
+        }
+        assert_eq!(
+            run.server_run.disconnects, 3,
+            "{what}: {:?}",
+            run.server_run
+        );
+        // 3 clients x MSGS echoes, minus the 11 the corpse served, plus
+        // the disconnects.
+        assert_eq!(
+            run.server_run.processed,
+            3 * MSGS - 11 + 3,
+            "{what}: {:?}",
+            run.server_run
+        );
+        assert!(run.recovery < Duration::from_secs(5), "{what}");
     }
 }
